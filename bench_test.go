@@ -1,0 +1,406 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§VI), plus ablations of the design choices called out in DESIGN.md.
+// Figure benchmarks run at a reduced scale so `go test -bench=.` finishes
+// on a laptop; cmd/experiments runs the paper-scale versions.
+//
+// Custom metrics: accuracy values are reported via b.ReportMetric so the
+// bench output doubles as a shape check against the paper (see
+// EXPERIMENTS.md).
+package flowrecon_test
+
+import (
+	"testing"
+	"time"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/experiment"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+)
+
+// benchParams is the reduced §VI-A configuration used by the figure
+// benchmarks: 8 flows, 6 of 27 candidate rules, cache 3, 5 s window.
+func benchParams() experiment.Params {
+	return experiment.Params{
+		NumFlows:      8,
+		NumRules:      6,
+		MaskBits:      3,
+		CacheSize:     3,
+		Delta:         0.05,
+		WindowSeconds: 5,
+		USum:          core.USumParams{ExactLimit: 20000, MCSamples: 600, Seed: 1},
+		AbsenceLo:     0.02,
+		AbsenceHi:     0.98,
+	}
+}
+
+// benchCoreConfig is a mid-sized model configuration for the model-level
+// benchmarks.
+func benchCoreConfig(b *testing.B) core.Config {
+	b.Helper()
+	rs, err := rules.Generate(rules.GenerateConfig{
+		NumFlows: 8, NumRules: 6, MaskBits: 3,
+		Timeouts: []int{2, 4, 6, 8, 10},
+	}, stats.NewRNG(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.Config{
+		Rules:     rs,
+		Rates:     workloadRates(8, 4),
+		Delta:     0.05,
+		CacheSize: 3,
+	}
+}
+
+func workloadRates(n int, seed int64) []float64 {
+	rng := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.Float64()
+	}
+	return out
+}
+
+// BenchmarkStateCount evaluates the §IV-A2 closed form at the paper's
+// example parameters (|Rules|=10, t=100, n=8).
+func BenchmarkStateCount(b *testing.B) {
+	touts := make([]int, 10)
+	for i := range touts {
+		touts[i] = 100
+	}
+	var v float64
+	for i := 0; i < b.N; i++ {
+		v = core.BasicStateCount(touts, 8)
+	}
+	b.ReportMetric(v, "states")
+}
+
+// BenchmarkBasicModelBuild explores and assembles the exact §IV-A chain
+// for a small configuration (the scale at which it is tractable at all).
+func BenchmarkBasicModelBuild(b *testing.B) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Cover: flows.SetOf(0), Priority: 3, Timeout: 3},
+		{Cover: flows.SetOf(0, 1), Priority: 2, Timeout: 4},
+		{Cover: flows.SetOf(2), Priority: 1, Timeout: 3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Rules: rs, Rates: []float64{0.8, 0.5, 0.9}, Delta: 0.2, CacheSize: 2}
+	var states int
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewBasicModel(cfg, 1<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = m.NumStates()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkCompactModelBuildPaperScale assembles the §IV-B chain at the
+// paper's evaluation scale: |Rules| = 12, n = 6 → 2510 subset states.
+func BenchmarkCompactModelBuildPaperScale(b *testing.B) {
+	rs, err := rules.Generate(rules.DefaultGenerateConfig(0.025), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Rules: rs, Rates: workloadRates(16, 2), Delta: 0.025, CacheSize: 6}
+	params := core.USumParams{ExactLimit: 20000, MCSamples: 800, Seed: 1}
+	var states int
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewCompactModel(cfg, params)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = m.NumStates()
+	}
+	b.ReportMetric(float64(states), "states")
+}
+
+// BenchmarkEvolve measures Eqn (8): I_T = Aᵀ I₀ over the paper's probe
+// window (T = 600 steps at Δ = 25 ms).
+func BenchmarkEvolve(b *testing.B) {
+	rs, err := rules.Generate(rules.DefaultGenerateConfig(0.025), stats.NewRNG(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Rules: rs, Rates: workloadRates(16, 2), Delta: 0.025, CacheSize: 6}
+	m, err := core.NewCompactModel(cfg, core.USumParams{ExactLimit: 20000, MCSamples: 400, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d0 := m.InitialDist()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evolve(d0, 600)
+	}
+}
+
+// BenchmarkProbeSelection measures single-probe information-gain search
+// over every candidate flow (§V-A).
+func BenchmarkProbeSelection(b *testing.B) {
+	cfg := benchCoreConfig(b)
+	sel, err := core.NewCompactSelector(cfg, 0, 20, core.DefaultUSumParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		best, ok := sel.Best(sel.AllFlows())
+		if !ok {
+			b.Fatal("no probe")
+		}
+		gain = best.Gain
+	}
+	b.ReportMetric(gain, "gain-bits")
+}
+
+// BenchmarkMultiProbeSelection measures the exhaustive two-probe search
+// (§V-B).
+func BenchmarkMultiProbeSelection(b *testing.B) {
+	cfg := benchCoreConfig(b)
+	sel, err := core.NewCompactSelector(cfg, 0, 20, core.DefaultUSumParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		best, ok := sel.BestSequence(sel.AllFlows(), 2)
+		if !ok {
+			b.Fatal("no sequence")
+		}
+		gain = best.Gain
+	}
+	b.ReportMetric(gain, "gain-bits")
+}
+
+// BenchmarkLatencyTable regenerates the §VI-A timing characterization:
+// hit/miss RTT distributions through the simulated fabric and through the
+// real-TCP OpenFlow pair, with the 1 ms threshold error rate.
+func BenchmarkLatencyTable(b *testing.B) {
+	var report *experiment.LatencyReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		report, err = experiment.MeasureLatency(300, 60, 5, 3900*time.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(report.SimHitMs.Mean, "hit-ms")
+	b.ReportMetric(report.SimMissMs.Mean, "miss-ms")
+	b.ReportMetric(100*report.SimMisclassified, "sim-miscls-%")
+	b.ReportMetric(100*report.OFMisclassified, "of-miscls-%")
+}
+
+// runFig6 produces the Figure 6 data at bench scale.
+func runFig6(b *testing.B) *experiment.Fig6Result {
+	b.Helper()
+	res, err := experiment.RunFig6(experiment.Fig6Options{
+		Params:          benchParams(),
+		Configs:         8,
+		TrialsPerConfig: 60,
+		MaxAttempts:     600,
+		Seed:            3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig6a regenerates Figure 6a: model vs naive accuracy across
+// target-absence buckets, over configurations where the optimal probe is
+// not the target flow.
+func BenchmarkFig6a(b *testing.B) {
+	var res *experiment.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = runFig6(b)
+	}
+	b.ReportMetric(res.MeanModel, "model-acc")
+	b.ReportMetric(res.MeanNaive, "naive-acc")
+	b.ReportMetric(res.MeanModel-res.MeanNaive, "improvement")
+}
+
+// BenchmarkFig6b regenerates Figure 6b: the CDF of per-configuration
+// additive improvement over the naive attacker.
+func BenchmarkFig6b(b *testing.B) {
+	var res *experiment.Fig6Result
+	for i := 0; i < b.N; i++ {
+		res = runFig6(b)
+	}
+	q := res.ImprovementQuantiles([]float64{0.05, 0.15})
+	b.ReportMetric(100*q[0.05], "ge5pct-%configs")
+	b.ReportMetric(100*q[0.15], "ge15pct-%configs")
+}
+
+// runFig7 produces the Figure 7 data at bench scale.
+func runFig7(b *testing.B) *experiment.Fig7Result {
+	b.Helper()
+	res, err := experiment.RunFig7(experiment.Fig7Options{
+		Params:          benchParams(),
+		Configs:         8,
+		TrialsPerConfig: 60,
+		MaxAttempts:     600,
+		Seed:            4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig7a regenerates Figure 7a: restricted-model vs naive vs
+// random accuracy bucketed by the number of rules covering the target.
+func BenchmarkFig7a(b *testing.B) {
+	var res *experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = runFig7(b)
+	}
+	model, naive, random := fig7Means(res)
+	b.ReportMetric(model, "restricted-acc")
+	b.ReportMetric(naive, "naive-acc")
+	b.ReportMetric(random, "random-acc")
+}
+
+// BenchmarkFig7b regenerates Figure 7b: the same three attackers bucketed
+// by target-absence probability.
+func BenchmarkFig7b(b *testing.B) {
+	var res *experiment.Fig7Result
+	for i := 0; i < b.N; i++ {
+		res = runFig7(b)
+	}
+	model, naive, random := fig7Means(res)
+	b.ReportMetric(model-random, "model-vs-random")
+	b.ReportMetric(model-naive, "model-vs-naive")
+}
+
+func fig7Means(res *experiment.Fig7Result) (model, naive, random float64) {
+	n := float64(len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		naive += o.Accuracy["naive"] / n
+		random += o.Accuracy["random"] / n
+		for name, acc := range o.Accuracy {
+			if name != "naive" && name != "random" {
+				model += acc / n
+			}
+		}
+	}
+	return model, naive, random
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationUSum compares the exact enumeration and Monte Carlo
+// estimation of the §IV-B u-sums on identical states.
+func BenchmarkAblationUSum(b *testing.B) {
+	cfg := benchCoreConfig(b)
+	run := func(b *testing.B, params core.USumParams) {
+		var m *core.CompactModel
+		for i := 0; i < b.N; i++ {
+			var err error
+			m, err = core.NewCompactModel(cfg, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(100*m.ExactStateFraction(), "exact-%states")
+	}
+	b.Run("exact", func(b *testing.B) {
+		run(b, core.USumParams{ExactLimit: 1 << 30, MCSamples: 1, Seed: 1})
+	})
+	b.Run("montecarlo", func(b *testing.B) {
+		run(b, core.USumParams{ExactLimit: 0, MCSamples: 800, Seed: 1})
+	})
+}
+
+// BenchmarkAblationDelta sweeps the model step Δ: smaller steps shrink the
+// multi-arrival discretization error at the cost of a longer horizon.
+func BenchmarkAblationDelta(b *testing.B) {
+	for _, delta := range []float64{0.1, 0.05, 0.025} {
+		b.Run(time.Duration(delta*float64(time.Second)).String(), func(b *testing.B) {
+			rs, err := rules.Generate(rules.DefaultGenerateConfig(delta), stats.NewRNG(3))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.Config{Rules: rs, Rates: workloadRates(16, 4), Delta: delta, CacheSize: 6}
+			steps := int(5.0 / delta)
+			var hit float64
+			for i := 0; i < b.N; i++ {
+				m, err := core.NewCompactModel(cfg, core.USumParams{ExactLimit: 20000, MCSamples: 400, Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := m.Evolve(m.InitialDist(), steps)
+				hit = m.HitProbability(d, 0)
+			}
+			b.ReportMetric(hit, "P(hit-f0)")
+		})
+	}
+}
+
+// BenchmarkAblationOrderedVsCanonical measures the state-space cost of the
+// paper's ordered cache states against the behaviour-equivalent canonical
+// (order-merged) variant.
+func BenchmarkAblationOrderedVsCanonical(b *testing.B) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Cover: flows.SetOf(0), Priority: 3, Timeout: 4},
+		{Cover: flows.SetOf(0, 1), Priority: 2, Timeout: 5},
+		{Cover: flows.SetOf(2), Priority: 1, Timeout: 4},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Rules: rs, Rates: []float64{0.8, 0.5, 0.9}, Delta: 0.1, CacheSize: 2}
+	b.Run("ordered", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewBasicModel(cfg, 1<<21)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = m.NumStates()
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+	b.Run("canonical", func(b *testing.B) {
+		var states int
+		for i := 0; i < b.N; i++ {
+			m, err := core.NewBasicModelCanonical(cfg, 1<<21)
+			if err != nil {
+				b.Fatal(err)
+			}
+			states = m.NumStates()
+		}
+		b.ReportMetric(float64(states), "states")
+	})
+}
+
+// BenchmarkAblationProbeCount compares the information gain of one vs two
+// probes on the paper's Figure 2b structure, where the second probe
+// genuinely disambiguates overlapping rules.
+func BenchmarkAblationProbeCount(b *testing.B) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Name: "rule1", Cover: flows.SetOf(0), Priority: 2, Timeout: 6},
+		{Name: "rule2", Cover: flows.SetOf(0, 1), Priority: 1, Timeout: 6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Rules: rs, Rates: []float64{0.3, 0.8}, Delta: 0.25, CacheSize: 2}
+	sel, err := core.NewCompactSelector(cfg, 0, 20, core.DefaultUSumParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var single, pair float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		single, pair = sel.SequenceGainAtLeastSingle(sel.AllFlows())
+	}
+	b.ReportMetric(single, "gain1-bits")
+	b.ReportMetric(pair, "gain2-bits")
+}

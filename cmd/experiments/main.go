@@ -1,0 +1,172 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§VI): the latency characterization, Figure 6a/6b and Figure
+// 7a/7b. Results print as text tables; per-configuration CSVs can be
+// written for plotting.
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -fig6 -configs 100 -trials 100
+//	experiments -latency
+//	experiments -fig7 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"flowrecon/internal/experiment"
+	"flowrecon/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		fig6     = fs.Bool("fig6", false, "reproduce Figure 6a/6b")
+		fig7     = fs.Bool("fig7", false, "reproduce Figure 7a/7b")
+		latency  = fs.Bool("latency", false, "reproduce the §VI-A latency table")
+		configs  = fs.Int("configs", 40, "qualifying network configurations per figure (paper: 100)")
+		trials   = fs.Int("trials", 100, "trials per configuration (paper: 100)")
+		seed     = fs.Int64("seed", 1, "root random seed")
+		csvDir   = fs.String("csv", "", "directory for per-configuration CSV output")
+		attempts = fs.Int("attempts", 0, "configuration sampling budget (0 = auto: ≥1000, 100×configs)")
+		svgDir   = fs.String("svg", "", "directory for SVG renderings of the figures")
+		scale    = fs.String("scale", "paper", "parameter scale: paper (16 flows/12 rules) or small (8 flows/6 rules)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && !*fig6 && !*fig7 && !*latency {
+		fs.Usage()
+		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency)")
+	}
+
+	params := experiment.DefaultParams()
+	if *scale == "small" {
+		params.NumFlows, params.NumRules, params.MaskBits, params.CacheSize = 8, 6, 3, 3
+		params.WindowSeconds = 5
+	}
+
+	if *all || *latency {
+		start := time.Now()
+		report, err := experiment.MeasureLatency(400, 120, *seed, 3900*time.Microsecond)
+		if err != nil {
+			return fmt.Errorf("latency: %w", err)
+		}
+		if err := experiment.WriteLatency(os.Stdout, report); err != nil {
+			return err
+		}
+		fmt.Printf("(latency experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *fig6 {
+		start := time.Now()
+		opts := experiment.Fig6Options{
+			Params:          params,
+			Configs:         *configs,
+			TrialsPerConfig: *trials,
+			MaxAttempts:     samplingBudget(*attempts, *configs),
+			Seed:            *seed,
+		}
+		res, err := experiment.RunFig6(opts)
+		if err != nil {
+			return fmt.Errorf("fig6: %w", err)
+		}
+		if err := experiment.WriteFig6(os.Stdout, res); err != nil {
+			return err
+		}
+		if err := writeCSV(*csvDir, "fig6.csv", res.Outcomes); err != nil {
+			return err
+		}
+		if err := writeSVGs(*svgDir, map[string]*plot.Chart{
+			"fig6a": experiment.Fig6aChart(res),
+			"fig6b": experiment.Fig6bChart(res),
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("(figure 6 took %v)\n\n", time.Since(start).Round(time.Second))
+	}
+
+	if *all || *fig7 {
+		start := time.Now()
+		opts := experiment.Fig7Options{
+			Params:          params,
+			Configs:         *configs,
+			TrialsPerConfig: *trials,
+			MaxAttempts:     samplingBudget(*attempts, *configs),
+			Seed:            *seed + 1,
+		}
+		res, err := experiment.RunFig7(opts)
+		if err != nil {
+			return fmt.Errorf("fig7: %w", err)
+		}
+		if err := experiment.WriteFig7(os.Stdout, res); err != nil {
+			return err
+		}
+		if err := writeCSV(*csvDir, "fig7.csv", res.Outcomes); err != nil {
+			return err
+		}
+		if err := writeSVGs(*svgDir, map[string]*plot.Chart{
+			"fig7a": experiment.Fig7aChart(res),
+			"fig7b": experiment.Fig7bChart(res),
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("(figure 7 took %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	return nil
+}
+
+// samplingBudget derives the configuration-sampling budget: explicit when
+// given, otherwise generous — the §VI-B qualifying filters accept only a
+// small fraction of random configurations (see DESIGN.md §3).
+func samplingBudget(explicit, configs int) int {
+	if explicit > 0 {
+		return explicit
+	}
+	budget := 100 * configs
+	if budget < 1000 {
+		budget = 1000
+	}
+	return budget
+}
+
+// writeSVGs renders charts into dir as <name>.svg; no-op when dir is empty.
+func writeSVGs(dir string, charts map[string]*plot.Chart) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return experiment.WriteSVGs(charts, func(name string) (io.WriteCloser, error) {
+		return os.Create(filepath.Join(dir, name+".svg"))
+	})
+}
+
+func writeCSV(dir, name string, outcomes []experiment.ConfigOutcome) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return experiment.WriteCSV(f, outcomes)
+}

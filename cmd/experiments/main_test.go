@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowrecon/internal/experiment"
+)
+
+func TestRunRequiresSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no-experiment invocation accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunLatencyOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the latency experiment")
+	}
+	if err := run([]string{"-latency", "-seed", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig6SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small figure-6 sweep")
+	}
+	dir := t.TempDir()
+	if err := run([]string{"-fig6", "-scale", "small", "-configs", "2", "-trials", "20", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig6.csv")); err != nil {
+		t.Fatalf("csv not written: %v", err)
+	}
+}
+
+func TestWriteCSVNoDir(t *testing.T) {
+	if err := writeCSV("", "x.csv", []experiment.ConfigOutcome{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run")
+	}
+	if err := run([]string{"-small", "-seed", "3", "-trials", "20", "-details"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunMultiProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run")
+	}
+	if err := run([]string{"-small", "-seed", "3", "-trials", "10", "-probes", "2", "-sweep"}); err != nil {
+		t.Fatal(err)
+	}
+}

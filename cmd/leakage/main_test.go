@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunProfile(t *testing.T) {
+	if err := run([]string{"-seed", "2", "-window", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCoarsen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coarsening sweep")
+	}
+	if err := run([]string{"-seed", "2", "-window", "3", "-coarsen", "-max-merges", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRun(t *testing.T) {
+	if err := run([]string{"-rules", "4", "-timeout", "5", "-cache", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadArgs(t *testing.T) {
+	if err := run([]string{"-rules", "0"}); err == nil {
+		t.Fatal("zero rules accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

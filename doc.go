@@ -1,0 +1,17 @@
+// Package flowrecon is a from-scratch Go reproduction of "Flow
+// Reconnaissance via Timing Attacks on SDN Switches" (Liu, Reiter, Sekar;
+// ICDCS 2017).
+//
+// A reactive SDN switch forwards packets with no matching rule to its
+// controller; the resulting delay is a timing side channel that reveals
+// whether a rule — and hence a recent flow — is cached. This repository
+// implements the paper's contribution (Markov models of the switch rule
+// cache and information-gain probe selection) together with every
+// substrate its evaluation needs: an OpenFlow-1.0-subset protocol stack,
+// a reactive controller, a flow-table switch, a virtual-time network
+// simulator, Poisson workload generation, and the full experiment harness
+// reproducing each figure and table.
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-vs-measured results, and examples/quickstart for the API.
+package flowrecon

@@ -1,0 +1,3 @@
+module flowrecon
+
+go 1.22

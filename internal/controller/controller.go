@@ -1,0 +1,148 @@
+// Package controller implements the SDN controller application of the
+// paper's testbed (the Ryu app of §VI-A): reactive installation of the
+// highest-priority rule covering each reported flow, plus the deployment
+// variants the paper discusses — proactive installation (§VII-B2) and
+// consistent (dependency-aware) rule removal (§VII-A2).
+//
+// The transport-facing controllers (openflow.Controller over TCP and
+// netsim's simulated control channel) delegate their decisions here, so
+// policy behaviour is defined exactly once.
+package controller
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+)
+
+// Options configure the controller application.
+type Options struct {
+	// ProcessingDelay is the controller's per-request compute time; it
+	// contributes to t_setup and doubles as the §VII-B1 "adding delays"
+	// countermeasure when increased.
+	ProcessingDelay time.Duration
+	// Proactive switches to proactive deployment (§VII-B2): every rule
+	// is installed up front and reactive requests install nothing.
+	Proactive bool
+	// ConsistentRemoval enables the §VII-A2 collective-deployment
+	// variant: when a rule is removed, overlapping lower-priority rules
+	// must be removed with it (the behaviour the paper's model does NOT
+	// capture; see the model-limitation test).
+	ConsistentRemoval bool
+}
+
+// Decision is the controller's answer to one packet-in.
+type Decision struct {
+	// Install reports whether a rule should be installed.
+	Install bool
+	// RuleID is the rule to install when Install is true.
+	RuleID int
+	// Delay is the processing delay the request incurred.
+	Delay time.Duration
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	PacketIns int64
+	Installs  int64
+	// InstallsByRule[j] counts installations of rule j.
+	InstallsByRule []int64
+}
+
+// Reactive is the controller application state.
+type Reactive struct {
+	policy *rules.Set
+	opts   Options
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New builds a controller application over a policy.
+func New(policy *rules.Set, opts Options) *Reactive {
+	return &Reactive{
+		policy: policy,
+		opts:   opts,
+		stats:  Stats{InstallsByRule: make([]int64, policy.Len())},
+	}
+}
+
+// Policy returns the controller's rule set.
+func (c *Reactive) Policy() *rules.Set { return c.policy }
+
+// Options returns the configured options.
+func (c *Reactive) Options() Options { return c.opts }
+
+// OnPacketIn decides how to handle a table miss for flow f: install the
+// highest-priority covering rule, or release the packet uninstalled (the
+// pre-installed flood default handles delivery, §VI-A).
+func (c *Reactive) OnPacketIn(f flows.ID) Decision {
+	c.mu.Lock()
+	c.stats.PacketIns++
+	c.mu.Unlock()
+	d := Decision{Delay: c.opts.ProcessingDelay}
+	if c.opts.Proactive {
+		// Proactive deployment never installs reactively; a miss can
+		// only be an uncovered flow.
+		return d
+	}
+	j, ok := c.policy.HighestCovering(f)
+	if !ok {
+		return d
+	}
+	d.Install = true
+	d.RuleID = j
+	c.mu.Lock()
+	c.stats.Installs++
+	c.stats.InstallsByRule[j]++
+	c.mu.Unlock()
+	return d
+}
+
+// ProactivePlan returns the rule IDs to pre-install at switch setup, in
+// descending priority order. With Proactive set this is the whole policy;
+// it errors when the table cannot hold it (the capacity caveat of
+// §VII-B2).
+func (c *Reactive) ProactivePlan(capacity int) ([]int, error) {
+	if !c.opts.Proactive {
+		return nil, nil
+	}
+	if c.policy.Len() > capacity {
+		return nil, fmt.Errorf("controller: proactive deployment needs %d slots, table has %d", c.policy.Len(), capacity)
+	}
+	return c.policy.ByPriority(), nil
+}
+
+// DependentRemovals returns the additional rules that must be removed
+// when rule j is removed under consistent deployment (§VII-A2): every
+// lower-priority rule overlapping j. Without ConsistentRemoval it returns
+// nothing.
+func (c *Reactive) DependentRemovals(j int) []int {
+	if !c.opts.ConsistentRemoval {
+		return nil
+	}
+	var out []int
+	cover := c.policy.Rule(j).Cover
+	for other := 0; other < c.policy.Len(); other++ {
+		if other == j {
+			continue
+		}
+		if c.policy.HigherPriority(j, other) && cover.Overlaps(c.policy.Rule(other).Cover) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// Snapshot returns a copy of the activity counters.
+func (c *Reactive) Snapshot() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.stats
+	out.InstallsByRule = make([]int64, len(c.stats.InstallsByRule))
+	copy(out.InstallsByRule, c.stats.InstallsByRule)
+	return out
+}

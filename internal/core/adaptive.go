@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/markov"
+	"flowrecon/internal/stats"
+)
+
+// The paper selects multiple probes non-adaptively (§V-B). This file
+// implements the natural extension it leaves open: adaptive probing,
+// where each probe is chosen after observing the previous outcome. An
+// adaptive plan is a decision tree whose expected information gain is
+// never below the best non-adaptive sequence over the same candidates.
+
+// AdaptiveNode is one node of an adaptive probing plan.
+type AdaptiveNode struct {
+	// Probe is the flow to send at this node (undefined for leaves).
+	Probe flows.ID
+	// Leaf marks nodes where probing stops.
+	Leaf bool
+	// PosteriorPresent is P(X̂ = 1 | outcomes so far).
+	PosteriorPresent float64
+	// PathProb is P(reaching this node).
+	PathProb float64
+	// Miss and Hit are the children for the two outcomes.
+	Miss, Hit *AdaptiveNode
+}
+
+// Decide walks the plan with observed outcomes and returns the verdict at
+// the reached node.
+func (n *AdaptiveNode) Decide(outcomes []bool) bool {
+	cur := n
+	for _, hit := range outcomes {
+		if cur.Leaf {
+			break
+		}
+		if hit {
+			cur = cur.Hit
+		} else {
+			cur = cur.Miss
+		}
+	}
+	return cur.PosteriorPresent > 0.5
+}
+
+// NextProbe returns the probe at the node reached by outcomes, and false
+// once the plan is exhausted.
+func (n *AdaptiveNode) NextProbe(outcomes []bool) (flows.ID, bool) {
+	cur := n
+	for _, hit := range outcomes {
+		if cur.Leaf {
+			return 0, false
+		}
+		if hit {
+			cur = cur.Hit
+		} else {
+			cur = cur.Miss
+		}
+	}
+	if cur.Leaf {
+		return 0, false
+	}
+	return cur.Probe, true
+}
+
+// ExpectedGain returns the plan's expected information gain about X̂ in
+// bits: H(X̂) minus the path-probability-weighted entropy at the leaves.
+func (s *ProbeSelector) ExpectedGain(root *AdaptiveNode) float64 {
+	var hCond float64
+	var walk func(n *AdaptiveNode)
+	walk = func(n *AdaptiveNode) {
+		if n.Leaf {
+			hCond += n.PathProb * stats.BinaryEntropy(n.PosteriorPresent)
+			return
+		}
+		walk(n.Miss)
+		walk(n.Hit)
+	}
+	walk(root)
+	g := s.PriorEntropy() - hCond
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// BuildAdaptiveTree plans up to depth probes adaptively: at every node the
+// probe with maximal one-step information gain under the
+// outcome-conditioned state distribution is chosen (greedy, the standard
+// construction for adaptive channel probing).
+func (s *ProbeSelector) BuildAdaptiveTree(candidates []flows.ID, depth int) (*AdaptiveNode, error) {
+	if len(candidates) == 0 || depth < 1 {
+		return nil, fmt.Errorf("core: adaptive plan needs candidates and depth ≥ 1")
+	}
+	root := s.buildAdaptive(candidates, depth, s.dist.Clone(), s.dist0.Clone(), 1)
+	return root, nil
+}
+
+// buildAdaptive recursively expands a node. d is the unconditional state
+// distribution restricted to this path (unnormalized: its mass is the
+// path probability); d0 the target-absent counterpart (mass = P(path |
+// X̂=0) before the pAbsent factor).
+func (s *ProbeSelector) buildAdaptive(candidates []flows.ID, depth int, d, d0 markov.Dist, pathP float64) *AdaptiveNode {
+	pq := d.Sum()
+	pq0 := s.pAbsent * d0.Sum()
+	node := &AdaptiveNode{PathProb: pq}
+	if pq <= 0 {
+		node.Leaf = true
+		node.PosteriorPresent = 1 - s.pAbsent
+		return node
+	}
+	node.PosteriorPresent = clamp01(pq-pq0) / pq
+
+	if depth == 0 {
+		node.Leaf = true
+		return node
+	}
+	// Greedy choice: the probe with maximal conditional information gain
+	// at this node.
+	bestFlow, bestGain := flows.ID(0), -1.0
+	hPrior := stats.BinaryEntropy(node.PosteriorPresent)
+	for _, f := range candidates {
+		hit, miss := s.model.SplitByHit(d, f)
+		hit0, miss0 := s.model0.SplitByHit(d0, f)
+		var hCond float64
+		for _, br := range []struct{ d, d0 markov.Dist }{{miss, miss0}, {hit, hit0}} {
+			bq := br.d.Sum() / pq
+			if bq <= 0 {
+				continue
+			}
+			bq0 := s.pAbsent * br.d0.Sum() / pq
+			post := clamp01(bq-bq0) / bq
+			hCond += bq * stats.BinaryEntropy(post)
+		}
+		if gain := hPrior - hCond; gain > bestGain {
+			bestGain, bestFlow = gain, f
+		}
+	}
+	if bestGain <= 1e-12 {
+		node.Leaf = true // no probe adds information here
+		return node
+	}
+	node.Probe = bestFlow
+	hit, miss := s.model.SplitByHit(d, bestFlow)
+	hit0, miss0 := s.model0.SplitByHit(d0, bestFlow)
+	node.Miss = s.buildAdaptive(candidates, depth-1,
+		s.model.ApplyProbe(miss, bestFlow, false), s.model0.ApplyProbe(miss0, bestFlow, false), miss.Sum())
+	node.Hit = s.buildAdaptive(candidates, depth-1,
+		s.model.ApplyProbe(hit, bestFlow, true), s.model0.ApplyProbe(hit0, bestFlow, true), hit.Sum())
+	return node
+}
+
+// AdaptiveAttacker probes according to an adaptive plan, choosing each
+// probe from the previous outcomes.
+type AdaptiveAttacker struct {
+	tree  *AdaptiveNode
+	depth int
+}
+
+var _ Attacker = (*AdaptiveAttacker)(nil)
+
+// NewAdaptiveAttacker plans an adaptive attack of up to depth probes.
+func NewAdaptiveAttacker(sel *ProbeSelector, candidates []flows.ID, depth int) (*AdaptiveAttacker, error) {
+	tree, err := sel.BuildAdaptiveTree(candidates, depth)
+	if err != nil {
+		return nil, err
+	}
+	return &AdaptiveAttacker{tree: tree, depth: depth}, nil
+}
+
+// Name implements Attacker.
+func (a *AdaptiveAttacker) Name() string { return fmt.Sprintf("adaptive(m=%d)", a.depth) }
+
+// Probes implements Attacker: the first probe only; subsequent probes come
+// from NextProbe (the trial runner detects sequential attackers).
+func (a *AdaptiveAttacker) Probes() []flows.ID {
+	if a.tree.Leaf {
+		return nil
+	}
+	return []flows.ID{a.tree.Probe}
+}
+
+// NextProbe returns the probe to send after the given outcomes.
+func (a *AdaptiveAttacker) NextProbe(outcomes []bool) (flows.ID, bool) {
+	return a.tree.NextProbe(outcomes)
+}
+
+// Decide implements Attacker.
+func (a *AdaptiveAttacker) Decide(outcomes []bool, _ *stats.RNG) bool {
+	return a.tree.Decide(outcomes)
+}
+
+// Tree exposes the plan for inspection.
+func (a *AdaptiveAttacker) Tree() *AdaptiveNode { return a.tree }

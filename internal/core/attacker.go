@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/stats"
+)
+
+// Attacker is a flow-reconnaissance strategy: it plans probe flows, then
+// turns observed query outcomes (hit/miss per probe) into a verdict on
+// whether the target flow occurred within the window.
+type Attacker interface {
+	// Name identifies the strategy in reports.
+	Name() string
+	// Probes returns the flows to probe, in order. It may be empty (the
+	// random attacker sends nothing).
+	Probes() []flows.ID
+	// Decide converts the observed outcomes (outcomes[i] is whether probe
+	// i hit) into a verdict: true means "target occurred".
+	Decide(outcomes []bool, rng *stats.RNG) bool
+}
+
+// NaiveAttacker is the paper's baseline: probe the target flow itself and
+// report the query result Q_f̂.
+type NaiveAttacker struct {
+	TargetFlow flows.ID
+}
+
+var _ Attacker = (*NaiveAttacker)(nil)
+
+// Name implements Attacker.
+func (a *NaiveAttacker) Name() string { return "naive" }
+
+// Probes implements Attacker.
+func (a *NaiveAttacker) Probes() []flows.ID { return []flows.ID{a.TargetFlow} }
+
+// Decide implements Attacker: the verdict is the raw query outcome.
+func (a *NaiveAttacker) Decide(outcomes []bool, _ *stats.RNG) bool {
+	return len(outcomes) > 0 && outcomes[0]
+}
+
+// DecisionMode selects how a model attacker converts outcomes to verdicts.
+type DecisionMode int
+
+// Decision modes.
+const (
+	// DecideByQuery returns the raw result of the (first) query, the
+	// behaviour evaluated in §VI-B ("returning the result of query f").
+	DecideByQuery DecisionMode = iota + 1
+	// DecideByPosterior thresholds P(X̂=1 | observations) at ½ — the
+	// decision-tree leaves of §V-B. For a probe passing the paper's
+	// detector-viability filter the two modes agree.
+	DecideByPosterior
+)
+
+// ModelAttacker probes the flow (or flow sequence) with maximal
+// information gain, as computed by a ProbeSelector, and decides per Mode.
+type ModelAttacker struct {
+	name     string
+	mode     DecisionMode
+	eval     SequenceEval
+	prior    float64 // P(X̂ = 1)
+	singleOK ProbeEval
+	isSingle bool
+}
+
+var _ Attacker = (*ModelAttacker)(nil)
+
+// NewModelAttacker plans numProbes probes from candidates using sel.
+// With numProbes == 1 it is the paper's single-query model attacker.
+func NewModelAttacker(sel *ProbeSelector, candidates []flows.ID, numProbes int, mode DecisionMode) (*ModelAttacker, error) {
+	if numProbes < 1 {
+		return nil, fmt.Errorf("core: numProbes %d < 1", numProbes)
+	}
+	a := &ModelAttacker{
+		name:  fmt.Sprintf("model(m=%d)", numProbes),
+		mode:  mode,
+		prior: 1 - sel.PAbsent(),
+	}
+	if numProbes == 1 {
+		best, ok := sel.Best(candidates)
+		if !ok {
+			return nil, fmt.Errorf("core: no candidate probes")
+		}
+		a.singleOK = best
+		a.isSingle = true
+		a.eval = SequenceEval{Flows: []flows.ID{best.Flow}}
+		return a, nil
+	}
+	best, ok := sel.BestSequence(candidates, numProbes)
+	if !ok {
+		return nil, fmt.Errorf("core: no candidate probes")
+	}
+	a.eval = best
+	return a, nil
+}
+
+// Name implements Attacker.
+func (a *ModelAttacker) Name() string { return a.name }
+
+// Probes implements Attacker.
+func (a *ModelAttacker) Probes() []flows.ID {
+	return append([]flows.ID(nil), a.eval.Flows...)
+}
+
+// PlannedEval returns the single-probe evaluation (zero value when the
+// attacker plans multiple probes).
+func (a *ModelAttacker) PlannedEval() ProbeEval { return a.singleOK }
+
+// Decide implements Attacker.
+func (a *ModelAttacker) Decide(outcomes []bool, _ *stats.RNG) bool {
+	if len(outcomes) == 0 {
+		return a.prior > 0.5
+	}
+	switch a.mode {
+	case DecideByQuery:
+		return outcomes[0]
+	case DecideByPosterior:
+		if a.isSingle {
+			return a.singleOK.PosteriorPresent(outcomes[0]) > 0.5
+		}
+		return a.eval.Decide(outcomes)
+	default:
+		return outcomes[0]
+	}
+}
+
+// RandomAttacker is the §VI-B baseline that makes no probes and guesses
+// from the prior: it declares the flow present with probability
+// P(X̂ = 1) = 1 − e^{-λ_f̂·T·Δ}.
+type RandomAttacker struct {
+	PPresent float64
+}
+
+var _ Attacker = (*RandomAttacker)(nil)
+
+// Name implements Attacker.
+func (a *RandomAttacker) Name() string { return "random" }
+
+// Probes implements Attacker.
+func (a *RandomAttacker) Probes() []flows.ID { return nil }
+
+// Decide implements Attacker.
+func (a *RandomAttacker) Decide(_ []bool, rng *stats.RNG) bool {
+	return rng.Bernoulli(a.PPresent)
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/markov"
+)
+
+// Model is the interface probe selection needs from a switch model. Both
+// BasicModel and CompactModel implement it.
+type Model interface {
+	// NumStates returns the model's state-space size.
+	NumStates() int
+	// InitialDist returns the distribution for an initially empty cache.
+	InitialDist() markov.Dist
+	// Evolve advances a distribution the given number of Δ-steps (Eqn 8).
+	Evolve(d markov.Dist, steps int) markov.Dist
+	// HitProbability returns the mass of states in which a probe of f
+	// would hit (some cached rule covers f).
+	HitProbability(d markov.Dist, f flows.ID) float64
+	// SplitByHit partitions d's mass into the states where probing f hits
+	// and the states where it misses. The halves are unnormalized.
+	SplitByHit(d markov.Dist, f flows.ID) (hit, miss markov.Dist)
+	// ApplyProbe transforms a distribution by the cache side effect of a
+	// probe of f with the given outcome: a miss installs the covering
+	// rule (evicting if full); a hit refreshes the matched rule.
+	ApplyProbe(d markov.Dist, f flows.ID, hit bool) markov.Dist
+	// ModelConfig returns the model's configuration.
+	ModelConfig() Config
+}
+
+var (
+	_ Model = (*CompactModel)(nil)
+	_ Model = (*BasicModel)(nil)
+)
+
+// CompactModel is the approximate Markov chain of §IV-B: a state is the
+// subset of rules presently cached (at most the cache capacity), and
+// eviction/timeout transition probabilities are estimated from the
+// most-recent-match sums implemented in usum.go.
+type CompactModel struct {
+	cfg    Config
+	sr     []float64
+	states []uint64       // rule bitmasks, index-aligned with the matrix
+	index  map[uint64]int // mask → state index
+	matrix *markov.Sparse
+	est    []StateEstimates // per-state §IV-B estimates (nil for the empty state)
+	params USumParams
+	// exactStates counts states whose u-sums were enumerated exactly.
+	exactStates int
+}
+
+// NewCompactModel enumerates every subset state and builds the transition
+// matrix. params tunes the u-sum estimator; pass DefaultUSumParams() unless
+// benchmarking the estimator itself.
+func NewCompactModel(cfg Config, params USumParams) (*CompactModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nr := cfg.Rules.Len()
+	if nr > 24 {
+		return nil, fmt.Errorf("core: compact model supports ≤ 24 rules, got %d", nr)
+	}
+	m := &CompactModel{cfg: cfg, sr: cfg.stepRates(), params: params}
+	m.enumerateStates()
+	if err := m.buildMatrix(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// CompactStateCount evaluates the §IV-B state count
+// Σ_{n'=0..n} C(|Rules|, n'), including the empty state.
+func CompactStateCount(numRules, capacity int) int {
+	if capacity > numRules {
+		capacity = numRules
+	}
+	total := 0
+	c := 1 // C(numRules, 0)
+	for k := 0; k <= capacity; k++ {
+		total += c
+		c = c * (numRules - k) / (k + 1)
+	}
+	return total
+}
+
+func (m *CompactModel) enumerateStates() {
+	nr := m.cfg.Rules.Len()
+	cap := m.cfg.CacheSize
+	if cap > nr {
+		cap = nr
+	}
+	m.index = make(map[uint64]int, CompactStateCount(nr, cap))
+	add := func(mask uint64) {
+		m.index[mask] = len(m.states)
+		m.states = append(m.states, mask)
+	}
+	// Enumerate subsets in increasing size so the empty state is index 0.
+	var rec func(start int, mask uint64, size, want int)
+	rec = func(start int, mask uint64, size, want int) {
+		if size == want {
+			add(mask)
+			return
+		}
+		for j := start; j < nr; j++ {
+			rec(j+1, mask|1<<uint(j), size+1, want)
+		}
+	}
+	for want := 0; want <= cap; want++ {
+		rec(0, 0, 0, want)
+	}
+}
+
+func (m *CompactModel) buildMatrix() error {
+	m.matrix = markov.NewSparse(len(m.states))
+	m.est = make([]StateEstimates, len(m.states))
+	estimator := &uEstimator{rs: m.cfg.Rules, sr: m.sr, capacity: m.cfg.CacheSize, params: m.params}
+
+	for idx, mask := range m.states {
+		cachedIDs := maskIDs(mask)
+		cached := func(j int) bool { return mask&(1<<uint(j)) != 0 }
+		w := computeEventWeights(m.cfg.Rules, m.sr, cached)
+
+		var est StateEstimates
+		if len(cachedIDs) > 0 {
+			est = estimator.estimate(cachedIDs)
+			m.est[idx] = est
+			if est.Exact {
+				m.exactStates++
+			}
+		}
+
+		// Null event: per-rule timeouts plus the stay-put remainder.
+		var timeoutTotal float64
+		for _, j := range cachedIDs {
+			timeoutTotal += est.Timeout[j]
+		}
+		if timeoutTotal > 1 {
+			// Conditional probabilities can overshoot jointly; rescale so
+			// the null event stays a probability split.
+			for _, j := range cachedIDs {
+				m.matrix.Add(idx, m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j]/timeoutTotal)
+			}
+		} else {
+			for _, j := range cachedIDs {
+				m.matrix.Add(idx, m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j])
+			}
+			m.matrix.Add(idx, idx, w.null*(1-timeoutTotal))
+		}
+
+		// Arrival events.
+		for j := 0; j < m.cfg.Rules.Len(); j++ {
+			p := w.arrival[j]
+			if p <= 0 {
+				continue
+			}
+			switch {
+			case cached(j):
+				m.matrix.Add(idx, idx, p) // hit: subset unchanged
+			case len(cachedIDs) < m.cfg.CacheSize:
+				m.matrix.Add(idx, m.index[mask|1<<uint(j)], p)
+			default:
+				for _, v := range cachedIDs {
+					to := (mask | 1<<uint(j)) &^ (1 << uint(v))
+					m.matrix.Add(idx, m.index[to], p*est.Evict[v])
+				}
+			}
+		}
+	}
+	m.matrix.NormalizeRows()
+	return m.matrix.CheckStochastic(1e-9)
+}
+
+func maskIDs(mask uint64) []int {
+	out := make([]int, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		b := bits.TrailingZeros64(mask)
+		out = append(out, b)
+		mask &^= 1 << uint(b)
+	}
+	return out
+}
+
+// NumStates returns the state-space size (Σ C(|Rules|, k), k ≤ n).
+func (m *CompactModel) NumStates() int { return len(m.states) }
+
+// ExactStateFraction reports the fraction of non-empty states whose u-sums
+// were enumerated exactly rather than sampled.
+func (m *CompactModel) ExactStateFraction() float64 {
+	nonEmpty := len(m.states) - 1
+	if nonEmpty <= 0 {
+		return 1
+	}
+	return float64(m.exactStates) / float64(nonEmpty)
+}
+
+// Matrix exposes the transition matrix for diagnostics and benchmarks.
+func (m *CompactModel) Matrix() *markov.Sparse { return m.matrix }
+
+// ModelConfig returns the model's configuration.
+func (m *CompactModel) ModelConfig() Config { return m.cfg }
+
+// StateMask returns the cached-rule bitmask of state i.
+func (m *CompactModel) StateMask(i int) uint64 { return m.states[i] }
+
+// Estimates returns the §IV-B estimates of state i (zero value for the
+// empty state).
+func (m *CompactModel) Estimates(i int) StateEstimates { return m.est[i] }
+
+// InitialDist returns the point distribution on the empty cache.
+func (m *CompactModel) InitialDist() markov.Dist {
+	return markov.PointDist(len(m.states), m.index[0])
+}
+
+// Evolve advances a distribution the given number of steps (Eqn 8).
+func (m *CompactModel) Evolve(d markov.Dist, steps int) markov.Dist {
+	return m.matrix.Evolve(d, steps)
+}
+
+// coverMask returns the bitmask of rules covering f.
+func (m *CompactModel) coverMask(f flows.ID) uint64 {
+	var cover uint64
+	for j := 0; j < m.cfg.Rules.Len(); j++ {
+		if m.cfg.Rules.Rule(j).Covers(f) {
+			cover |= 1 << uint(j)
+		}
+	}
+	return cover
+}
+
+// HitProbability returns P(Q_f = 1) under d.
+func (m *CompactModel) HitProbability(d markov.Dist, f flows.ID) float64 {
+	cover := m.coverMask(f)
+	return d.MassWhere(func(i int) bool { return m.states[i]&cover != 0 })
+}
+
+// CachedProbability returns P(rule j ∈ cache) under d.
+func (m *CompactModel) CachedProbability(d markov.Dist, j int) float64 {
+	bit := uint64(1) << uint(j)
+	return d.MassWhere(func(i int) bool { return m.states[i]&bit != 0 })
+}
+
+// SplitByHit partitions d by whether probing f hits.
+func (m *CompactModel) SplitByHit(d markov.Dist, f flows.ID) (hit, miss markov.Dist) {
+	cover := m.coverMask(f)
+	hit = make(markov.Dist, len(d))
+	miss = make(markov.Dist, len(d))
+	for i, p := range d {
+		if p == 0 {
+			continue
+		}
+		if m.states[i]&cover != 0 {
+			hit[i] = p
+		} else {
+			miss[i] = p
+		}
+	}
+	return hit, miss
+}
+
+// ApplyProbe implements the §V-B state update for one probe: a hit leaves
+// the subset unchanged (it only refreshes a clock the compact model does
+// not carry); a miss installs the highest-priority rule covering f,
+// splitting mass across evictions when the table is full.
+func (m *CompactModel) ApplyProbe(d markov.Dist, f flows.ID, hit bool) markov.Dist {
+	if hit {
+		return d.Clone()
+	}
+	jStar, ok := m.cfg.Rules.HighestCovering(f)
+	if !ok {
+		return d.Clone() // probe of an uncovered flow cannot install anything
+	}
+	out := make(markov.Dist, len(d))
+	bit := uint64(1) << uint(jStar)
+	for i, p := range d {
+		if p == 0 {
+			continue
+		}
+		mask := m.states[i]
+		if mask&bit != 0 {
+			out[i] += p // already cached (possible when called on hit-mass)
+			continue
+		}
+		cachedIDs := maskIDs(mask)
+		if len(cachedIDs) < m.cfg.CacheSize {
+			out[m.index[mask|bit]] += p
+			continue
+		}
+		est := m.est[i]
+		for _, v := range cachedIDs {
+			to := (mask | bit) &^ (1 << uint(v))
+			out[m.index[to]] += p * est.Evict[v]
+		}
+	}
+	return out
+}
+
+// SteadyState iterates the chain from the empty cache until the
+// distribution moves less than tol in L1, returning the (approximate)
+// stationary distribution and the number of steps taken.
+func (m *CompactModel) SteadyState(tol float64, maxSteps int) (markov.Dist, int) {
+	d := m.InitialDist()
+	for s := 1; s <= maxSteps; s++ {
+		next := m.matrix.Apply(d)
+		var l1 float64
+		for i := range next {
+			l1 += math.Abs(next[i] - d[i])
+		}
+		d = next
+		if l1 < tol {
+			return d, s
+		}
+	}
+	return d, maxSteps
+}

@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: Markov models
+// of an SDN switch rule cache (Section IV) and the information-gain probe
+// selection built on them (Section V).
+//
+// Two models are provided, mirroring the paper:
+//
+//   - BasicModel (§IV-A): exact. A state is the ordered cache contents with
+//     per-rule remaining timeouts. Faithful but exponential in rules and
+//     timeouts (see BasicStateCount).
+//
+//   - CompactModel (§IV-B): approximate. A state is the subset of rules
+//     presently cached; eviction and timeout probabilities are estimated by
+//     summing over most-recent-match sequences (the u functions).
+//
+// On top of either model, ProbeSelector (probe.go, multiprobe.go) computes
+// the information gain of candidate probe flows about the indicator
+// X̂ = "target flow occurred within the last T steps" and selects optimal
+// probes; attacker.go packages the paper's four attacker behaviours.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+)
+
+// Config are the model inputs the paper grants the attacker (§III-C): the
+// rule set, per-flow Poisson rates, the switch cache size, and the model
+// step Δ.
+type Config struct {
+	// Rules is the controller's policy.
+	Rules *rules.Set
+	// Rates[f] is the Poisson rate λ_f of flow f in arrivals per second.
+	// Its length defines the flow universe.
+	Rates []float64
+	// Delta is the model step duration Δ in seconds. Per §IV-A it should
+	// be small enough that two arrivals within one step are improbable.
+	Delta float64
+	// CacheSize is the switch flow-table capacity n.
+	CacheSize int
+}
+
+// Validate checks the configuration for structural errors.
+func (c Config) Validate() error {
+	if c.Rules == nil || c.Rules.Len() == 0 {
+		return fmt.Errorf("core: empty rule set")
+	}
+	if len(c.Rates) == 0 {
+		return fmt.Errorf("core: empty rate vector")
+	}
+	if c.Delta <= 0 {
+		return fmt.Errorf("core: Δ = %v ≤ 0", c.Delta)
+	}
+	if c.CacheSize < 1 {
+		return fmt.Errorf("core: cache size %d < 1", c.CacheSize)
+	}
+	for f, r := range c.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("core: bad rate %v for flow %d", r, f)
+		}
+	}
+	nf := len(c.Rates)
+	for _, r := range c.Rules.Rules() {
+		var bad bool
+		r.Cover.ForEach(func(f flows.ID) {
+			if int(f) >= nf {
+				bad = true
+			}
+		})
+		if bad {
+			return fmt.Errorf("core: %s covers flows outside the %d-flow universe", r, nf)
+		}
+	}
+	return nil
+}
+
+// stepRates returns λ_f·Δ per flow — the per-step arrival rates, zeroing
+// flows not covered by any rule (they cannot change the cache, so their
+// arrivals fold into the null event; see DESIGN.md).
+func (c Config) stepRates() []float64 {
+	covered := c.Rules.CoveredFlows()
+	out := make([]float64, len(c.Rates))
+	for f := range out {
+		if covered.Contains(flows.ID(f)) {
+			out[f] = c.Rates[f] * c.Delta
+		}
+	}
+	return out
+}
+
+// withoutFlow returns a copy of the config in which flow f's rate is zero —
+// the chain conditioned on the target flow never occurring (§V-A).
+func (c Config) withoutFlow(f flows.ID) Config {
+	out := c
+	out.Rates = make([]float64, len(c.Rates))
+	copy(out.Rates, c.Rates)
+	out.Rates[f] = 0
+	return out
+}
+
+// relevantFlows implements the two-case "relevant flow identifiers"
+// definition of §IV-A1 for rule j given the cached-rule predicate:
+//
+//   - j cached:   rule_j \ ∪ {rule_j' cached, rule_j' > rule_j}
+//   - j uncached: rule_j \ (∪ cached rules ∪ {rule_j' uncached, rule_j' > rule_j})
+func relevantFlows(rs *rules.Set, cached func(int) bool, j int) flows.Set {
+	rel := rs.Rule(j).Cover.Clone()
+	if cached(j) {
+		for j2 := 0; j2 < rs.Len(); j2++ {
+			if j2 != j && cached(j2) && rs.HigherPriority(j2, j) {
+				rel.SubtractInPlace(rs.Rule(j2).Cover)
+			}
+		}
+		return rel
+	}
+	for j2 := 0; j2 < rs.Len(); j2++ {
+		if j2 == j {
+			continue
+		}
+		if cached(j2) || rs.HigherPriority(j2, j) {
+			rel.SubtractInPlace(rs.Rule(j2).Cover)
+		}
+	}
+	return rel
+}
+
+// eventWeights holds the unnormalized transition weights out of a cache
+// state (identified only by which rules are cached): one arrival event per
+// rule plus the null event, per §IV-A1.
+type eventWeights struct {
+	// arrival[j] is (γ_j·e^{-γ_j})·e^{-Γ_j}; zero when rule j has no
+	// relevant flows in this state.
+	arrival []float64
+	// relRate[j] is γ_j, the effective per-step rate of rule j.
+	relRate []float64
+	// relFlows[j] is the relevant flow set of rule j.
+	relFlows []flows.Set
+	// null is e^{-Λ}, the weight of no (covered) flow arriving.
+	null float64
+}
+
+// computeEventWeights evaluates the §IV-A1 arrival/null weights for the
+// state described by cached, using per-step rates sr.
+func computeEventWeights(rs *rules.Set, sr []float64, cached func(int) bool) eventWeights {
+	var total float64
+	for _, r := range sr {
+		total += r
+	}
+	w := eventWeights{
+		arrival:  make([]float64, rs.Len()),
+		relRate:  make([]float64, rs.Len()),
+		relFlows: make([]flows.Set, rs.Len()),
+		null:     math.Exp(-total),
+	}
+	for j := 0; j < rs.Len(); j++ {
+		rel := relevantFlows(rs, cached, j)
+		w.relFlows[j] = rel
+		gamma := rel.SumRates(sr)
+		w.relRate[j] = gamma
+		if gamma <= 0 {
+			continue
+		}
+		bigGamma := total - gamma
+		w.arrival[j] = gamma * math.Exp(-gamma) * math.Exp(-bigGamma)
+	}
+	return w
+}

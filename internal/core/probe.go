@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/markov"
+	"flowrecon/internal/stats"
+)
+
+// ProbeSelector implements the probe-selection procedure of Section V. It
+// holds the switch-state distribution at attack time T under two chains:
+// the unconditional chain and the chain conditioned on the target flow
+// never occurring (λ_f̂ = 0), from which all joint probabilities
+// P(X̂ = x ∧ Q_f = q) follow.
+type ProbeSelector struct {
+	model   Model
+	model0  Model // chain with the target's rate zeroed
+	target  flows.ID
+	steps   int
+	pAbsent float64 // P(X̂ = 0) = e^{-λ_f̂·T·Δ}
+
+	dist  markov.Dist // state distribution at T, unconditional
+	dist0 markov.Dist // state distribution at T given X̂ = 0
+}
+
+// NewProbeSelector evolves both chains T steps from the empty cache and
+// returns a selector for inferring whether target occurred within those T
+// steps.
+func NewProbeSelector(model, model0 Model, target flows.ID, steps int) (*ProbeSelector, error) {
+	cfg := model.ModelConfig()
+	if int(target) >= len(cfg.Rates) {
+		return nil, fmt.Errorf("core: target flow %d outside universe", target)
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("core: probe window %d steps < 1", steps)
+	}
+	s := &ProbeSelector{
+		model:   model,
+		model0:  model0,
+		target:  target,
+		steps:   steps,
+		pAbsent: math.Exp(-cfg.Rates[target] * cfg.Delta * float64(steps)),
+	}
+	s.dist = model.Evolve(model.InitialDist(), steps)
+	s.dist0 = model0.Evolve(model0.InitialDist(), steps)
+	return s, nil
+}
+
+// NewCompactSelector builds the compact model for cfg and its
+// target-conditioned twin, then assembles a selector — the paper's
+// end-to-end attacker setup. steps is T = ⌈window/Δ⌉.
+func NewCompactSelector(cfg Config, target flows.ID, steps int, params USumParams) (*ProbeSelector, error) {
+	if int(target) < 0 || int(target) >= len(cfg.Rates) {
+		return nil, fmt.Errorf("core: target flow %d outside universe of %d flows", target, len(cfg.Rates))
+	}
+	m, err := NewCompactModel(cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	if err != nil {
+		return nil, err
+	}
+	return NewProbeSelector(m, m0, target, steps)
+}
+
+// NewSteadySelector is NewCompactSelector with the attack window starting
+// from the network's stationary regime instead of an empty cache: the
+// paper's I_0 (Eqn 8) is the empty-table point mass because its testbed
+// starts cold, but an attacker joining a long-running network should seed
+// both chains with the unconditional steady state and apply the target
+// conditioning only within the window.
+func NewSteadySelector(cfg Config, target flows.ID, steps int, params USumParams) (*ProbeSelector, error) {
+	if int(target) < 0 || int(target) >= len(cfg.Rates) {
+		return nil, fmt.Errorf("core: target flow %d outside universe of %d flows", target, len(cfg.Rates))
+	}
+	if steps < 1 {
+		return nil, fmt.Errorf("core: probe window %d steps < 1", steps)
+	}
+	m, err := NewCompactModel(cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	if err != nil {
+		return nil, err
+	}
+	steady, _ := m.SteadyState(1e-10, 100000)
+	s := &ProbeSelector{
+		model:   m,
+		model0:  m0,
+		target:  target,
+		steps:   steps,
+		pAbsent: math.Exp(-cfg.Rates[target] * cfg.Delta * float64(steps)),
+	}
+	s.dist = m.Evolve(steady, steps)
+	s.dist0 = m0.Evolve(steady.Clone(), steps)
+	return s, nil
+}
+
+// NewSelectorWithModel assembles a selector around a prebuilt
+// unconditional model, building only the target-conditioned chain. Useful
+// when evaluating many targets over one policy (the defense package's
+// leakage profiling), since the unconditional chain is target-independent.
+func NewSelectorWithModel(m *CompactModel, cfg Config, target flows.ID, steps int, params USumParams) (*ProbeSelector, error) {
+	if int(target) < 0 || int(target) >= len(cfg.Rates) {
+		return nil, fmt.Errorf("core: target flow %d outside universe of %d flows", target, len(cfg.Rates))
+	}
+	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	if err != nil {
+		return nil, err
+	}
+	return NewProbeSelector(m, m0, target, steps)
+}
+
+// Target returns the target flow f̂.
+func (s *ProbeSelector) Target() flows.ID { return s.target }
+
+// Steps returns the probe window T in steps.
+func (s *ProbeSelector) Steps() int { return s.steps }
+
+// PAbsent returns P(X̂ = 0), the prior probability the target flow did not
+// occur in the window.
+func (s *ProbeSelector) PAbsent() float64 { return s.pAbsent }
+
+// PriorEntropy returns H(X̂) in bits.
+func (s *ProbeSelector) PriorEntropy() float64 {
+	return stats.BinaryEntropy(s.pAbsent)
+}
+
+// StateDist returns a copy of the evolved unconditional distribution I_T.
+func (s *ProbeSelector) StateDist() markov.Dist { return s.dist.Clone() }
+
+// ProbeEval is the evaluation of one candidate probe flow.
+type ProbeEval struct {
+	// Flow is the candidate probe.
+	Flow flows.ID
+	// Gain is IG(X̂ | Q_f) in bits.
+	Gain float64
+	// PHit is P(Q_f = 1).
+	PHit float64
+	// Joint[x][q] is P(X̂ = x ∧ Q_f = q).
+	Joint [2][2]float64
+	// PostAbsentGivenMiss is P(X̂ = 0 | Q_f = 0); NaN if P(Q_f = 0) = 0.
+	PostAbsentGivenMiss float64
+	// PostPresentGivenHit is P(X̂ = 1 | Q_f = 1); NaN if P(Q_f = 1) = 0.
+	PostPresentGivenHit float64
+}
+
+// DetectorViable reports the paper's §VI-B configuration filter: the probe
+// is a usable detector when P(X̂=0 | Q_f=0) > 0.5 and P(X̂=1 | Q_f=1) > 0.5.
+func (e ProbeEval) DetectorViable() bool {
+	return e.PostAbsentGivenMiss > 0.5 && e.PostPresentGivenHit > 0.5
+}
+
+// PosteriorPresent returns P(X̂ = 1 | Q_f = q) for an observed outcome.
+func (e ProbeEval) PosteriorPresent(hit bool) float64 {
+	q := 0
+	if hit {
+		q = 1
+	}
+	pq := e.Joint[0][q] + e.Joint[1][q]
+	if pq <= 0 {
+		return 1 - e.priorAbsent()
+	}
+	return e.Joint[1][q] / pq
+}
+
+func (e ProbeEval) priorAbsent() float64 {
+	return e.Joint[0][0] + e.Joint[0][1]
+}
+
+// Evaluate computes the §V-A quantities for probing with flow f.
+func (s *ProbeSelector) Evaluate(f flows.ID) ProbeEval {
+	e := ProbeEval{Flow: f}
+	e.PHit = s.model.HitProbability(s.dist, f)
+	hitGiven0 := s.model0.HitProbability(s.dist0, f)
+
+	e.Joint[0][1] = s.pAbsent * hitGiven0
+	e.Joint[0][0] = s.pAbsent * (1 - hitGiven0)
+	e.Joint[1][1] = clamp01(e.PHit - e.Joint[0][1])
+	e.Joint[1][0] = clamp01((1 - e.PHit) - e.Joint[0][0])
+
+	if pMiss := e.Joint[0][0] + e.Joint[1][0]; pMiss > 0 {
+		e.PostAbsentGivenMiss = e.Joint[0][0] / pMiss
+	} else {
+		e.PostAbsentGivenMiss = math.NaN()
+	}
+	if pHit := e.Joint[0][1] + e.Joint[1][1]; pHit > 0 {
+		e.PostPresentGivenHit = e.Joint[1][1] / pHit
+	} else {
+		e.PostPresentGivenHit = math.NaN()
+	}
+
+	joint := [][]float64{
+		{e.Joint[0][0], e.Joint[0][1]},
+		{e.Joint[1][0], e.Joint[1][1]},
+	}
+	e.Gain = s.PriorEntropy() - stats.ConditionalEntropyBits(joint)
+	if e.Gain < 0 {
+		e.Gain = 0 // numerical noise; information gain is non-negative
+	}
+	return e
+}
+
+// Best evaluates every candidate probe and returns the one with the
+// largest information gain. ok is false when candidates is empty.
+func (s *ProbeSelector) Best(candidates []flows.ID) (best ProbeEval, ok bool) {
+	for _, f := range candidates {
+		e := s.Evaluate(f)
+		if !ok || e.Gain > best.Gain {
+			best, ok = e, true
+		}
+	}
+	return best, ok
+}
+
+// AllFlows returns the candidate list 0..|rates|-1, the attacker's full
+// probe vocabulary.
+func (s *ProbeSelector) AllFlows() []flows.ID {
+	n := len(s.model.ModelConfig().Rates)
+	out := make([]flows.ID, n)
+	for i := range out {
+		out[i] = flows.ID(i)
+	}
+	return out
+}
+
+// FlowsExcept returns every flow except the listed ones — the §VI "attacker
+// cannot probe f̂" candidate set.
+func (s *ProbeSelector) FlowsExcept(excluded ...flows.ID) []flows.ID {
+	skip := make(map[flows.ID]bool, len(excluded))
+	for _, f := range excluded {
+		skip[f] = true
+	}
+	var out []flows.ID
+	for _, f := range s.AllFlows() {
+		if !skip[f] {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flowrecon/internal/flows"
+)
+
+// WindowPoint is one point of a gain-vs-window sweep.
+type WindowPoint struct {
+	// Steps is the attack window T in model steps.
+	Steps int
+	// Best is the optimal probe's evaluation at that window.
+	Best ProbeEval
+	// PAbsent is the target's prior absence probability at that window.
+	PAbsent float64
+}
+
+// GainVsWindow sweeps the attack window T and reports the optimal probe's
+// information gain at each value — an analysis the paper's setup implies
+// but does not plot: the side channel only remembers about one rule TTL,
+// so the gain collapses as the question reaches further into the past.
+// Both model chains are built once and shared across the sweep.
+func GainVsWindow(cfg Config, target flows.ID, stepsList []int, params USumParams) ([]WindowPoint, error) {
+	if len(stepsList) == 0 {
+		return nil, fmt.Errorf("core: empty window list")
+	}
+	if int(target) < 0 || int(target) >= len(cfg.Rates) {
+		return nil, fmt.Errorf("core: target flow %d outside universe", target)
+	}
+	m, err := NewCompactModel(cfg, params)
+	if err != nil {
+		return nil, err
+	}
+	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	if err != nil {
+		return nil, err
+	}
+	windows := append([]int(nil), stepsList...)
+	sort.Ints(windows)
+	if windows[0] < 1 {
+		return nil, fmt.Errorf("core: window must be ≥ 1 step")
+	}
+
+	out := make([]WindowPoint, 0, len(windows))
+	d, d0 := m.InitialDist(), m0.InitialDist()
+	prev := 0
+	for _, steps := range windows {
+		d = m.Evolve(d, steps-prev)
+		d0 = m0.Evolve(d0, steps-prev)
+		prev = steps
+		sel := &ProbeSelector{
+			model:   m,
+			model0:  m0,
+			target:  target,
+			steps:   steps,
+			pAbsent: absenceAt(cfg, target, steps),
+			dist:    d.Clone(),
+			dist0:   d0.Clone(),
+		}
+		best, ok := sel.Best(sel.AllFlows())
+		if !ok {
+			return nil, fmt.Errorf("core: no probe candidates")
+		}
+		out = append(out, WindowPoint{Steps: steps, Best: best, PAbsent: sel.pAbsent})
+	}
+	return out, nil
+}
+
+func absenceAt(cfg Config, target flows.ID, steps int) float64 {
+	return expNegProduct(cfg.Rates[target], cfg.Delta, steps)
+}
+
+func expNegProduct(rate, delta float64, steps int) float64 {
+	return clampExp(-rate * delta * float64(steps))
+}

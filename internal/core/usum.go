@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+)
+
+// StateEstimates are the §IV-B conditional probabilities for one compact
+// state: which cached rule is evicted when a full table takes an install,
+// and the probability each cached rule times out.
+type StateEstimates struct {
+	// Evict[j] is P(rule j has the smallest remaining time | cached),
+	// Eqn (5)/Eqn (3), normalized over the cached rules. Keyed by rule ID.
+	Evict map[int]float64
+	// Timeout[j] is P(rule j should time out | cached), Eqn (7)/Eqn (3).
+	Timeout map[int]float64
+	// Exact reports whether the u-sums were enumerated exactly (true) or
+	// estimated by Monte Carlo sampling (false).
+	Exact bool
+	// Feasible is false when no injective most-recent-match assignment u
+	// exists (or all have zero probability); Evict then falls back to
+	// uniform and Timeout to zero.
+	Feasible bool
+}
+
+// USumParams tunes the estimator.
+type USumParams struct {
+	// ExactLimit is the largest assignment-grid size (Π t_j over cached
+	// rules) enumerated exactly.
+	ExactLimit int
+	// MCSamples is the number of Monte Carlo samples used above the
+	// exact limit.
+	MCSamples int
+	// Seed drives the Monte Carlo sampler; per-state streams are derived
+	// from it deterministically.
+	Seed int64
+}
+
+// DefaultUSumParams returns the defaults used by the compact model.
+func DefaultUSumParams() USumParams {
+	return USumParams{ExactLimit: 20000, MCSamples: 1500, Seed: 1}
+}
+
+// uEstimator evaluates the u-sums of §IV-B for states of one model
+// configuration.
+type uEstimator struct {
+	rs       *rules.Set
+	sr       []float64 // per-step flow rates λ_f·Δ
+	capacity int
+	params   USumParams
+}
+
+// estimate computes the eviction distribution and timeout probabilities
+// for the compact state caching exactly cachedIDs.
+func (e *uEstimator) estimate(cachedIDs []int) StateEstimates {
+	m := len(cachedIDs)
+	out := StateEstimates{
+		Evict:    make(map[int]float64, m),
+		Timeout:  make(map[int]float64, m),
+		Feasible: true,
+		Exact:    true,
+	}
+	if m == 0 {
+		return out
+	}
+
+	// Order cached rules by descending priority so that, during
+	// enumeration, a rule's higher-priority cached rules are the prefix.
+	cached := make([]int, m)
+	copy(cached, cachedIDs)
+	sort.Slice(cached, func(a, b int) bool {
+		return e.rs.HigherPriority(cached[a], cached[b])
+	})
+	touts := make([]int, m)
+	for i, j := range cached {
+		touts[i] = e.rs.Rule(j).Timeout
+	}
+
+	if !injectiveFeasible(touts) {
+		return e.fallback(cached, out)
+	}
+
+	tab := e.buildGammaTables(cached)
+
+	// Decide exact enumeration vs Monte Carlo by grid size.
+	grid := 1.0
+	for _, t := range touts {
+		grid *= float64(t)
+	}
+	acc := newUAccumulator(cached, touts, e)
+	if grid <= float64(e.params.ExactLimit) {
+		u := make([]int, m)
+		used := make(map[int]bool, m)
+		e.enumerate(0, u, used, touts, tab, acc)
+	} else {
+		out.Exact = false
+		e.sample(touts, tab, acc, cached)
+	}
+
+	if acc.z <= 0 {
+		return e.fallback(cached, out)
+	}
+	var evictSum float64
+	for i, j := range cached {
+		out.Timeout[j] = clamp01(acc.timeoutNum[i] / acc.z)
+		out.Evict[j] = acc.evictNum[i] / acc.z
+		evictSum += out.Evict[j]
+	}
+	if evictSum > 0 {
+		for j := range out.Evict {
+			out.Evict[j] /= evictSum
+		}
+	} else {
+		for _, j := range cached {
+			out.Evict[j] = 1 / float64(m)
+		}
+	}
+	return out
+}
+
+// fallback marks the state infeasible and returns uniform eviction with
+// zero timeout probability.
+func (e *uEstimator) fallback(cached []int, out StateEstimates) StateEstimates {
+	out.Feasible = false
+	for _, j := range cached {
+		out.Evict[j] = 1 / float64(len(cached))
+		out.Timeout[j] = 0
+	}
+	return out
+}
+
+// injectiveFeasible checks Hall's condition for distinct values u(j) ∈
+// [1, t_j]: after sorting timeouts ascending, t_(i) ≥ i+1 must hold.
+func injectiveFeasible(touts []int) bool {
+	s := make([]int, len(touts))
+	copy(s, touts)
+	sort.Ints(s)
+	for i, t := range s {
+		if t < i+1 {
+			return false
+		}
+	}
+	return true
+}
+
+// gammaTables holds, for every rule j and every subset of j's
+// higher-priority cached rules, the effective rate γ of Eqn (1) when
+// exactly that subset is excluded (i.e. was last matched more than k steps
+// ago). hp[j] lists the cached-slot indices of j's higher-priority cached
+// rules; gamma[j] is indexed by a bitmask over hp[j].
+type gammaTables struct {
+	hp    [][]int
+	gamma [][]float64
+}
+
+func (e *uEstimator) buildGammaTables(cached []int) *gammaTables {
+	nr := e.rs.Len()
+	tab := &gammaTables{hp: make([][]int, nr), gamma: make([][]float64, nr)}
+	for j := 0; j < nr; j++ {
+		var hp []int
+		for slot, cj := range cached {
+			if cj != j && e.rs.HigherPriority(cj, j) {
+				hp = append(hp, slot)
+			}
+		}
+		tab.hp[j] = hp
+		g := make([]float64, 1<<uint(len(hp)))
+		for mask := range g {
+			rel := e.rs.Rule(j).Cover.Clone()
+			for b, slot := range hp {
+				if mask&(1<<uint(b)) != 0 {
+					rel.SubtractInPlace(e.rs.Rule(cached[slot]).Cover)
+				}
+			}
+			g[mask] = rel.SumRates(e.sr)
+		}
+		tab.gamma[j] = g
+	}
+	return tab
+}
+
+// gammaAt returns γ_{ℓ,u}(j, k): rule j's effective rate at step ℓ-k given
+// the assignment u over cached slots.
+func (t *gammaTables) gammaAt(j, k int, u []int) float64 {
+	mask := 0
+	for b, slot := range t.hp[j] {
+		if u[slot] > k {
+			mask |= 1 << uint(b)
+		}
+	}
+	return t.gamma[j][mask]
+}
+
+// sumGammaRange returns Σ_{k=1..kmax} γ_{ℓ,u}(j, k). The mask {j' : u(j') >
+// k} only changes at the assigned u values, so the sum is evaluated
+// segment-wise: between consecutive breakpoints γ is constant.
+func (t *gammaTables) sumGammaRange(j, kmax int, u []int) float64 {
+	if kmax <= 0 {
+		return 0
+	}
+	hp := t.hp[j]
+	if len(hp) == 0 {
+		return float64(kmax) * t.gamma[j][0]
+	}
+	sum := 0.0
+	k := 1
+	for k <= kmax {
+		// Mask for the segment starting at k, and the segment's end: the
+		// smallest breakpoint u(slot) > k bounds the constant stretch
+		// (slot drops out of the mask at k = u(slot)).
+		mask := 0
+		next := kmax + 1
+		for b, slot := range hp {
+			if u[slot] > k {
+				mask |= 1 << uint(b)
+				if u[slot] < next {
+					next = u[slot]
+				}
+			}
+		}
+		if next > kmax+1 {
+			next = kmax + 1
+		}
+		sum += float64(next-k) * t.gamma[j][mask]
+		k = next
+	}
+	return sum
+}
+
+// uAccumulator gathers Σ P(u) (Eqn 3), Σ P(u)·1[min-remaining] (Eqn 5) and
+// Σ P(u)·1[u(j)=t_j] (Eqn 7) over the enumerated or sampled assignments.
+type uAccumulator struct {
+	z          float64
+	evictNum   []float64
+	timeoutNum []float64
+
+	cached   []int
+	touts    []int
+	est      *uEstimator
+	uncached []int // rule IDs not cached
+}
+
+func newUAccumulator(cached, touts []int, e *uEstimator) *uAccumulator {
+	acc := &uAccumulator{
+		evictNum:   make([]float64, len(cached)),
+		timeoutNum: make([]float64, len(cached)),
+		cached:     cached,
+		touts:      touts,
+		est:        e,
+	}
+	inCache := make(map[int]bool, len(cached))
+	for _, j := range cached {
+		inCache[j] = true
+	}
+	for j := 0; j < e.rs.Len(); j++ {
+		if !inCache[j] {
+			acc.uncached = append(acc.uncached, j)
+		}
+	}
+	return acc
+}
+
+// observe evaluates P(u) for a complete assignment and folds it into the
+// accumulators.
+func (a *uAccumulator) observe(u []int, tab *gammaTables) {
+	p := a.probability(u, tab)
+	if p <= 0 {
+		return
+	}
+	a.z += p
+	minRem := math.MaxInt32
+	for i := range a.cached {
+		if rem := a.touts[i] - u[i]; rem < minRem {
+			minRem = rem
+		}
+		if u[i] == a.touts[i] {
+			a.timeoutNum[i] += p
+		}
+	}
+	for i := range a.cached {
+		if a.touts[i]-u[i] == minRem {
+			// Condition (4) with ties counted for every minimizer.
+			a.evictNum[i] += p
+		}
+	}
+}
+
+// probability evaluates P(u) per §IV-B, choosing the |C|<n or |C|=n form
+// of the uncached-rule horizon. The product is accumulated in log space so
+// the hot loop is additions with a single final exp.
+func (a *uAccumulator) probability(u []int, tab *gammaTables) float64 {
+	logp := 0.0
+	for i, j := range a.cached {
+		g := tab.gammaAt(j, u[i], u)
+		if g <= 0 {
+			return 0
+		}
+		logp += math.Log(g) - g
+		logp -= tab.sumGammaRange(j, u[i]-1, u)
+	}
+	full := len(a.cached) >= a.est.capacity
+	minSlack := 0
+	if full {
+		minSlack = math.MaxInt32
+		for i := range a.cached {
+			if s := a.touts[i] - u[i]; s < minSlack {
+				minSlack = s
+			}
+		}
+	}
+	for _, j := range a.uncached {
+		horizon := a.est.rs.Rule(j).Timeout
+		if full {
+			horizon -= minSlack // u_max(j) = t_j - min(t_j' - u(j'))
+		}
+		logp -= tab.sumGammaRange(j, horizon, u)
+	}
+	return math.Exp(logp)
+}
+
+// enumerate walks every injective assignment u over the cached slots.
+func (e *uEstimator) enumerate(slot int, u []int, used map[int]bool, touts []int, tab *gammaTables, acc *uAccumulator) {
+	if slot == len(u) {
+		acc.observe(u, tab)
+		return
+	}
+	for v := 1; v <= touts[slot]; v++ {
+		if used[v] {
+			continue
+		}
+		u[slot] = v
+		used[v] = true
+		e.enumerate(slot+1, u, used, touts, tab, acc)
+		used[v] = false
+	}
+}
+
+// sample draws MCSamples injective assignments uniformly (via rejection)
+// and feeds them to the accumulator. Uniform sampling over the same grid
+// the exact sum ranges over makes every accumulated ratio a consistent
+// estimator of the corresponding ratio of sums.
+func (e *uEstimator) sample(touts []int, tab *gammaTables, acc *uAccumulator, cached []int) {
+	seed := e.params.Seed
+	for _, j := range cached {
+		seed = seed*1000003 + int64(j)*7919 + int64(e.rs.Rule(j).Timeout)
+	}
+	rng := stats.NewRNG(seed)
+	u := make([]int, len(touts))
+	for s := 0; s < e.params.MCSamples; s++ {
+		if !sampleInjective(rng, touts, u) {
+			continue
+		}
+		acc.observe(u, tab)
+	}
+}
+
+// sampleInjective fills u with distinct uniform values u[i] ∈ [1, touts[i]],
+// retrying on collisions. It reports success.
+func sampleInjective(rng *stats.RNG, touts []int, u []int) bool {
+	const maxAttempts = 64
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ok := true
+		for i, t := range touts {
+			u[i] = 1 + rng.Intn(t)
+		}
+		for i := 0; i < len(u) && ok; i++ {
+			for k := i + 1; k < len(u); k++ {
+				if u[i] == u[k] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// clampExp is math.Exp with its argument assumed ≤ 0 (probability decay).
+func clampExp(x float64) float64 {
+	if x > 0 {
+		x = 0
+	}
+	return math.Exp(x)
+}

@@ -1,0 +1,224 @@
+// Package experiment reproduces the paper's evaluation (§VI): network
+// configuration generation, the attack trial runner, and the series
+// builders for Figures 6a, 6b, 7a and 7b plus the latency measurements of
+// §VI-A. See DESIGN.md for the experiment ↔ module index.
+package experiment
+
+import (
+	"fmt"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/workload"
+)
+
+// Params are the evaluation parameters of §VI-A.
+type Params struct {
+	// NumFlows is the flow-class universe size (16).
+	NumFlows int
+	// NumRules is |Rules| (12), drawn from the 3^MaskBits candidates.
+	NumRules int
+	// MaskBits is the wildcarded address width (4 → 81 candidate rules).
+	MaskBits int
+	// CacheSize is the switch table capacity n (6).
+	CacheSize int
+	// Delta is the model step Δ in seconds. The paper leaves Δ implicit;
+	// it must keep multiple arrivals per step rare (§IV-A).
+	Delta float64
+	// WindowSeconds is the traffic window before the probe (15 s).
+	WindowSeconds float64
+	// USum tunes the compact model's §IV-B estimator.
+	USum core.USumParams
+	// AbsenceLo/AbsenceHi restrict the target flow: its probability of
+	// absence e^{-λ·T·Δ} must fall in [AbsenceLo, AbsenceHi] ("the
+	// target flow was chosen uniformly from all flows for which the
+	// probability of absence is within a specific range", §VI-A).
+	AbsenceLo, AbsenceHi float64
+}
+
+// DefaultParams returns the paper's §VI-A parameters (with Δ chosen to
+// keep per-step multi-arrivals rare).
+func DefaultParams() Params {
+	return Params{
+		NumFlows:  16,
+		NumRules:  12,
+		MaskBits:  4,
+		CacheSize: 6,
+		// With 16 flows at λ ~ U[0,1], ΣλΔ must stay well below 1 for
+		// the chain's one-event-per-step assumption (§IV-A) to hold;
+		// Δ = 25 ms gives ΣλΔ ≈ 0.2.
+		Delta:         0.025,
+		WindowSeconds: 15,
+		USum:          core.USumParams{ExactLimit: 20000, MCSamples: 1200, Seed: 1},
+		AbsenceLo:     0.02,
+		AbsenceHi:     0.98,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.NumFlows < 2 || p.NumRules < 1 || p.CacheSize < 1 {
+		return fmt.Errorf("experiment: degenerate sizes %+v", p)
+	}
+	if p.Delta <= 0 || p.WindowSeconds <= 0 {
+		return fmt.Errorf("experiment: bad timing %+v", p)
+	}
+	if p.AbsenceLo < 0 || p.AbsenceHi > 1 || p.AbsenceLo >= p.AbsenceHi {
+		return fmt.Errorf("experiment: bad absence range [%v,%v]", p.AbsenceLo, p.AbsenceHi)
+	}
+	return nil
+}
+
+// Steps returns the probe window T in model steps (⌈window/Δ⌉).
+func (p Params) Steps() int {
+	t := int(p.WindowSeconds / p.Delta)
+	if float64(t)*p.Delta < p.WindowSeconds {
+		t++
+	}
+	return t
+}
+
+// NetworkConfig is one sampled "network configuration" in the paper's
+// sense: Poisson parameters, flow-rule relation, and target flow —
+// together with the attacker's fitted model.
+type NetworkConfig struct {
+	// Params echoes the generation parameters.
+	Params Params
+	// Rules is the sampled policy.
+	Rules *rules.Set
+	// Rates are the sampled λ_f (per second).
+	Rates []float64
+	// Target is the target flow f̂.
+	Target flows.ID
+	// Core is the model configuration handed to the attacker.
+	Core core.Config
+	// Selector holds the evolved model chains for probe selection.
+	Selector *core.ProbeSelector
+	// Optimal is the best probe over all flows.
+	Optimal core.ProbeEval
+	// Restricted is the best probe over flows ≠ target (§VI-B Figure 7).
+	Restricted core.ProbeEval
+	// TargetEval is the evaluation of probing the target itself (what
+	// the naive attacker implicitly relies on).
+	TargetEval core.ProbeEval
+	// NumCoveringTarget is |{rules covering f̂}| — Figure 7a's x-axis.
+	NumCoveringTarget int
+}
+
+// PAbsent returns the target's prior probability of absence.
+func (nc *NetworkConfig) PAbsent() float64 { return nc.Selector.PAbsent() }
+
+// OptimalDiffersFromTarget reports whether the model-optimal probe is a
+// different flow than the target — the Figure 6 population filter.
+func (nc *NetworkConfig) OptimalDiffersFromTarget() bool {
+	return nc.Optimal.Flow != nc.Target
+}
+
+// DetectorViable reports the §VI-B usability filter evaluated on the
+// optimal probe.
+func (nc *NetworkConfig) DetectorViable() bool { return nc.Optimal.DetectorViable() }
+
+// GenerateConfig samples one network configuration: a random rule set, a
+// random rate vector, and a target flow with absence probability in the
+// configured range, then fits the attacker's compact model. It returns an
+// error if no flow qualifies as a target (callers resample).
+func GenerateConfig(p Params, rng *stats.RNG) (*NetworkConfig, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	gc := rules.GenerateConfig{
+		NumFlows: p.NumFlows,
+		NumRules: p.NumRules,
+		MaskBits: p.MaskBits,
+		Timeouts: timeoutChoices(p.Delta),
+	}
+	rs, err := rules.Generate(gc, rng)
+	if err != nil {
+		return nil, err
+	}
+	rates := workload.UniformRates(p.NumFlows, rng)
+	cfg := core.Config{Rules: rs, Rates: rates, Delta: p.Delta, CacheSize: p.CacheSize}
+
+	target, ok := pickTarget(p, rs, rates, rng)
+	if !ok {
+		return nil, fmt.Errorf("experiment: no covered flow with absence in [%v,%v]", p.AbsenceLo, p.AbsenceHi)
+	}
+
+	usum := p.USum
+	usum.Seed = rng.Int63() // independent estimator stream per config
+	sel, err := core.NewCompactSelector(cfg, target, p.Steps(), usum)
+	if err != nil {
+		return nil, err
+	}
+	p.USum = usum // retain the seed actually used, for exact re-runs
+	nc := &NetworkConfig{
+		Params:            p,
+		Rules:             rs,
+		Rates:             rates,
+		Target:            target,
+		Core:              cfg,
+		Selector:          sel,
+		NumCoveringTarget: rules.NumCovering(rs, target),
+		TargetEval:        sel.Evaluate(target),
+	}
+	var found bool
+	nc.Optimal, found = sel.Best(sel.AllFlows())
+	if !found {
+		return nil, fmt.Errorf("experiment: no probe candidates")
+	}
+	nc.Restricted, found = sel.Best(sel.FlowsExcept(target))
+	if !found {
+		return nil, fmt.Errorf("experiment: no restricted probe candidates")
+	}
+	return nc, nil
+}
+
+// AbsenceStrata are the target-absence ranges the figure runners cycle
+// through. The paper chooses each configuration's target "uniformly from
+// all flows for which the probability of absence is within a specific
+// range (defined by the experiment parameters)" (§VI-A); with λ ~ U[0,1]
+// and a 15 s window, unstratified sampling would concentrate every target
+// near absence ≈ 0, leaving the Figure 6a/7b x-axes empty.
+var AbsenceStrata = [][2]float64{
+	{0.02, 0.20}, {0.20, 0.40}, {0.40, 0.60}, {0.60, 0.80}, {0.80, 0.98},
+}
+
+// WithStratum returns a copy of p restricted to the i-th absence stratum
+// (wrapping around).
+func (p Params) WithStratum(i int) Params {
+	s := AbsenceStrata[i%len(AbsenceStrata)]
+	p.AbsenceLo, p.AbsenceHi = s[0], s[1]
+	return p
+}
+
+// timeoutChoices returns the paper's TTL menu {⌈k/(10Δ)⌉ : k = 1..10}.
+func timeoutChoices(delta float64) []int {
+	return rules.DefaultGenerateConfig(delta).Timeouts
+}
+
+// pickTarget chooses the target uniformly among covered flows whose
+// absence probability lies in the configured range.
+func pickTarget(p Params, rs *rules.Set, rates []float64, rng *stats.RNG) (flows.ID, bool) {
+	covered := rs.CoveredFlows()
+	horizon := float64(p.Steps()) * p.Delta
+	var eligible []flows.ID
+	for f := 0; f < len(rates); f++ {
+		if !covered.Contains(flows.ID(f)) {
+			continue
+		}
+		absent := absenceProb(rates[f], horizon)
+		if absent >= p.AbsenceLo && absent <= p.AbsenceHi {
+			eligible = append(eligible, flows.ID(f))
+		}
+	}
+	if len(eligible) == 0 {
+		return 0, false
+	}
+	return eligible[rng.Intn(len(eligible))], true
+}
+
+func absenceProb(rate, horizon float64) float64 {
+	return expNeg(rate * horizon)
+}

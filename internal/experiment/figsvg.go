@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flowrecon/internal/plot"
+)
+
+// Chart builders: render the reproduced figures as SVG via internal/plot.
+
+// Fig6aChart plots average accuracy vs target-absence probability for each
+// attacker (Figure 6a).
+func Fig6aChart(r *Fig6Result) *plot.Chart {
+	return absenceChart("Figure 6a — accuracy vs P(target absent)", r.Buckets, r.Outcomes)
+}
+
+// Fig6bChart plots the improvement CDF (Figure 6b).
+func Fig6bChart(r *Fig6Result) *plot.Chart {
+	s := plot.Series{Name: "model − naive", Step: true}
+	for _, pt := range r.ImprovementCDF {
+		s.X = append(s.X, pt.X)
+		s.Y = append(s.Y, pt.P)
+	}
+	return &plot.Chart{
+		Title:  "Figure 6b — CDF of additive improvement over naive",
+		XLabel: "improvement in average accuracy",
+		YLabel: "fraction of configurations",
+		YMin:   plot.Float(0),
+		YMax:   plot.Float(1),
+		Series: []plot.Series{s},
+	}
+}
+
+// Fig7aChart plots accuracy vs the number of rules covering the target
+// (Figure 7a).
+func Fig7aChart(r *Fig7Result) *plot.Chart {
+	chart := &plot.Chart{
+		Title:  "Figure 7a — accuracy vs #rules covering target",
+		XLabel: "rules covering the target flow",
+		YLabel: "average accuracy",
+		YMin:   plot.Float(0),
+		YMax:   plot.Float(1),
+	}
+	for _, name := range sortedAttackerNames(r.Outcomes) {
+		s := plot.Series{Name: name}
+		for _, b := range r.ByCover {
+			if b.Configs == 0 {
+				continue
+			}
+			s.X = append(s.X, float64(b.NumCovering))
+			s.Y = append(s.Y, b.Accuracy[name])
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart
+}
+
+// Fig7bChart plots accuracy vs absence probability (Figure 7b).
+func Fig7bChart(r *Fig7Result) *plot.Chart {
+	return absenceChart("Figure 7b — accuracy vs P(target absent)", r.ByAbsence, r.Outcomes)
+}
+
+func absenceChart(title string, buckets []AbsenceBucket, outcomes []ConfigOutcome) *plot.Chart {
+	chart := &plot.Chart{
+		Title:  title,
+		XLabel: "probability of absence of target flow",
+		YLabel: "average accuracy",
+		YMin:   plot.Float(0),
+		YMax:   plot.Float(1),
+	}
+	for _, name := range sortedAttackerNames(outcomes) {
+		s := plot.Series{Name: name}
+		for _, b := range buckets {
+			if b.Configs == 0 {
+				continue
+			}
+			s.X = append(s.X, (b.Lo+b.Hi)/2)
+			s.Y = append(s.Y, b.Accuracy[name])
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart
+}
+
+// WriteSVGs renders a set of named charts through save (typically writing
+// <name>.svg files); it is factored this way for testability.
+func WriteSVGs(charts map[string]*plot.Chart, save func(name string) (io.WriteCloser, error)) error {
+	names := make([]string, 0, len(charts))
+	for name := range charts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w, err := save(name)
+		if err != nil {
+			return err
+		}
+		if err := charts[name].RenderSVG(w); err != nil {
+			w.Close()
+			return fmt.Errorf("render %s: %w", name, err)
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteFig6 renders the Figure 6 reproduction as text tables.
+func WriteFig6(w io.Writer, r *Fig6Result) error {
+	names := sortedAttackerNames(r.Outcomes)
+	fmt.Fprintf(w, "Figure 6a — average accuracy vs probability of absence of target flow\n")
+	fmt.Fprintf(w, "(configs where optimal probe ≠ target; %d configs from %d sampled)\n", len(r.Outcomes), r.Attempted)
+	fmt.Fprintf(w, "%-14s %8s", "absence", "configs")
+	for _, n := range names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for _, b := range r.Buckets {
+		if b.Configs == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "[%.1f, %.1f)    %8d", b.Lo, b.Hi, b.Configs)
+		for _, n := range names {
+			fmt.Fprintf(w, " %12.3f", b.Accuracy[n])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "population means: model=%.3f naive=%.3f (Δ=%+.3f)\n\n", r.MeanModel, r.MeanNaive, r.MeanModel-r.MeanNaive)
+
+	fmt.Fprintf(w, "Figure 6b — CDF of additive improvement over naive attacker\n")
+	quantiles := r.ImprovementQuantiles([]float64{0.05, 0.10, 0.15, 0.25, 0.35})
+	ths := make([]float64, 0, len(quantiles))
+	for th := range quantiles {
+		ths = append(ths, th)
+	}
+	sort.Float64s(ths)
+	for _, th := range ths {
+		fmt.Fprintf(w, "  improvement ≥ %4.2f : %5.1f%% of configurations\n", th, 100*quantiles[th])
+	}
+	fmt.Fprintf(w, "  CDF points: %d\n\n", len(r.ImprovementCDF))
+	return nil
+}
+
+// WriteFig7 renders the Figure 7 reproduction as text tables.
+func WriteFig7(w io.Writer, r *Fig7Result) error {
+	names := sortedAttackerNames(r.Outcomes)
+	fmt.Fprintf(w, "Figure 7a — average accuracy vs number of rules covering target flow\n")
+	fmt.Fprintf(w, "(model attacker restricted to probes ≠ target; %d configs from %d sampled)\n", len(r.Outcomes), r.Attempted)
+	fmt.Fprintf(w, "%-10s %8s", "#covering", "configs")
+	for _, n := range names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for _, b := range r.ByCover {
+		fmt.Fprintf(w, "%-10d %8d", b.NumCovering, b.Configs)
+		for _, n := range names {
+			fmt.Fprintf(w, " %12.3f", b.Accuracy[n])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "Figure 7b — average accuracy vs probability of absence of target flow\n")
+	fmt.Fprintf(w, "%-14s %8s", "absence", "configs")
+	for _, n := range names {
+		fmt.Fprintf(w, " %12s", n)
+	}
+	fmt.Fprintln(w)
+	for _, b := range r.ByAbsence {
+		if b.Configs == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "[%.1f, %.1f)    %8d", b.Lo, b.Hi, b.Configs)
+		for _, n := range names {
+			fmt.Fprintf(w, " %12.3f", b.Accuracy[n])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteLatency renders the §VI-A latency table.
+func WriteLatency(w io.Writer, r *LatencyReport) error {
+	fmt.Fprintf(w, "Latency characterization (§VI-A; paper: hit 0.087±0.021 ms, miss 4.070±1.806 ms)\n")
+	fmt.Fprintf(w, "%-28s %10s %10s %8s\n", "measurement", "mean(ms)", "std(ms)", "n")
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "netsim hit RTT", r.SimHitMs.Mean, r.SimHitMs.Stddev, r.SimHitMs.N)
+	fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "netsim miss RTT", r.SimMissMs.Mean, r.SimMissMs.Stddev, r.SimMissMs.N)
+	if r.OFHitMs.N > 0 || r.OFMissMs.N > 0 {
+		fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "openflow/TCP hit delay", r.OFHitMs.Mean, r.OFHitMs.Stddev, r.OFHitMs.N)
+		fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "openflow/TCP miss delay", r.OFMissMs.Mean, r.OFMissMs.Stddev, r.OFMissMs.N)
+	}
+	fmt.Fprintf(w, "threshold %.1f ms: sim misclassification %.2f%%, openflow %.2f%%\n\n",
+		r.ThresholdMs, 100*r.SimMisclassified, 100*r.OFMisclassified)
+	return nil
+}
+
+// WriteCSV renders per-configuration outcomes as CSV for plotting.
+func WriteCSV(w io.Writer, outcomes []ConfigOutcome) error {
+	names := sortedAttackerNames(outcomes)
+	cols := append([]string{"p_absent", "num_covering", "target", "optimal"}, names...)
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		row := []string{
+			fmt.Sprintf("%.6f", o.PAbsent),
+			fmt.Sprintf("%d", o.NumCoveringTarget),
+			fmt.Sprintf("%d", o.TargetFlow),
+			fmt.Sprintf("%d", o.OptimalFlow),
+		}
+		for _, n := range names {
+			row = append(row, fmt.Sprintf("%.4f", o.Accuracy[n]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

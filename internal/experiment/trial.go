@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/flowtable"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/workload"
+)
+
+func expNeg(x float64) float64 { return math.Exp(-x) }
+
+// Measurement models the attacker's timing classifier: a probe's observed
+// delay is drawn from the hit or miss distribution and thresholded
+// (§VI-A: hit ≈ N(0.087, 0.021) ms, miss ≈ N(4.070, 1.806) ms with a
+// 1 ms threshold). The floor keeps the miss distribution physically
+// non-negative-latency shaped.
+type Measurement struct {
+	HitMeanMs, HitStdMs   float64
+	MissMeanMs, MissStdMs float64
+	MissFloorMs           float64
+	ThresholdMs           float64
+}
+
+// DefaultMeasurement returns the paper-calibrated classifier.
+func DefaultMeasurement() Measurement {
+	return Measurement{
+		HitMeanMs: 0.087, HitStdMs: 0.021,
+		MissMeanMs: 4.070, MissStdMs: 1.806,
+		MissFloorMs: 1.9, ThresholdMs: 1.0,
+	}
+}
+
+// Classify simulates one timing observation of a probe with ground-truth
+// outcome hit and returns the attacker's classification.
+func (m Measurement) Classify(hit bool, rng *stats.RNG) bool {
+	var ms float64
+	if hit {
+		ms = rng.Normal(m.HitMeanMs, m.HitStdMs)
+		if ms < 0 {
+			ms = 0
+		}
+	} else {
+		ms = rng.Normal(m.MissMeanMs, m.MissStdMs)
+		if ms < m.MissFloorMs {
+			ms = m.MissFloorMs
+		}
+	}
+	return ms < m.ThresholdMs
+}
+
+// AttackerResult aggregates one attacker's trial outcomes.
+type AttackerResult struct {
+	Name     string
+	Trials   int
+	Correct  int
+	TruePos  int
+	TrueNeg  int
+	FalsePos int
+	FalseNeg int
+}
+
+// Accuracy returns the paper's metric: (TP + TN) / trials.
+func (r AttackerResult) Accuracy() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Trials)
+}
+
+// TraceSource generates one traffic window. The default is the paper's
+// Poisson traffic; alternative sources (bursty, periodic) measure how the
+// attack degrades when the attacker's Poisson model is misspecified.
+type TraceSource func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error)
+
+// PoissonSource is the paper's traffic model (§IV-A1).
+func PoissonSource(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+	return workload.GeneratePoisson(workload.PoissonConfig{Rates: rates, Duration: duration}, rng)
+}
+
+// BurstySource returns an ON/OFF Markov-modulated source with the given
+// shape (see workload.BurstConfig); the long-run rates match the model's.
+func BurstySource(burstFactor, meanOn, meanOff float64) TraceSource {
+	return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+		return workload.GenerateBursty(workload.BurstConfig{
+			Rates: rates, Duration: duration,
+			BurstFactor: burstFactor, MeanOn: meanOn, MeanOff: meanOff,
+		}, rng)
+	}
+}
+
+// PeriodicSource returns deterministic fixed-interval traffic.
+func PeriodicSource(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+	return workload.GeneratePeriodic(workload.PoissonConfig{Rates: rates, Duration: duration}, rng)
+}
+
+// RunTrials executes the attack trials times on fresh random Poisson
+// traffic: each trial generates one window, replays it through a
+// continuous-time switch table, lets every attacker probe the resulting
+// table state (each against its own replica, since probes perturb the
+// cache), and scores the verdicts against the trace's ground truth.
+func RunTrials(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG) ([]AttackerResult, error) {
+	return RunTrialsWithSource(nc, attackers, trials, meas, rng, PoissonSource)
+}
+
+// RunTrialsWithSource is RunTrials with a custom traffic source.
+func RunTrialsWithSource(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, source TraceSource) ([]AttackerResult, error) {
+	results := make([]AttackerResult, len(attackers))
+	for i, a := range attackers {
+		results[i].Name = a.Name()
+	}
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
+	for trial := 0; trial < trials; trial++ {
+		trace, err := source(nc.Rates, horizon, rng.Fork())
+		if err != nil {
+			return nil, err
+		}
+		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
+		for i, a := range attackers {
+			tbl, err := replayTrace(nc, trace)
+			if err != nil {
+				return nil, err
+			}
+			var outcomes []bool
+			if seq, ok := a.(SequentialAttacker); ok {
+				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng)
+			} else {
+				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng)
+			}
+			verdict := a.Decide(outcomes, rng)
+			score(&results[i], verdict, truth)
+		}
+	}
+	return results, nil
+}
+
+// SequentialAttacker is an attacker that chooses each probe after seeing
+// the previous outcomes (the adaptive extension in core).
+type SequentialAttacker interface {
+	core.Attacker
+	// NextProbe returns the next probe given outcomes so far; false ends
+	// the probing phase.
+	NextProbe(outcomes []bool) (flows.ID, bool)
+}
+
+// probeSequential drives a sequential attacker against the table.
+func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG) []bool {
+	var outcomes []bool
+	for {
+		f, ok := a.NextProbe(outcomes)
+		if !ok {
+			return outcomes
+		}
+		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng)
+		outcomes = append(outcomes, step[0])
+	}
+}
+
+// replayTrace builds the switch table state after the traffic window.
+func replayTrace(nc *NetworkConfig, trace *workload.Trace) (*flowtable.Table, error) {
+	tbl, err := flowtable.New(nc.Rules, nc.Params.CacheSize, nc.Params.Delta)
+	if err != nil {
+		return nil, fmt.Errorf("trial table: %w", err)
+	}
+	for _, a := range trace.Arrivals() {
+		if _, hit := tbl.Lookup(a.Flow, a.Time); !hit {
+			if j, covered := nc.Rules.HighestCovering(a.Flow); covered {
+				tbl.Install(j, a.Time)
+			}
+		}
+	}
+	return tbl, nil
+}
+
+// probeTable sends the attacker's probes at the attack time, mutating the
+// table exactly as real probes would (a miss installs the covering rule; a
+// hit refreshes it), and classifies each observation through the timing
+// channel.
+func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG) []bool {
+	outcomes := make([]bool, len(probes))
+	for i, f := range probes {
+		_, hit := tbl.Lookup(f, at)
+		if !hit {
+			if j, covered := nc.Rules.HighestCovering(f); covered {
+				tbl.Install(j, at)
+			}
+		}
+		outcomes[i] = meas.Classify(hit, rng)
+	}
+	return outcomes
+}
+
+func score(r *AttackerResult, verdict, truth bool) {
+	r.Trials++
+	switch {
+	case verdict && truth:
+		r.Correct++
+		r.TruePos++
+	case !verdict && !truth:
+		r.Correct++
+		r.TrueNeg++
+	case verdict && !truth:
+		r.FalsePos++
+	default:
+		r.FalseNeg++
+	}
+}

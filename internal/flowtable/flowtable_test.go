@@ -1,0 +1,452 @@
+package flowtable
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+)
+
+func testRules(t *testing.T) *rules.Set {
+	t.Helper()
+	// Figure 3 of the paper: rule1 covers f1; rule2 covers f1,f2 with
+	// lower priority; rule3 covers f3.
+	s, err := rules.NewSet([]rules.Rule{
+		{Name: "rule1", Cover: flows.SetOf(0), Priority: 3, Timeout: 4},
+		{Name: "rule2", Cover: flows.SetOf(0, 1), Priority: 2, Timeout: 10},
+		{Name: "rule3", Cover: flows.SetOf(2), Priority: 1, Timeout: 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	rs := testRules(t)
+	if _, err := New(rs, 0, 1); err == nil {
+		t.Fatal("capacity 0 accepted")
+	}
+	if _, err := New(rs, 1, 0); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestTableMissInstallHit(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tbl.Lookup(0, 0); ok {
+		t.Fatal("hit in empty table")
+	}
+	tbl.Install(0, 0)
+	if id, ok := tbl.Lookup(0, 1); !ok || id != 0 {
+		t.Fatalf("lookup after install: %d %v", id, ok)
+	}
+	if !tbl.Contains(0, 1) || tbl.Len(1) != 1 {
+		t.Fatal("contains/len wrong")
+	}
+}
+
+func TestTableIdleTimeoutRefresh(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1) // rule1 idle timeout = 4s
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(0, 0)
+	// A match at t=3 refreshes the idle timer.
+	if _, ok := tbl.Lookup(0, 3); !ok {
+		t.Fatal("miss at t=3")
+	}
+	if !tbl.Contains(0, 6.5) {
+		t.Fatal("expired despite refresh (expiry should be 3+4=7)")
+	}
+	if tbl.Contains(0, 7) {
+		t.Fatal("still cached at expiry")
+	}
+}
+
+func TestTableHardTimeoutNoRefresh(t *testing.T) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Cover: flows.SetOf(0), Priority: 1, Timeout: 4, Kind: rules.HardTimeout},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := New(rs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(0, 0)
+	tbl.Lookup(0, 3) // match must NOT extend a hard timeout
+	if tbl.Contains(0, 4) {
+		t.Fatal("hard-timeout rule survived past install+timeout")
+	}
+}
+
+func TestTableEvictsShortestRemaining(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var removed []int
+	var reasons []EvictionReason
+	tbl.OnRemove = func(id int, reason EvictionReason, _ float64) {
+		removed = append(removed, id)
+		reasons = append(reasons, reason)
+	}
+	tbl.Install(0, 0) // rule1: expires at 4
+	tbl.Install(2, 0) // rule3: expires at 7
+	tbl.Install(1, 1) // table full: evict rule1 (remaining 3 < 6)
+	if tbl.Contains(0, 1) {
+		t.Fatal("rule1 should have been evicted")
+	}
+	if !tbl.Contains(1, 1) || !tbl.Contains(2, 1) {
+		t.Fatal("rule2/rule3 should be cached")
+	}
+	if len(removed) != 1 || removed[0] != 0 || reasons[0] != ReasonEvicted {
+		t.Fatalf("removals = %v %v", removed, reasons)
+	}
+}
+
+func TestTableExpireCallback(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reasons []EvictionReason
+	tbl.OnRemove = func(_ int, reason EvictionReason, _ float64) { reasons = append(reasons, reason) }
+	tbl.Install(0, 0)
+	tbl.Len(100)
+	if len(reasons) != 1 || reasons[0] != ReasonExpired {
+		t.Fatalf("reasons = %v", reasons)
+	}
+}
+
+func TestTableReinstallRefreshes(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(0, 0)
+	tbl.Install(0, 3)
+	if rem, ok := tbl.Remaining(0, 3); !ok || rem != 4 {
+		t.Fatalf("remaining = %v %v", rem, ok)
+	}
+	if tbl.Len(3) != 1 {
+		t.Fatal("duplicate entry after reinstall")
+	}
+}
+
+func TestTablePriorityMatch(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(1, 0) // rule2 covers f1 too, lower priority
+	tbl.Install(0, 0) // rule1 higher priority for f1
+	if id, ok := tbl.Lookup(0, 1); !ok || id != 0 {
+		t.Fatalf("f1 matched rule %d, want rule1 (0)", id)
+	}
+	if id, ok := tbl.Lookup(1, 1); !ok || id != 1 {
+		t.Fatalf("f2 matched rule %d, want rule2 (1)", id)
+	}
+}
+
+func TestTableRemove(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(0, 0)
+	if !tbl.Remove(0, 1) {
+		t.Fatal("remove reported not cached")
+	}
+	if tbl.Remove(0, 1) {
+		t.Fatal("double remove reported cached")
+	}
+}
+
+func TestTableCached(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(2, 0)
+	tbl.Install(0, 0)
+	got := tbl.Cached(1)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("cached = %v", got)
+	}
+	if tbl.Capacity() != 3 {
+		t.Fatal("capacity accessor")
+	}
+}
+
+// --- StepTable: the Figure 3 walkthrough ---
+
+func TestStepTableFigure3(t *testing.T) {
+	rs := testRules(t)
+	st := NewStepTable(rs, 2)
+
+	// f3 arrives: rule3 installed with clock 7.
+	if id, hit, ok := st.StepArrival(2); !ok || hit || id != 2 {
+		t.Fatalf("f3 arrival: id=%d hit=%v ok=%v", id, hit, ok)
+	}
+	// f1 arrives: rule1 (highest covering) installed with clock 4; rule3
+	// decrements to 6. State becomes [(rule1:4), (rule3:6)].
+	if id, hit, _ := st.StepArrival(0); hit || id != 0 {
+		t.Fatalf("f1 arrival: id=%d hit=%v", id, hit)
+	}
+	want := []StepEntry{{RuleID: 0, Exp: 4}, {RuleID: 2, Exp: 6}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+
+	// Three nulls: [(rule1:1), (rule3:3)].
+	st.StepNull()
+	st.StepNull()
+	st.StepNull()
+	// f2 arrives: no covering rule cached (rule1 covers only f1).
+	// rule2 installs; cache full → evict rule1 (smallest remaining 1 < 3).
+	if id, hit, _ := st.StepArrival(1); hit || id != 1 {
+		t.Fatalf("f2 arrival: id=%d hit=%v", id, hit)
+	}
+	want = []StepEntry{{RuleID: 1, Exp: 10}, {RuleID: 2, Exp: 2}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+
+	// f1 now hits rule2 (only cached cover): clock resets to 10, moves to
+	// front; rule3 decrements.
+	if id, hit, _ := st.StepArrival(0); !hit || id != 1 {
+		t.Fatalf("f1 hit: id=%d hit=%v", id, hit)
+	}
+	want = []StepEntry{{RuleID: 1, Exp: 10}, {RuleID: 2, Exp: 1}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+}
+
+func TestStepTableTimeout(t *testing.T) {
+	rs := testRules(t)
+	st := NewStepTable(rs, 2)
+	st.StepArrival(2) // rule3:7
+	st.StepArrival(0) // rule1:4, rule3:6
+	for i := 0; i < 4; i++ {
+		if st.PendingTimeout() {
+			t.Fatalf("premature timeout at null %d", i)
+		}
+		st.StepNull()
+	}
+	// rule1 clock is now 0.
+	if !st.PendingTimeout() {
+		t.Fatal("timeout not pending")
+	}
+	if !st.StepTimeout() {
+		t.Fatal("StepTimeout returned false")
+	}
+	want := []StepEntry{{RuleID: 2, Exp: 2}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+	if st.StepTimeout() {
+		t.Fatal("timeout fired with no zero clock")
+	}
+}
+
+func TestStepTableTimeoutRemovesDeepest(t *testing.T) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Cover: flows.SetOf(0), Priority: 2, Timeout: 1},
+		{Cover: flows.SetOf(1), Priority: 1, Timeout: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepTable(rs, 2)
+	st.StepArrival(0) // [rule0:1]
+	st.StepArrival(1) // [rule1:1, rule0:0]
+	// Both will reach 0; paper removes the deepest zero first.
+	if !st.StepTimeout() {
+		t.Fatal("no timeout")
+	}
+	want := []StepEntry{{RuleID: 1, Exp: 1}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+}
+
+func TestStepTableHardTimeoutDecrementsOnHit(t *testing.T) {
+	rs, err := rules.NewSet([]rules.Rule{
+		{Cover: flows.SetOf(0), Priority: 1, Timeout: 3, Kind: rules.HardTimeout},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStepTable(rs, 1)
+	st.StepArrival(0) // clock 3
+	if _, hit, _ := st.StepArrival(0); !hit {
+		t.Fatal("expected hit")
+	}
+	want := []StepEntry{{RuleID: 0, Exp: 2}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v (hard timeout must not reset)", got, want)
+	}
+}
+
+func TestStepTableUncoveredFlow(t *testing.T) {
+	rs := testRules(t)
+	st := NewStepTable(rs, 2)
+	st.StepArrival(2)
+	if _, _, ok := st.StepArrival(9); ok {
+		t.Fatal("uncovered flow reported covered")
+	}
+	// Clocks must still have decremented (the step elapsed).
+	want := []StepEntry{{RuleID: 2, Exp: 6}}
+	if got := st.Entries(); !entriesEqual(got, want) {
+		t.Fatalf("state = %v, want %v", got, want)
+	}
+}
+
+func TestStepTableKeyAndSets(t *testing.T) {
+	rs := testRules(t)
+	st := NewStepTable(rs, 2)
+	if st.Key() != "" {
+		t.Fatalf("empty key = %q", st.Key())
+	}
+	st.StepArrival(2)
+	st.StepArrival(0)
+	if st.Key() != "0:4|2:6" {
+		t.Fatalf("key = %q", st.Key())
+	}
+	if !st.Contains(0) || !st.Contains(2) || st.Contains(1) {
+		t.Fatal("contains wrong")
+	}
+	cs := st.CachedSet()
+	if !cs.Equal(flows.SetOf(0, 2)) {
+		t.Fatalf("cached set = %v", cs)
+	}
+}
+
+func entriesEqual(a, b []StepEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTableStats(t *testing.T) {
+	rs := testRules(t)
+	tbl, err := New(rs, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Lookup(0, 0) // miss
+	tbl.Install(0, 0)
+	tbl.Lookup(0, 1)  // hit on rule0
+	tbl.Install(2, 1) // capacity 1: evicts rule0
+	tbl.Lookup(2, 10) // rule2 (timeout 7s) expired by t=10: miss + expiration
+	st := tbl.Stats()
+	if st.Lookups != 3 || st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("lookup stats = %+v", st)
+	}
+	if st.Installs != 2 || st.Evictions != 1 || st.Expirations != 1 {
+		t.Fatalf("mutation stats = %+v", st)
+	}
+	if st.MatchesByRule[0] != 1 || st.MatchesByRule[2] != 0 {
+		t.Fatalf("per-rule stats = %v", st.MatchesByRule)
+	}
+	// Snapshot must be a copy.
+	st.MatchesByRule[0] = 99
+	if tbl.Stats().MatchesByRule[0] == 99 {
+		t.Fatal("stats alias internal state")
+	}
+}
+
+// TestStepTablePropertyInvariants drives the step table with random event
+// sequences and checks the §IV-A state invariants after every step: at
+// most `capacity` entries, no duplicate rules, and clocks within [0, t_j].
+func TestStepTablePropertyInvariants(t *testing.T) {
+	rs := testRules(t)
+	check := func(st *StepTable) error {
+		seen := map[int]bool{}
+		entries := st.Entries()
+		if len(entries) > 2 {
+			return fmt.Errorf("over capacity: %v", entries)
+		}
+		for _, e := range entries {
+			if seen[e.RuleID] {
+				return fmt.Errorf("duplicate rule: %v", entries)
+			}
+			seen[e.RuleID] = true
+			if e.Exp < 0 || e.Exp > rs.Rule(e.RuleID).Timeout {
+				return fmt.Errorf("clock out of range: %v", entries)
+			}
+		}
+		return nil
+	}
+	f := func(events []uint8) bool {
+		st := NewStepTable(rs, 2)
+		for _, ev := range events {
+			if st.PendingTimeout() {
+				st.StepTimeout()
+			} else if ev%4 == 3 {
+				st.StepNull()
+			} else {
+				st.StepArrival(flows.ID(ev % 4)) // includes uncovered flow 3
+			}
+			if err := check(st); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTablePropertyCapacity does the same for the continuous-time table.
+func TestTablePropertyCapacity(t *testing.T) {
+	rs := testRules(t)
+	f := func(events []uint8) bool {
+		tbl, err := New(rs, 2, 1)
+		if err != nil {
+			return false
+		}
+		now := 0.0
+		for _, ev := range events {
+			now += float64(ev%7) * 0.3
+			fid := flows.ID(ev % 4)
+			if _, hit := tbl.Lookup(fid, now); !hit {
+				if j, covered := rs.HighestCovering(fid); covered {
+					tbl.Install(j, now)
+				}
+			}
+			if tbl.Len(now) > 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package flowtable implements the SDN switch's rule cache, in two forms:
+//
+//   - Table: a continuous-time flow table used by the switch simulator and
+//     the OpenFlow switch agent. It implements the OpenFlow behaviours the
+//     attack depends on — highest-priority match, idle and hard timeouts,
+//     and eviction of the entry with the smallest remaining lifetime when
+//     the table is full (the Open vSwitch policy cited in the paper).
+//
+//   - StepTable: a discrete-time table whose step semantics are exactly the
+//     transition relation of the paper's basic Markov model (§IV-A). It is
+//     used to validate the models against an executable reference.
+package flowtable
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+)
+
+// Entry is one cached rule in a continuous-time table.
+type Entry struct {
+	RuleID      int
+	InstalledAt float64 // seconds
+	LastMatch   float64 // seconds; equals InstalledAt until first match
+}
+
+// EvictionReason says why a rule left the table.
+type EvictionReason int
+
+// Reasons a rule leaves the table.
+const (
+	ReasonExpired EvictionReason = iota + 1
+	ReasonEvicted
+)
+
+// Stats counts table activity since construction.
+type Stats struct {
+	Lookups     int64
+	Hits        int64
+	Misses      int64
+	Installs    int64
+	Evictions   int64
+	Expirations int64
+	// MatchesByRule[j] counts hits attributed to rule j.
+	MatchesByRule []int64
+}
+
+// Table is a continuous-time flow table over a rule set. The zero value is
+// not usable; construct with New.
+type Table struct {
+	rules    *rules.Set
+	capacity int
+	stepSec  float64 // seconds per model step (Δ); rule timeouts are in steps
+	entries  map[int]*Entry
+	stats    Stats
+
+	// OnRemove, if non-nil, is called whenever a rule leaves the table.
+	OnRemove func(ruleID int, reason EvictionReason, now float64)
+}
+
+// New returns an empty table with the given capacity over rs. stepSec is
+// the duration Δ of one model step in seconds; rule timeouts (expressed in
+// steps) are scaled by it.
+func New(rs *rules.Set, capacity int, stepSec float64) (*Table, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("flowtable: capacity %d < 1", capacity)
+	}
+	if stepSec <= 0 {
+		return nil, fmt.Errorf("flowtable: step duration %v ≤ 0", stepSec)
+	}
+	return &Table{
+		rules:    rs,
+		capacity: capacity,
+		stepSec:  stepSec,
+		entries:  make(map[int]*Entry, capacity),
+		stats:    Stats{MatchesByRule: make([]int64, rs.Len())},
+	}, nil
+}
+
+// Stats returns a copy of the activity counters.
+func (t *Table) Stats() Stats {
+	out := t.stats
+	out.MatchesByRule = make([]int64, len(t.stats.MatchesByRule))
+	copy(out.MatchesByRule, t.stats.MatchesByRule)
+	return out
+}
+
+// Capacity returns the table's capacity.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of cached rules (after expiring stale entries as
+// of time now).
+func (t *Table) Len(now float64) int {
+	t.expire(now)
+	return len(t.entries)
+}
+
+// Contains reports whether ruleID is cached as of now.
+func (t *Table) Contains(ruleID int, now float64) bool {
+	t.expire(now)
+	_, ok := t.entries[ruleID]
+	return ok
+}
+
+// Cached returns the IDs of cached rules as of now, in ascending order.
+func (t *Table) Cached(now float64) []int {
+	t.expire(now)
+	out := make([]int, 0, len(t.entries))
+	for id := range t.entries {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// expiry returns the absolute time at which e expires.
+func (t *Table) expiry(e *Entry) float64 {
+	r := t.rules.Rule(e.RuleID)
+	d := float64(r.Timeout) * t.stepSec
+	if r.Kind == rules.HardTimeout {
+		return e.InstalledAt + d
+	}
+	return e.LastMatch + d
+}
+
+// Remaining returns the remaining lifetime of ruleID at time now, or
+// (0, false) if it is not cached.
+func (t *Table) Remaining(ruleID int, now float64) (float64, bool) {
+	t.expire(now)
+	e, ok := t.entries[ruleID]
+	if !ok {
+		return 0, false
+	}
+	return t.expiry(e) - now, true
+}
+
+// expire removes every entry whose lifetime ended at or before now.
+func (t *Table) expire(now float64) {
+	for id, e := range t.entries {
+		if t.expiry(e) <= now {
+			delete(t.entries, id)
+			t.stats.Expirations++
+			if t.OnRemove != nil {
+				t.OnRemove(id, ReasonExpired, now)
+			}
+		}
+	}
+}
+
+// Lookup matches flow f against the table at time now. On a hit it returns
+// the matched rule ID and refreshes the rule's idle timer, mirroring the
+// switch's behaviour. On a miss it returns ok=false; the caller (switch)
+// then consults the controller and calls Install.
+func (t *Table) Lookup(f flows.ID, now float64) (ruleID int, ok bool) {
+	t.expire(now)
+	t.stats.Lookups++
+	id, ok := t.rules.MatchIn(f, func(r int) bool { _, c := t.entries[r]; return c })
+	if !ok {
+		t.stats.Misses++
+		return 0, false
+	}
+	t.stats.Hits++
+	t.stats.MatchesByRule[id]++
+	t.entries[id].LastMatch = now
+	return id, true
+}
+
+// Install caches ruleID at time now. If the table is full, the entry with
+// the smallest remaining lifetime is evicted first (shortest-time-remaining
+// policy). Installing an already-cached rule refreshes its timers.
+func (t *Table) Install(ruleID int, now float64) {
+	t.expire(now)
+	if e, ok := t.entries[ruleID]; ok {
+		e.InstalledAt = now
+		e.LastMatch = now
+		return
+	}
+	if len(t.entries) >= t.capacity {
+		victim, best := -1, math.Inf(1)
+		for id, e := range t.entries {
+			if rem := t.expiry(e) - now; rem < best || (rem == best && id < victim) {
+				victim, best = id, rem
+			}
+		}
+		delete(t.entries, victim)
+		t.stats.Evictions++
+		if t.OnRemove != nil {
+			t.OnRemove(victim, ReasonEvicted, now)
+		}
+	}
+	t.stats.Installs++
+	t.entries[ruleID] = &Entry{RuleID: ruleID, InstalledAt: now, LastMatch: now}
+}
+
+// Remove deletes ruleID from the table if present (a controller-initiated
+// flow removal). It reports whether the rule was cached.
+func (t *Table) Remove(ruleID int, now float64) bool {
+	t.expire(now)
+	if _, ok := t.entries[ruleID]; !ok {
+		return false
+	}
+	delete(t.entries, ruleID)
+	return true
+}

@@ -1,0 +1,162 @@
+package netsim
+
+import (
+	"testing"
+
+	"flowrecon/internal/controller"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/flowtable"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/workload"
+)
+
+func attackPolicy(t *testing.T) *rules.Set {
+	t.Helper()
+	rs, err := rules.NewSet([]rules.Rule{
+		{Name: "r0", Cover: flows.SetOf(0, 1), Priority: 3, Timeout: 10},
+		{Name: "r1", Cover: flows.SetOf(1, 2), Priority: 2, Timeout: 6},
+		{Name: "r2", Cover: flows.SetOf(3), Priority: 1, Timeout: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestReplayTraceAndProbe(t *testing.T) {
+	rs := attackPolicy(t)
+	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+	sim := NewSim()
+	n := NewNetwork(sim, universe, NewControllerModel(rs, controller.Options{}), DefaultLatencyModel(), stats.NewRNG(3))
+	if err := StanfordBackbone().Build(n, 3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := workload.GeneratePoisson(workload.PoissonConfig{
+		Rates:    []float64{0.8, 0.5, 0.3, 0.6},
+		Duration: 5,
+	}, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayTrace(n, setup, trace, 0); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunUntil(5)
+
+	prober := NewProber(n, setup)
+	res, err := prober.Probe(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTTms <= 0 {
+		t.Fatalf("probe RTT = %v", res.RTTms)
+	}
+
+	// Ground truth from the ingress switch table itself.
+	ingress := n.Switch(setup.Ingress).Table
+	_, want := rs.MatchIn(0, func(j int) bool { return ingress.Contains(j, 5) })
+	// The probe itself installs on a miss, so check BEFORE interpreting —
+	// we captured `want` before the probe ran the lookup... the probe has
+	// already run; but Contains at time 5 with idle refresh from the
+	// probe keeps hit-consistency: a hit implies it was cached.
+	if res.Hit && !want {
+		// A hit probe can only refresh an existing rule, never create
+		// one, so a hit with no covering rule cached is a bug.
+		t.Fatalf("probe hit but no covering rule cached")
+	}
+}
+
+func TestReplayTraceValidatesFlows(t *testing.T) {
+	rs := attackPolicy(t)
+	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+	sim := NewSim()
+	n := NewNetwork(sim, universe, NewControllerModel(rs, controller.Options{}), DefaultLatencyModel(), stats.NewRNG(3))
+	if err := StanfordBackbone().Build(n, 3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := &workload.Trace{}
+	_ = bad
+	tr, err := workload.GeneratePoisson(workload.PoissonConfig{Rates: []float64{0, 0, 0, 0, 0, 0, 0, 0, 0, 5}, Duration: 1}, stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayTrace(n, setup, tr, 0); err == nil {
+		t.Fatal("out-of-range trace flow accepted")
+	}
+	prober := NewProber(n, setup)
+	if _, err := prober.Probe(99, 0); err == nil {
+		t.Fatal("out-of-range probe accepted")
+	}
+}
+
+// TestNetsimAgreesWithFlowtableReplay cross-validates the two trial
+// substrates: the probe outcome through the full network simulation must
+// agree with the bare flow-table replay (the experiment package's fast
+// path) in the overwhelming majority of windows. Disagreements can only
+// come from the µs-scale forwarding offsets the simulator adds.
+func TestNetsimAgreesWithFlowtableReplay(t *testing.T) {
+	rs := attackPolicy(t)
+	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+	rates := []float64{0.8, 0.5, 0.3, 0.6}
+	const (
+		window = 5.0
+		trials = 60
+		stepS  = 0.1
+		cap    = 3
+	)
+	agree := 0
+	rng := stats.NewRNG(99)
+	for i := 0; i < trials; i++ {
+		trace, err := workload.GeneratePoisson(workload.PoissonConfig{Rates: rates, Duration: window}, rng.Fork())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Path A: full network simulation.
+		sim := NewSim()
+		n := NewNetwork(sim, universe, NewControllerModel(rs, controller.Options{}), DefaultLatencyModel(), stats.NewRNG(3))
+		if err := StanfordBackbone().Build(n, cap, stepS); err != nil {
+			t.Fatal(err)
+		}
+		setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ReplayTrace(n, setup, trace, 0); err != nil {
+			t.Fatal(err)
+		}
+		sim.RunUntil(window)
+		res, err := NewProber(n, setup).Probe(0, window)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Path B: bare flow-table replay (the experiment fast path).
+		tbl, err := flowtable.New(rs, cap, stepS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range trace.Arrivals() {
+			if _, hit := tbl.Lookup(a.Flow, a.Time); !hit {
+				if j, covered := rs.HighestCovering(a.Flow); covered {
+					tbl.Install(j, a.Time)
+				}
+			}
+		}
+		_, wantHit := tbl.Lookup(0, window)
+		if res.Hit == wantHit {
+			agree++
+		}
+	}
+	if frac := float64(agree) / trials; frac < 0.9 {
+		t.Fatalf("netsim and flowtable replay agree on only %.0f%% of trials", 100*frac)
+	}
+}

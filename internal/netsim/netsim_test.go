@@ -1,0 +1,317 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"flowrecon/internal/controller"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim()
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(1, func() { order = append(order, 10) }) // same time: insertion order
+	s.After(0.5, func() { order = append(order, 0) })
+	if n := s.Run(); n != 4 {
+		t.Fatalf("events = %d", n)
+	}
+	want := []int{0, 1, 10, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Now() != 2 {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestSimNestedScheduling(t *testing.T) {
+	s := NewSim()
+	hits := 0
+	s.At(1, func() {
+		s.After(1, func() { hits++ })
+		s.After(2, func() { hits++ })
+	})
+	s.Run()
+	if hits != 2 || s.Now() != 3 {
+		t.Fatalf("hits=%d now=%v", hits, s.Now())
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.At(1, func() { fired++ })
+	s.At(5, func() { fired++ })
+	if n := s.RunUntil(2); n != 1 || fired != 1 {
+		t.Fatalf("n=%d fired=%d", n, fired)
+	}
+	if s.Now() != 2 || s.Pending() != 1 {
+		t.Fatalf("now=%v pending=%d", s.Now(), s.Pending())
+	}
+	s.Run()
+	if fired != 2 {
+		t.Fatal("remaining event lost")
+	}
+}
+
+func TestSimPastSchedulingClamps(t *testing.T) {
+	s := NewSim()
+	s.At(5, func() {
+		s.At(1, func() {}) // in the past: must run at now, not rewind
+	})
+	s.Run()
+	if s.Now() != 5 {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}
+
+func TestStanfordBackboneShape(t *testing.T) {
+	topo := StanfordBackbone()
+	if len(topo.Switches) != 16 {
+		t.Fatalf("switches = %d, want 16 (§VI-A)", len(topo.Switches))
+	}
+	if len(topo.Links) != 1+2*14 {
+		t.Fatalf("links = %d", len(topo.Links))
+	}
+}
+
+// buildEvalNetwork assembles the §VI-A environment on the Stanford-like
+// topology with a small policy.
+func buildEvalNetwork(t *testing.T, ctrl ControllerModel) (*Network, EvaluationSetup, *flows.Universe) {
+	t.Helper()
+	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+	if ctrl.App == nil {
+		rs, err := rules.NewSet([]rules.Rule{
+			{Name: "r0", Cover: flows.SetOf(0, 1), Priority: 2, Timeout: 10},
+			{Name: "r1", Cover: flows.SetOf(2), Priority: 1, Timeout: 10},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctrl.App = controller.New(rs, controller.Options{})
+	}
+	sim := NewSim()
+	n := NewNetwork(sim, universe, ctrl, DefaultLatencyModel(), stats.NewRNG(3))
+	if err := StanfordBackbone().Build(n, 6, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, setup, universe
+}
+
+func (n *Network) sim2() *Sim { return n.sim }
+
+func TestNetworkPath(t *testing.T) {
+	n, _, _ := buildEvalNetwork(t, ControllerModel{})
+	path, err := n.Path("yoza_rtr", "boza_rtr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 3 {
+		t.Fatalf("path = %v (zone→core→zone expected)", path)
+	}
+	if path[0] != "yoza_rtr" || path[2] != "boza_rtr" {
+		t.Fatalf("path = %v", path)
+	}
+	if _, err := n.Path("yoza_rtr", "nope"); err == nil {
+		t.Fatal("path to unknown switch succeeded")
+	}
+	self, err := n.Path("yoza_rtr", "yoza_rtr")
+	if err != nil || len(self) != 1 {
+		t.Fatalf("self path = %v, %v", self, err)
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	n, _, _ := buildEvalNetwork(t, ControllerModel{})
+	if err := n.AddSwitch("bbra_rtr", 6, 0.1); err == nil {
+		t.Fatal("duplicate switch accepted")
+	}
+	if err := n.AddHost("h0", 1, "yoza_rtr"); err == nil {
+		t.Fatal("duplicate host accepted")
+	}
+	if err := n.AddHost("hx", 1, "nope"); err == nil {
+		t.Fatal("host on unknown switch accepted")
+	}
+	if err := n.Link("bbra_rtr", "nope"); err == nil {
+		t.Fatal("link to unknown switch accepted")
+	}
+	if _, err := n.SendEcho("nope", "server", 0); err == nil {
+		t.Fatal("echo from unknown host accepted")
+	}
+	if _, err := n.SendEcho("h0", "nope", 0); err == nil {
+		t.Fatal("echo to unknown host accepted")
+	}
+}
+
+func TestEchoMissTheHitRTTGap(t *testing.T) {
+	n, setup, _ := buildEvalNetwork(t, ControllerModel{})
+	first, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.sim2().Run()
+	if !first.Delivered || !second.Delivered {
+		t.Fatal("echo not delivered")
+	}
+	if !first.Missed {
+		t.Fatal("first echo should miss everywhere")
+	}
+	if second.Missed {
+		t.Fatal("second echo should ride the installed rules")
+	}
+	if first.RTT < 1e-3 {
+		t.Fatalf("miss RTT %v suspiciously small", first.RTT)
+	}
+	if second.RTT > 1e-3 {
+		t.Fatalf("hit RTT %v too large (threshold 1ms, §VI-A)", second.RTT)
+	}
+	if n.PacketIns == 0 {
+		t.Fatal("no controller consultations recorded")
+	}
+}
+
+func TestEchoLatencyCalibration(t *testing.T) {
+	// RTT distributions through the standard path must land near the
+	// paper's measurements: hit ≈ 0.087 ms, miss ≈ 4.07 ms, separable at
+	// 1 ms.
+	n, setup, _ := buildEvalNetwork(t, ControllerModel{})
+	var hitRTT, missRTT []float64
+	at := 0.0
+	for i := 0; i < 400; i++ {
+		miss, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hit, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, at+0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at += 10 // beyond the 1s max idle timeout: rules expire between rounds
+		n.sim2().RunUntil(at)
+		if !miss.Missed || hit.Missed {
+			t.Fatalf("round %d: miss=%v hit=%v", i, miss.Missed, hit.Missed)
+		}
+		missRTT = append(missRTT, miss.RTT*1e3)
+		hitRTT = append(hitRTT, hit.RTT*1e3)
+	}
+	h := stats.Summarize(hitRTT)
+	m := stats.Summarize(missRTT)
+	if math.Abs(h.Mean-0.087) > 0.05 {
+		t.Errorf("hit RTT mean = %.4f ms, want ≈ 0.087", h.Mean)
+	}
+	if math.Abs(m.Mean-4.07) > 0.6 {
+		t.Errorf("miss RTT mean = %.3f ms, want ≈ 4.07", m.Mean)
+	}
+	// The 1 ms threshold must separate the distributions essentially
+	// perfectly, as in the paper.
+	for _, v := range hitRTT {
+		if v >= 1 {
+			t.Fatalf("hit RTT %v ms crosses the 1 ms threshold", v)
+		}
+	}
+	misclass := 0
+	for _, v := range missRTT {
+		if v < 1 {
+			misclass++
+		}
+	}
+	if frac := float64(misclass) / float64(len(missRTT)); frac > 0.05 {
+		t.Errorf("%.1f%% of misses below 1 ms threshold", 100*frac)
+	}
+}
+
+func TestCountermeasureAddingDelays(t *testing.T) {
+	// §VII-B defense 1: delaying every packet hides the gap.
+	n, setup, _ := buildEvalNetwork(t, ControllerModel{ExtraHitDelay: 2e-3})
+	miss, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.sim2().Run()
+	// Both now exceed the 1 ms threshold: the attacker's classifier fails.
+	if hit.RTT < 1e-3 || miss.RTT < 1e-3 {
+		t.Fatalf("delays not applied: hit %v miss %v", hit.RTT, miss.RTT)
+	}
+}
+
+func TestCountermeasureProactive(t *testing.T) {
+	// §VII-B defense 2: proactive installation removes misses entirely.
+	n, setup, _ := buildEvalNetwork(t, proactiveModel(t))
+	first, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.sim2().Run()
+	if first.Missed || first.RTT > 1e-3 {
+		t.Fatalf("proactive network still misses: %+v", first)
+	}
+	if n.PacketIns != 0 {
+		t.Fatal("proactive network consulted the controller")
+	}
+}
+
+func TestPerSwitchTablesIndependent(t *testing.T) {
+	// A rule installed at the ingress switch must not make a different
+	// ingress switch hit.
+	n, setup, _ := buildEvalNetwork(t, ControllerModel{})
+	if err := n.AddHost("far", flows.MakeIPv4(10, 0, 1, 0), "coza_rtr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetReactive("coza_rtr", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetReactive("nope", true); err == nil {
+		t.Fatal("SetReactive on unknown switch accepted")
+	}
+	e1, err := n.SendEcho(setup.SourceHosts[0], setup.Destination, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.sim2().Run()
+	if !e1.Missed {
+		t.Fatal("first echo should miss")
+	}
+	// Same flow identifier from a different ingress switch still misses
+	// there (tables are per switch).
+	e2, err := n.SendEcho("far", setup.Destination, n.sim2().Now()+0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.sim2().Run()
+	if !e2.Missed {
+		t.Fatal("fresh ingress switch should miss")
+	}
+}
+
+// proactiveModel builds a ControllerModel with proactive deployment over
+// the default test policy.
+func proactiveModel(t *testing.T) ControllerModel {
+	t.Helper()
+	rs, err := rules.NewSet([]rules.Rule{
+		{Name: "r0", Cover: flows.SetOf(0, 1), Priority: 2, Timeout: 10},
+		{Name: "r1", Cover: flows.SetOf(2), Priority: 1, Timeout: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewControllerModel(rs, controller.Options{Proactive: true})
+}

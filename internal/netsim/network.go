@@ -1,0 +1,317 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrecon/internal/controller"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/flowtable"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
+)
+
+// LatencyModel holds the timing parameters of the simulated fabric. The
+// defaults are calibrated so that echo round trips through the standard
+// topology reproduce the paper's measurements: hit ≈ N(0.087 ms, 0.021 ms)
+// and miss ≈ N(4.070 ms, 1.806 ms) (§VI-A).
+type LatencyModel struct {
+	// HostLink is the host↔switch propagation delay (seconds, one way).
+	HostLink float64
+	// SwitchLink is the switch↔switch propagation delay.
+	SwitchLink float64
+	// HopMean/HopStd describe per-switch forwarding time on a table hit.
+	HopMean, HopStd float64
+	// SetupMean/SetupStd describe the extra delay of a table miss: the
+	// controller round trip, rule computation, and table insertion
+	// (t_setup in §III-A).
+	SetupMean, SetupStd float64
+	// SetupFloor is the minimum setup delay — a controller round trip
+	// has a physical lower bound, which is what keeps the paper's 1 ms
+	// threshold clean despite the 1.8 ms standard deviation.
+	SetupFloor float64
+}
+
+// DefaultLatencyModel returns the calibrated parameters.
+func DefaultLatencyModel() LatencyModel {
+	return LatencyModel{
+		HostLink:   5e-6,
+		SwitchLink: 10e-6,
+		HopMean:    6.5e-6,
+		HopStd:     3e-6,
+		SetupMean:  3.983e-3,
+		SetupStd:   1.8e-3,
+		SetupFloor: 1.9e-3,
+	}
+}
+
+// sample draws a non-negative Gaussian delay.
+func sample(rng *stats.RNG, mean, std float64) float64 {
+	v := rng.Normal(mean, std)
+	if v < mean/10 {
+		v = mean / 10 // delays cannot be ≤ 0; clamp far-left tail
+	}
+	return v
+}
+
+// Host is an end host attached to a switch.
+type Host struct {
+	Name   string
+	IP     flows.IPv4
+	Switch string
+}
+
+// SwitchNode is one SDN switch: a flow table plus its position in the
+// topology.
+type SwitchNode struct {
+	Name  string
+	Table *flowtable.Table
+	// Reactive marks the switch as running the evaluation's reactive
+	// policy. Non-reactive switches forward with pre-installed rules and
+	// never consult the controller — the paper's setup, where the
+	// wildcard policy lives on the one ingress switch the hosts share
+	// (§VI-A) and all other switches carry proactive defaults.
+	Reactive bool
+}
+
+// ControllerModel is the simulated control plane: the shared reactive
+// controller application plus the switch-side delay countermeasure.
+type ControllerModel struct {
+	// App decides reactive installs, proactive deployment, and carries
+	// the controller-side countermeasures (see internal/controller).
+	App *controller.Reactive
+	// ExtraHitDelay delays every packet, hit or miss, hiding the side
+	// channel (countermeasure 1, "adding delays").
+	ExtraHitDelay float64
+}
+
+// NewControllerModel wraps a policy in the default reactive application —
+// the §VI-A setup.
+func NewControllerModel(policy *rules.Set, opts controller.Options) ControllerModel {
+	return ControllerModel{App: controller.New(policy, opts)}
+}
+
+// Network is a simulated SDN fabric.
+type Network struct {
+	sim      *Sim
+	rng      *stats.RNG
+	universe *flows.Universe
+	ctrl     ControllerModel
+	lat      LatencyModel
+
+	switches map[string]*SwitchNode
+	hosts    map[string]*Host
+	adj      map[string]map[string]bool
+	// PacketIns counts controller consultations (misses).
+	PacketIns int
+}
+
+// NewNetwork builds an empty fabric. stepSec scales rule timeouts exactly
+// as in flowtable.New.
+func NewNetwork(sim *Sim, universe *flows.Universe, ctrl ControllerModel, lat LatencyModel, rng *stats.RNG) *Network {
+	return &Network{
+		sim:      sim,
+		rng:      rng,
+		universe: universe,
+		ctrl:     ctrl,
+		lat:      lat,
+		switches: make(map[string]*SwitchNode),
+		hosts:    make(map[string]*Host),
+		adj:      make(map[string]map[string]bool),
+	}
+}
+
+// AddSwitch registers a switch with the given flow-table capacity.
+func (n *Network) AddSwitch(name string, capacity int, stepSec float64) error {
+	if _, ok := n.switches[name]; ok {
+		return fmt.Errorf("netsim: duplicate switch %q", name)
+	}
+	if _, err := n.ctrl.App.ProactivePlan(capacity); err != nil {
+		return err // proactive deployment would not fit (§VII-B2)
+	}
+	tbl, err := flowtable.New(n.ctrl.App.Policy(), capacity, stepSec)
+	if err != nil {
+		return err
+	}
+	n.switches[name] = &SwitchNode{Name: name, Table: tbl}
+	n.adj[name] = make(map[string]bool)
+	return nil
+}
+
+// Link connects two switches bidirectionally.
+func (n *Network) Link(a, b string) error {
+	if _, ok := n.switches[a]; !ok {
+		return fmt.Errorf("netsim: unknown switch %q", a)
+	}
+	if _, ok := n.switches[b]; !ok {
+		return fmt.Errorf("netsim: unknown switch %q", b)
+	}
+	n.adj[a][b] = true
+	n.adj[b][a] = true
+	return nil
+}
+
+// AddHost attaches a host to a switch.
+func (n *Network) AddHost(name string, ip flows.IPv4, sw string) error {
+	if _, ok := n.switches[sw]; !ok {
+		return fmt.Errorf("netsim: unknown switch %q", sw)
+	}
+	if _, ok := n.hosts[name]; ok {
+		return fmt.Errorf("netsim: duplicate host %q", name)
+	}
+	n.hosts[name] = &Host{Name: name, IP: ip, Switch: sw}
+	return nil
+}
+
+// Switch returns a switch by name (nil if absent).
+func (n *Network) Switch(name string) *SwitchNode { return n.switches[name] }
+
+// SetReactive marks a switch as running the reactive policy.
+func (n *Network) SetReactive(name string, reactive bool) error {
+	sw, ok := n.switches[name]
+	if !ok {
+		return fmt.Errorf("netsim: unknown switch %q", name)
+	}
+	sw.Reactive = reactive
+	return nil
+}
+
+// Path returns the switch names on a shortest path between two switches,
+// inclusive, via breadth-first search.
+func (n *Network) Path(from, to string) ([]string, error) {
+	if _, ok := n.switches[from]; !ok {
+		return nil, fmt.Errorf("netsim: unknown switch %q", from)
+	}
+	if from == to {
+		return []string{from}, nil
+	}
+	prev := map[string]string{from: from}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		neighbors := make([]string, 0, len(n.adj[cur]))
+		for next := range n.adj[cur] {
+			neighbors = append(neighbors, next)
+		}
+		// Deterministic exploration: map iteration order would otherwise
+		// pick different equal-length routes run to run (and even packet
+		// to packet), which breaks both reproducibility and the per-path
+		// rule-install locality the attack relies on.
+		sort.Strings(neighbors)
+		for _, next := range neighbors {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next == to {
+				var path []string
+				for at := to; at != from; at = prev[at] {
+					path = append([]string{at}, path...)
+				}
+				return append([]string{from}, path...), nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil, fmt.Errorf("netsim: no path %s → %s", from, to)
+}
+
+// EchoResult is the outcome of one simulated echo exchange.
+type EchoResult struct {
+	// SentAt is the virtual send time.
+	SentAt float64
+	// RTT is the echo round-trip time in seconds; NaN until delivery.
+	RTT float64
+	// Missed reports whether any switch on the forward path consulted
+	// the controller.
+	Missed bool
+	// Delivered is set when the reply arrives.
+	Delivered bool
+}
+
+// SendEcho schedules an ICMP-style echo from srcHost to dstHost at the
+// given virtual time and returns a result that fills in once the
+// simulation delivers the reply. The forward path performs reactive flow
+// lookups at every switch; the reply rides the paper's pre-installed
+// echo-reply rule and therefore never misses.
+func (n *Network) SendEcho(srcHost, dstHost string, at float64) (*EchoResult, error) {
+	src, ok := n.hosts[srcHost]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown host %q", srcHost)
+	}
+	dst, ok := n.hosts[dstHost]
+	if !ok {
+		return nil, fmt.Errorf("netsim: unknown host %q", dstHost)
+	}
+	path, err := n.Path(src.Switch, dst.Switch)
+	if err != nil {
+		return nil, err
+	}
+	tuple := flows.FiveTuple{Src: src.IP, Dst: dst.IP, Proto: flows.ProtoICMP}
+	fid, known := n.universe.Lookup(tuple)
+
+	res := &EchoResult{SentAt: at, RTT: math.NaN()}
+	n.sim.At(at+n.lat.HostLink, func() {
+		n.forward(res, path, 0, fid, known, at)
+	})
+	return res, nil
+}
+
+// forward processes the packet at path[idx] and passes it on.
+func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID, known bool, sentAt float64) {
+	sw := n.switches[path[idx]]
+	now := n.sim.Now()
+	delay := sample(n.rng, n.lat.HopMean, n.lat.HopStd) + n.ctrl.ExtraHitDelay
+
+	if sw.Reactive && !n.ctrl.App.Options().Proactive {
+		hit := false
+		if known {
+			_, hit = sw.Table.Lookup(fid, now)
+		}
+		if !hit {
+			// Table miss: consult the controller (steps b–e of Figure 1).
+			res.Missed = true
+			n.PacketIns++
+			setup := sample(n.rng, n.lat.SetupMean, n.lat.SetupStd)
+			if setup < n.lat.SetupFloor {
+				setup = n.lat.SetupFloor
+			}
+			var decision controller.Decision
+			if known {
+				decision = n.ctrl.App.OnPacketIn(fid)
+			} else {
+				// Unregistered flows reach the controller too but match
+				// no policy rule; only the processing delay applies.
+				decision = controller.Decision{Delay: n.ctrl.App.Options().ProcessingDelay}
+			}
+			delay += setup + decision.Delay.Seconds()
+			if decision.Install {
+				sw.Table.Install(decision.RuleID, now)
+			}
+		}
+	}
+
+	if idx+1 < len(path) {
+		n.sim.After(delay+n.lat.SwitchLink, func() {
+			n.forward(res, path, idx+1, fid, known, sentAt)
+		})
+		return
+	}
+	// Last switch → destination host → reply. The reply traverses the
+	// same path under the pre-installed reply rule: per-hop forwarding
+	// only.
+	replyDelay := delay + n.lat.HostLink + n.lat.HostLink // to dst host and back into the fabric
+	for i := 0; i < len(path); i++ {
+		replyDelay += sample(n.rng, n.lat.HopMean, n.lat.HopStd) + n.ctrl.ExtraHitDelay
+		if i > 0 {
+			replyDelay += n.lat.SwitchLink
+		}
+	}
+	replyDelay += n.lat.HostLink // back to the source host
+	n.sim.After(replyDelay, func() {
+		res.RTT = n.sim.Now() - res.SentAt
+		res.Delivered = true
+	})
+}

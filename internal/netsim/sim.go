@@ -1,0 +1,103 @@
+// Package netsim is the repository's Mininet substitute: a deterministic
+// virtual-time network simulator with hosts, SDN switches, delayed links,
+// a reactive controller, and ICMP-style echo traffic. It reproduces the
+// observable that the paper's attack depends on — the round-trip-time gap
+// between a flow whose rule is cached and one that needs a controller
+// round trip — with latency distributions calibrated to the paper's
+// measurements (§VI-A).
+package netsim
+
+import (
+	"container/heap"
+)
+
+// event is one scheduled simulator callback.
+type event struct {
+	at  float64
+	seq int64
+	run func()
+}
+
+// eventHeap orders events by time, breaking ties by insertion order so
+// runs are fully deterministic.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulator with a virtual clock in seconds.
+type Sim struct {
+	now  float64
+	seq  int64
+	heap eventHeap
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules run at the absolute virtual time at (clamped to now).
+func (s *Sim) At(at float64, run func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, &event{at: at, seq: s.seq, run: run})
+}
+
+// After schedules run delay seconds from now.
+func (s *Sim) After(delay float64, run func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.At(s.now+delay, run)
+}
+
+// Run drains the event queue, advancing the clock, and returns the number
+// of events processed.
+func (s *Sim) Run() int {
+	n := 0
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		s.now = e.at
+		e.run()
+		n++
+	}
+	return n
+}
+
+// RunUntil processes events up to and including virtual time t, leaving
+// later events queued, and advances the clock to t.
+func (s *Sim) RunUntil(t float64) int {
+	n := 0
+	for len(s.heap) > 0 && s.heap[0].at <= t {
+		e := heap.Pop(&s.heap).(*event)
+		s.now = e.at
+		e.run()
+		n++
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return n
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.heap) }

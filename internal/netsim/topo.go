@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"fmt"
+
+	"flowrecon/internal/flows"
+)
+
+// Topology describes a switch fabric.
+type Topology struct {
+	Switches []string
+	Links    [][2]string
+}
+
+// StanfordBackbone returns a 16-switch topology in the image of the
+// Stanford backbone used by the paper's evaluation [13]: two core routers
+// (bbra, bbrb) interconnected, with fourteen zone routers dual-homed to
+// both cores. The original Cisco configurations are not available offline;
+// see DESIGN.md for why this substitution does not affect the attack.
+func StanfordBackbone() Topology {
+	zones := []string{
+		"boza_rtr", "bozb_rtr", "coza_rtr", "cozb_rtr",
+		"goza_rtr", "gozb_rtr", "poza_rtr", "pozb_rtr",
+		"roza_rtr", "rozb_rtr", "soza_rtr", "sozb_rtr",
+		"yoza_rtr", "yozb_rtr",
+	}
+	topo := Topology{Switches: []string{"bbra_rtr", "bbrb_rtr"}}
+	topo.Switches = append(topo.Switches, zones...)
+	topo.Links = append(topo.Links, [2]string{"bbra_rtr", "bbrb_rtr"})
+	for _, z := range zones {
+		topo.Links = append(topo.Links, [2]string{z, "bbra_rtr"}, [2]string{z, "bbrb_rtr"})
+	}
+	return topo
+}
+
+// Build instantiates the topology into a network: every switch gets a
+// flow table of the given capacity.
+func (t Topology) Build(n *Network, capacity int, stepSec float64) error {
+	for _, sw := range t.Switches {
+		if err := n.AddSwitch(sw, capacity, stepSec); err != nil {
+			return err
+		}
+	}
+	for _, l := range t.Links {
+		if err := n.Link(l[0], l[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EvaluationSetup reproduces the paper's §VI-A experiment layout on a
+// network: nhosts source hosts (10.0.1.0 …) plus an attacker host attached
+// to one ingress switch, and the common destination host (10.0.1.nhosts)
+// attached to another.
+type EvaluationSetup struct {
+	SourceHosts []string
+	Attacker    string
+	Destination string
+	Ingress     string
+	Egress      string
+}
+
+// AttachEvaluationHosts wires the §VI-A hosts onto two switches of the
+// built topology.
+func AttachEvaluationHosts(n *Network, base flows.IPv4, nhosts int, ingress, egress string) (EvaluationSetup, error) {
+	setup := EvaluationSetup{Ingress: ingress, Egress: egress}
+	// Only the shared ingress switch runs the reactive policy; the rest
+	// of the fabric forwards on pre-installed defaults (§VI-A).
+	if err := n.SetReactive(ingress, true); err != nil {
+		return setup, err
+	}
+	for i := 0; i < nhosts; i++ {
+		name := fmt.Sprintf("h%d", i)
+		if err := n.AddHost(name, base+flows.IPv4(i), ingress); err != nil {
+			return setup, err
+		}
+		setup.SourceHosts = append(setup.SourceHosts, name)
+	}
+	setup.Attacker = "attacker"
+	// The attacker is "co-located with the source hosts" (§VI-A): same
+	// ingress switch; probes are forged to carry a source host's address,
+	// so the attacker host needs no address of its own.
+	if err := n.AddHost(setup.Attacker, base+flows.IPv4(nhosts+1), ingress); err != nil {
+		return setup, err
+	}
+	setup.Destination = "server"
+	if err := n.AddHost(setup.Destination, base+flows.IPv4(nhosts), egress); err != nil {
+		return setup, err
+	}
+	return setup, nil
+}

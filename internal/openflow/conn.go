@@ -1,0 +1,92 @@
+package openflow
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// Conn frames OpenFlow messages over a byte stream and performs the
+// version handshake. It is safe for one concurrent reader and multiple
+// concurrent writers.
+type Conn struct {
+	rw      io.ReadWriteCloser
+	writeMu sync.Mutex
+	nextXID atomic.Uint32
+}
+
+// NewConn wraps an established transport (normally a *net.TCPConn).
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{rw: rw}
+}
+
+// Dial connects to an OpenFlow endpoint over TCP.
+func Dial(addr string) (*Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("openflow dial: %w", err)
+	}
+	return NewConn(c), nil
+}
+
+// Close closes the transport.
+func (c *Conn) Close() error { return c.rw.Close() }
+
+// XID mints a fresh transaction id.
+func (c *Conn) XID() uint32 { return c.nextXID.Add(1) }
+
+// Send writes one message with a fresh transaction id, returning the id.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	xid := c.XID()
+	return xid, c.SendXID(msg, xid)
+}
+
+// SendXID writes one message with the given transaction id.
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	buf, err := Encode(msg, xid)
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := c.rw.Write(buf); err != nil {
+		return fmt.Errorf("openflow write: %w", err)
+	}
+	return nil
+}
+
+// Recv reads the next message.
+func (c *Conn) Recv() (Message, Header, error) {
+	head := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(c.rw, head); err != nil {
+		return nil, Header{}, fmt.Errorf("openflow read header: %w", err)
+	}
+	h, err := parseHeader(head)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	full := make([]byte, h.Length)
+	copy(full, head)
+	if _, err := io.ReadFull(c.rw, full[HeaderLen:]); err != nil {
+		return nil, Header{}, fmt.Errorf("openflow read body: %w", err)
+	}
+	return Decode(full)
+}
+
+// Handshake exchanges HELLO messages (both sides send; both sides expect
+// one). Either endpoint may call it first.
+func (c *Conn) Handshake() error {
+	if _, err := c.Send(&Hello{}); err != nil {
+		return err
+	}
+	msg, _, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if msg.Type() != TypeHello {
+		return fmt.Errorf("openflow handshake: expected HELLO, got %s", msg.Type())
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flowrecon/internal/controller"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+)
+
+// ControllerOptions tune the reactive controller.
+type ControllerOptions struct {
+	// ProcessingDelay is added before answering each PACKET_IN,
+	// emulating controller compute time (Ryu's processing in the paper's
+	// testbed) and doubling as the §VII-B "adding delays" countermeasure.
+	ProcessingDelay time.Duration
+	// StepSeconds converts rule timeouts (in model steps) to the seconds
+	// carried in FLOW_MOD. Defaults to 1s per step.
+	StepSeconds float64
+}
+
+// Controller is a reactive OpenFlow controller: on PACKET_IN it installs
+// the highest-priority rule covering the packet's flow, then releases the
+// packet — the Ryu application of §VI-A. Policy decisions are delegated
+// to the shared controller application (internal/controller).
+type Controller struct {
+	app      *controller.Reactive
+	universe *flows.Universe
+	opts     ControllerOptions
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	// flowRemovals counts FLOW_REMOVED notifications from switches.
+	flowRemovals atomic.Int64
+
+	connMu sync.Mutex
+	conns  map[*Conn]struct{}
+}
+
+// NewController builds a controller over the shared policy.
+func NewController(rs *rules.Set, universe *flows.Universe, opts ControllerOptions) *Controller {
+	if opts.StepSeconds <= 0 {
+		opts.StepSeconds = 1
+	}
+	var app *controller.Reactive
+	if rs != nil {
+		app = controller.New(rs, controller.Options{ProcessingDelay: opts.ProcessingDelay})
+	}
+	return &Controller{app: app, universe: universe, opts: opts, conns: make(map[*Conn]struct{})}
+}
+
+// PacketIns returns the number of PACKET_IN messages processed.
+func (c *Controller) PacketIns() int64 {
+	if c.app == nil {
+		return 0
+	}
+	return c.app.Snapshot().PacketIns
+}
+
+// FlowRemovals returns the number of FLOW_REMOVED notifications received.
+func (c *Controller) FlowRemovals() int64 { return c.flowRemovals.Load() }
+
+// Listen starts accepting switch connections on addr ("127.0.0.1:0" for an
+// ephemeral test port) and returns the bound address.
+func (c *Controller) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("controller listen: %w", err)
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes every switch connection, and waits for
+// connection handlers to finish.
+func (c *Controller) Close() error {
+	c.closed.Store(true)
+	var err error
+	if c.ln != nil {
+		err = c.ln.Close()
+	}
+	c.connMu.Lock()
+	for conn := range c.conns {
+		conn.Close()
+	}
+	c.connMu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.ServeConn(NewConn(conn))
+		}()
+	}
+}
+
+// ServeConn drives one switch connection to completion (used directly in
+// tests with a pipe transport).
+func (c *Controller) ServeConn(conn *Conn) {
+	c.connMu.Lock()
+	c.conns[conn] = struct{}{}
+	c.connMu.Unlock()
+	defer func() {
+		conn.Close()
+		c.connMu.Lock()
+		delete(c.conns, conn)
+		c.connMu.Unlock()
+	}()
+	if err := conn.Handshake(); err != nil {
+		return
+	}
+	// Solicit the datapath features, as a real controller does.
+	if _, err := conn.Send(&FeaturesRequest{}); err != nil {
+		return
+	}
+	for {
+		msg, _, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *PacketIn:
+			if err := c.handlePacketIn(conn, m); err != nil {
+				return
+			}
+		case *EchoRequest:
+			if err := conn.SendXID(&EchoReply{Data: m.Data}, 0); err != nil {
+				return
+			}
+		case *FlowRemoved:
+			c.flowRemovals.Add(1)
+		case *FeaturesReply, *Hello, *EchoReply, *ErrorMsg:
+			// informational
+		}
+	}
+}
+
+// handlePacketIn implements the reactive rule setup of Figure 1 (steps
+// b–e): ask the controller application for a decision, install the chosen
+// rule with its timeouts, and release the buffered packet.
+func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
+	tuple, err := DecodeTuple(m.Data)
+	if err != nil {
+		return conn.SendXID(&ErrorMsg{ErrType: 1, Code: 0}, 0)
+	}
+	fid, known := c.universe.Lookup(tuple)
+	if known {
+		decision := c.app.OnPacketIn(fid)
+		if decision.Delay > 0 {
+			time.Sleep(decision.Delay)
+		}
+		if decision.Install {
+			r := c.app.Policy().Rule(decision.RuleID)
+			fm := &FlowMod{
+				Match:    MatchForTuple(tuple),
+				Cookie:   uint64(decision.RuleID),
+				Command:  FlowModAdd,
+				Priority: uint16(r.Priority),
+				BufferID: m.BufferID,
+			}
+			secs := timeoutSeconds(r.Timeout, c.opts.StepSeconds)
+			if r.Kind == rules.HardTimeout {
+				fm.HardTimeout = secs
+			} else {
+				fm.IdleTimeout = secs
+			}
+			// Installing with the buffer id releases the packet at the
+			// switch; no separate PACKET_OUT is needed.
+			_, err := conn.Send(fm)
+			return err
+		}
+	} else if c.opts.ProcessingDelay > 0 {
+		time.Sleep(c.opts.ProcessingDelay)
+	}
+	// No covering rule: flood via the pre-installed default (release only).
+	_, err = conn.Send(&PacketOut{BufferID: m.BufferID, InPort: m.InPort, Data: m.Data})
+	return err
+}
+
+func timeoutSeconds(steps int, stepSeconds float64) uint16 {
+	s := float64(steps) * stepSeconds
+	n := int(s)
+	if float64(n) < s {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > 0xFFFF {
+		n = 0xFFFF
+	}
+	return uint16(n)
+}
+
+// ErrNoListener is returned by Addr when the controller is not listening.
+var ErrNoListener = errors.New("openflow: controller is not listening")
+
+// Addr returns the bound listen address.
+func (c *Controller) Addr() (string, error) {
+	if c.ln == nil {
+		return "", ErrNoListener
+	}
+	return c.ln.Addr().String(), nil
+}

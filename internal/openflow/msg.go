@@ -1,0 +1,500 @@
+// Package openflow implements the subset of the OpenFlow 1.0 protocol the
+// paper's testbed relies on (the Ryu controller ↔ Open vSwitch channel):
+// connection handshake, PACKET_IN, FLOW_MOD, PACKET_OUT, FLOW_REMOVED and
+// ECHO, over TCP with the standard 8-byte header framing.
+//
+// The flow-match structure is wire-compatible with ofp_match; because this
+// repository's rules are TCAM-style ternary masks (which OpenFlow 1.0's
+// prefix-only nw_src wildcards cannot express), a FLOW_MOD additionally
+// carries the rule's index in the shared policy as its cookie, and the
+// switch resolves coverage through the shared rule set. See DESIGN.md.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Version is the OpenFlow protocol version implemented (1.0).
+const Version byte = 0x01
+
+// MsgType is the OpenFlow message type.
+type MsgType byte
+
+// The OpenFlow 1.0 message types this package implements.
+const (
+	TypeHello           MsgType = 0
+	TypeError           MsgType = 1
+	TypeEchoRequest     MsgType = 2
+	TypeEchoReply       MsgType = 3
+	TypeFeaturesRequest MsgType = 5
+	TypeFeaturesReply   MsgType = 6
+	TypePacketIn        MsgType = 10
+	TypeFlowRemoved     MsgType = 11
+	TypePacketOut       MsgType = 13
+	TypeFlowMod         MsgType = 14
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeError:
+		return "ERROR"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case TypeFeaturesReply:
+		return "FEATURES_REPLY"
+	case TypePacketIn:
+		return "PACKET_IN"
+	case TypeFlowRemoved:
+		return "FLOW_REMOVED"
+	case TypePacketOut:
+		return "PACKET_OUT"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	default:
+		return fmt.Sprintf("MsgType(%d)", byte(t))
+	}
+}
+
+// HeaderLen is the fixed OpenFlow header size.
+const HeaderLen = 8
+
+// Header is the ofp_header preceding every message.
+type Header struct {
+	Version byte
+	Type    MsgType
+	Length  uint16 // total message length including the header
+	XID     uint32 // transaction id
+}
+
+func (h Header) marshal(buf []byte) {
+	buf[0] = h.Version
+	buf[1] = byte(h.Type)
+	binary.BigEndian.PutUint16(buf[2:4], h.Length)
+	binary.BigEndian.PutUint32(buf[4:8], h.XID)
+}
+
+func parseHeader(buf []byte) (Header, error) {
+	if len(buf) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: short header (%d bytes)", len(buf))
+	}
+	h := Header{
+		Version: buf[0],
+		Type:    MsgType(buf[1]),
+		Length:  binary.BigEndian.Uint16(buf[2:4]),
+		XID:     binary.BigEndian.Uint32(buf[4:8]),
+	}
+	if h.Version != Version {
+		return Header{}, fmt.Errorf("openflow: unsupported version 0x%02x", h.Version)
+	}
+	if int(h.Length) < HeaderLen {
+		return Header{}, fmt.Errorf("openflow: bad length %d", h.Length)
+	}
+	return h, nil
+}
+
+// Message is a decoded OpenFlow message.
+type Message interface {
+	// Type returns the message's wire type.
+	Type() MsgType
+	// payload renders the body following the header.
+	payload() []byte
+	// parse fills the message from a body.
+	parse(body []byte) error
+}
+
+// MatchLen is the ofp_match size in OpenFlow 1.0.
+const MatchLen = 40
+
+// Match is the ofp_match flow description. Only the fields this repository
+// uses are named; the rest travel as zeros to keep the wire format intact.
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DlType    uint16
+	NwProto   byte
+	NwSrc     uint32
+	NwDst     uint32
+	TpSrc     uint16
+	TpDst     uint16
+}
+
+func (m Match) marshal(buf []byte) {
+	binary.BigEndian.PutUint32(buf[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
+	// dl_src (6), dl_dst (6), dl_vlan (2), dl_vlan_pcp (1), pad (1): zeros.
+	binary.BigEndian.PutUint16(buf[22:24], m.DlType)
+	// nw_tos (1)
+	buf[25] = m.NwProto
+	// pad (2)
+	binary.BigEndian.PutUint32(buf[28:32], m.NwSrc)
+	binary.BigEndian.PutUint32(buf[32:36], m.NwDst)
+	binary.BigEndian.PutUint16(buf[36:38], m.TpSrc)
+	binary.BigEndian.PutUint16(buf[38:40], m.TpDst)
+}
+
+func parseMatch(buf []byte) (Match, error) {
+	if len(buf) < MatchLen {
+		return Match{}, fmt.Errorf("openflow: short match (%d bytes)", len(buf))
+	}
+	return Match{
+		Wildcards: binary.BigEndian.Uint32(buf[0:4]),
+		InPort:    binary.BigEndian.Uint16(buf[4:6]),
+		DlType:    binary.BigEndian.Uint16(buf[22:24]),
+		NwProto:   buf[25],
+		NwSrc:     binary.BigEndian.Uint32(buf[28:32]),
+		NwDst:     binary.BigEndian.Uint32(buf[32:36]),
+		TpSrc:     binary.BigEndian.Uint16(buf[36:38]),
+		TpDst:     binary.BigEndian.Uint16(buf[38:40]),
+	}, nil
+}
+
+// Hello is OFPT_HELLO.
+type Hello struct{}
+
+// Type implements Message.
+func (Hello) Type() MsgType         { return TypeHello }
+func (Hello) payload() []byte       { return nil }
+func (*Hello) parse(_ []byte) error { return nil }
+
+// EchoRequest is OFPT_ECHO_REQUEST with arbitrary payload.
+type EchoRequest struct{ Data []byte }
+
+// Type implements Message.
+func (EchoRequest) Type() MsgType     { return TypeEchoRequest }
+func (m EchoRequest) payload() []byte { return m.Data }
+func (m *EchoRequest) parse(body []byte) error {
+	m.Data = append([]byte(nil), body...)
+	return nil
+}
+
+// EchoReply is OFPT_ECHO_REPLY echoing the request payload.
+type EchoReply struct{ Data []byte }
+
+// Type implements Message.
+func (EchoReply) Type() MsgType     { return TypeEchoReply }
+func (m EchoReply) payload() []byte { return m.Data }
+func (m *EchoReply) parse(body []byte) error {
+	m.Data = append([]byte(nil), body...)
+	return nil
+}
+
+// FeaturesRequest is OFPT_FEATURES_REQUEST.
+type FeaturesRequest struct{}
+
+// Type implements Message.
+func (FeaturesRequest) Type() MsgType         { return TypeFeaturesRequest }
+func (FeaturesRequest) payload() []byte       { return nil }
+func (*FeaturesRequest) parse(_ []byte) error { return nil }
+
+// FeaturesReply is OFPT_FEATURES_REPLY (ports omitted).
+type FeaturesReply struct {
+	DatapathID   uint64
+	NumBuffers   uint32
+	NumTables    byte
+	Capabilities uint32
+	Actions      uint32
+}
+
+// Type implements Message.
+func (FeaturesReply) Type() MsgType { return TypeFeaturesReply }
+
+func (m FeaturesReply) payload() []byte {
+	buf := make([]byte, 24)
+	binary.BigEndian.PutUint64(buf[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(buf[8:12], m.NumBuffers)
+	buf[12] = m.NumTables
+	binary.BigEndian.PutUint32(buf[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(buf[20:24], m.Actions)
+	return buf
+}
+
+func (m *FeaturesReply) parse(body []byte) error {
+	if len(body) < 24 {
+		return fmt.Errorf("openflow: short FEATURES_REPLY (%d bytes)", len(body))
+	}
+	m.DatapathID = binary.BigEndian.Uint64(body[0:8])
+	m.NumBuffers = binary.BigEndian.Uint32(body[8:12])
+	m.NumTables = body[12]
+	m.Capabilities = binary.BigEndian.Uint32(body[16:20])
+	m.Actions = binary.BigEndian.Uint32(body[20:24])
+	return nil
+}
+
+// PacketIn reasons.
+const (
+	ReasonNoMatch byte = 0
+	ReasonAction  byte = 1
+)
+
+// PacketIn is OFPT_PACKET_IN: a packet the switch forwards to the
+// controller.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   byte
+	Data     []byte
+}
+
+// Type implements Message.
+func (PacketIn) Type() MsgType { return TypePacketIn }
+
+func (m PacketIn) payload() []byte {
+	buf := make([]byte, 10+len(m.Data))
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(buf[6:8], m.InPort)
+	buf[8] = m.Reason
+	copy(buf[10:], m.Data)
+	return buf
+}
+
+func (m *PacketIn) parse(body []byte) error {
+	if len(body) < 10 {
+		return fmt.Errorf("openflow: short PACKET_IN (%d bytes)", len(body))
+	}
+	m.BufferID = binary.BigEndian.Uint32(body[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(body[4:6])
+	m.InPort = binary.BigEndian.Uint16(body[6:8])
+	m.Reason = body[8]
+	m.Data = append([]byte(nil), body[10:]...)
+	return nil
+}
+
+// FlowMod commands.
+const (
+	FlowModAdd    uint16 = 0
+	FlowModDelete uint16 = 3
+)
+
+// FlowMod is OFPT_FLOW_MOD: the controller installing (or deleting) a rule.
+// The cookie carries the rule's index in the shared policy.
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+}
+
+// Type implements Message.
+func (FlowMod) Type() MsgType { return TypeFlowMod }
+
+func (m FlowMod) payload() []byte {
+	buf := make([]byte, MatchLen+24)
+	m.Match.marshal(buf[0:MatchLen])
+	o := MatchLen
+	binary.BigEndian.PutUint64(buf[o:o+8], m.Cookie)
+	binary.BigEndian.PutUint16(buf[o+8:o+10], m.Command)
+	binary.BigEndian.PutUint16(buf[o+10:o+12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(buf[o+12:o+14], m.HardTimeout)
+	binary.BigEndian.PutUint16(buf[o+14:o+16], m.Priority)
+	binary.BigEndian.PutUint32(buf[o+16:o+20], m.BufferID)
+	binary.BigEndian.PutUint16(buf[o+20:o+22], m.OutPort)
+	binary.BigEndian.PutUint16(buf[o+22:o+24], m.Flags)
+	return buf
+}
+
+func (m *FlowMod) parse(body []byte) error {
+	if len(body) < MatchLen+24 {
+		return fmt.Errorf("openflow: short FLOW_MOD (%d bytes)", len(body))
+	}
+	match, err := parseMatch(body[0:MatchLen])
+	if err != nil {
+		return err
+	}
+	m.Match = match
+	o := MatchLen
+	m.Cookie = binary.BigEndian.Uint64(body[o : o+8])
+	m.Command = binary.BigEndian.Uint16(body[o+8 : o+10])
+	m.IdleTimeout = binary.BigEndian.Uint16(body[o+10 : o+12])
+	m.HardTimeout = binary.BigEndian.Uint16(body[o+12 : o+14])
+	m.Priority = binary.BigEndian.Uint16(body[o+14 : o+16])
+	m.BufferID = binary.BigEndian.Uint32(body[o+16 : o+20])
+	m.OutPort = binary.BigEndian.Uint16(body[o+20 : o+22])
+	m.Flags = binary.BigEndian.Uint16(body[o+22 : o+24])
+	return nil
+}
+
+// PacketOut is OFPT_PACKET_OUT (actions omitted; the data rides behind the
+// fixed fields as in OF 1.0 with actions_len = 0).
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Data     []byte
+}
+
+// Type implements Message.
+func (PacketOut) Type() MsgType { return TypePacketOut }
+
+func (m PacketOut) payload() []byte {
+	buf := make([]byte, 8+len(m.Data))
+	binary.BigEndian.PutUint32(buf[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(buf[4:6], m.InPort)
+	// actions_len = 0
+	copy(buf[8:], m.Data)
+	return buf
+}
+
+func (m *PacketOut) parse(body []byte) error {
+	if len(body) < 8 {
+		return fmt.Errorf("openflow: short PACKET_OUT (%d bytes)", len(body))
+	}
+	m.BufferID = binary.BigEndian.Uint32(body[0:4])
+	m.InPort = binary.BigEndian.Uint16(body[4:6])
+	m.Data = append([]byte(nil), body[8:]...)
+	return nil
+}
+
+// FlowRemoved reasons.
+const (
+	RemovedIdleTimeout byte = 0
+	RemovedHardTimeout byte = 1
+	RemovedDelete      byte = 2
+)
+
+// FlowRemoved is OFPT_FLOW_REMOVED: the switch reporting an expired or
+// evicted rule.
+type FlowRemoved struct {
+	Match       Match
+	Cookie      uint64
+	Priority    uint16
+	Reason      byte
+	DurationSec uint32
+	IdleTimeout uint16
+	PacketCount uint64
+	ByteCount   uint64
+}
+
+// Type implements Message.
+func (FlowRemoved) Type() MsgType { return TypeFlowRemoved }
+
+func (m FlowRemoved) payload() []byte {
+	buf := make([]byte, MatchLen+40)
+	m.Match.marshal(buf[0:MatchLen])
+	o := MatchLen
+	binary.BigEndian.PutUint64(buf[o:o+8], m.Cookie)
+	binary.BigEndian.PutUint16(buf[o+8:o+10], m.Priority)
+	buf[o+10] = m.Reason
+	binary.BigEndian.PutUint32(buf[o+12:o+16], m.DurationSec)
+	// duration_nsec
+	binary.BigEndian.PutUint16(buf[o+20:o+22], m.IdleTimeout)
+	binary.BigEndian.PutUint64(buf[o+24:o+32], m.PacketCount)
+	binary.BigEndian.PutUint64(buf[o+32:o+40], m.ByteCount)
+	return buf
+}
+
+func (m *FlowRemoved) parse(body []byte) error {
+	if len(body) < MatchLen+40 {
+		return fmt.Errorf("openflow: short FLOW_REMOVED (%d bytes)", len(body))
+	}
+	match, err := parseMatch(body[0:MatchLen])
+	if err != nil {
+		return err
+	}
+	m.Match = match
+	o := MatchLen
+	m.Cookie = binary.BigEndian.Uint64(body[o : o+8])
+	m.Priority = binary.BigEndian.Uint16(body[o+8 : o+10])
+	m.Reason = body[o+10]
+	m.DurationSec = binary.BigEndian.Uint32(body[o+12 : o+16])
+	m.IdleTimeout = binary.BigEndian.Uint16(body[o+20 : o+22])
+	m.PacketCount = binary.BigEndian.Uint64(body[o+24 : o+32])
+	m.ByteCount = binary.BigEndian.Uint64(body[o+32 : o+40])
+	return nil
+}
+
+// ErrorMsg is OFPT_ERROR.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// Type implements Message.
+func (ErrorMsg) Type() MsgType { return TypeError }
+
+func (m ErrorMsg) payload() []byte {
+	buf := make([]byte, 4+len(m.Data))
+	binary.BigEndian.PutUint16(buf[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(buf[2:4], m.Code)
+	copy(buf[4:], m.Data)
+	return buf
+}
+
+func (m *ErrorMsg) parse(body []byte) error {
+	if len(body) < 4 {
+		return fmt.Errorf("openflow: short ERROR (%d bytes)", len(body))
+	}
+	m.ErrType = binary.BigEndian.Uint16(body[0:2])
+	m.Code = binary.BigEndian.Uint16(body[2:4])
+	m.Data = append([]byte(nil), body[4:]...)
+	return nil
+}
+
+// Encode renders a message with the given transaction id into its wire
+// form.
+func Encode(msg Message, xid uint32) ([]byte, error) {
+	body := msg.payload()
+	total := HeaderLen + len(body)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("openflow: message too large (%d bytes)", total)
+	}
+	buf := make([]byte, total)
+	Header{Version: Version, Type: msg.Type(), Length: uint16(total), XID: xid}.marshal(buf)
+	copy(buf[HeaderLen:], body)
+	return buf, nil
+}
+
+// Decode parses a full wire message (header + body).
+func Decode(buf []byte) (Message, Header, error) {
+	h, err := parseHeader(buf)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if int(h.Length) > len(buf) {
+		return nil, Header{}, fmt.Errorf("openflow: truncated message: header says %d, have %d", h.Length, len(buf))
+	}
+	body := buf[HeaderLen:h.Length]
+	var msg Message
+	switch h.Type {
+	case TypeHello:
+		msg = &Hello{}
+	case TypeError:
+		msg = &ErrorMsg{}
+	case TypeEchoRequest:
+		msg = &EchoRequest{}
+	case TypeEchoReply:
+		msg = &EchoReply{}
+	case TypeFeaturesRequest:
+		msg = &FeaturesRequest{}
+	case TypeFeaturesReply:
+		msg = &FeaturesReply{}
+	case TypePacketIn:
+		msg = &PacketIn{}
+	case TypeFlowRemoved:
+		msg = &FlowRemoved{}
+	case TypePacketOut:
+		msg = &PacketOut{}
+	case TypeFlowMod:
+		msg = &FlowMod{}
+	default:
+		return nil, h, fmt.Errorf("openflow: unsupported message type %s", h.Type)
+	}
+	if err := msg.parse(body); err != nil {
+		return nil, h, err
+	}
+	return msg, h, nil
+}

@@ -1,0 +1,52 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"flowrecon/internal/flows"
+)
+
+// tupleLen is the size of the serialized flow 5-tuple carried in
+// PACKET_IN/PACKET_OUT data.
+const tupleLen = 16
+
+// EncodeTuple serializes a flow identifier into the packet payload carried
+// by PACKET_IN and PACKET_OUT: src(4) dst(4) sport(2) dport(2) proto(1)
+// pad(3).
+func EncodeTuple(t flows.FiveTuple) []byte {
+	buf := make([]byte, tupleLen)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(t.Src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(t.Dst))
+	binary.BigEndian.PutUint16(buf[8:10], t.SrcPort)
+	binary.BigEndian.PutUint16(buf[10:12], t.DstPort)
+	buf[12] = byte(t.Proto)
+	return buf
+}
+
+// DecodeTuple parses a payload produced by EncodeTuple.
+func DecodeTuple(buf []byte) (flows.FiveTuple, error) {
+	if len(buf) < tupleLen {
+		return flows.FiveTuple{}, fmt.Errorf("openflow: short packet payload (%d bytes)", len(buf))
+	}
+	return flows.FiveTuple{
+		Src:     flows.IPv4(binary.BigEndian.Uint32(buf[0:4])),
+		Dst:     flows.IPv4(binary.BigEndian.Uint32(buf[4:8])),
+		SrcPort: binary.BigEndian.Uint16(buf[8:10]),
+		DstPort: binary.BigEndian.Uint16(buf[10:12]),
+		Proto:   flows.Proto(buf[12]),
+	}, nil
+}
+
+// MatchForTuple renders a 5-tuple as an exact-match ofp_match, the shape
+// Ryu uses for reactively installed microflow matches.
+func MatchForTuple(t flows.FiveTuple) Match {
+	return Match{
+		DlType:  0x0800, // IPv4
+		NwProto: byte(t.Proto),
+		NwSrc:   uint32(t.Src),
+		NwDst:   uint32(t.Dst),
+		TpSrc:   t.SrcPort,
+		TpDst:   t.DstPort,
+	}
+}

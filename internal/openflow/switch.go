@@ -1,0 +1,275 @@
+package openflow
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/flowtable"
+	"flowrecon/internal/rules"
+)
+
+// Switch is a user-space OpenFlow switch agent: it owns a flow table,
+// answers lookups locally on a hit, and on a miss raises a PACKET_IN to
+// the controller and blocks the packet until the FLOW_MOD / PACKET_OUT
+// round trip completes — the delay that creates the paper's side channel.
+type Switch struct {
+	dpid     uint64
+	rules    *rules.Set
+	universe *flows.Universe
+	conn     *Conn
+	start    time.Time
+
+	mu      sync.Mutex
+	table   *flowtable.Table
+	pending map[uint32]chan bool // buffer id → "rule installed?"
+	nextBuf uint32
+
+	done chan struct{}
+	err  error
+}
+
+// NewSwitch builds a switch over the shared policy. capacity and stepSec
+// configure its flow table exactly as flowtable.New does.
+func NewSwitch(dpid uint64, rs *rules.Set, universe *flows.Universe, capacity int, stepSec float64) (*Switch, error) {
+	tbl, err := flowtable.New(rs, capacity, stepSec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{
+		dpid:     dpid,
+		rules:    rs,
+		universe: universe,
+		table:    tbl,
+		pending:  make(map[uint32]chan bool),
+		start:    time.Now(),
+		done:     make(chan struct{}),
+	}
+	// Report expirations and evictions to the controller, as OpenFlow's
+	// OFPFF_SEND_FLOW_REM does.
+	tbl.OnRemove = s.notifyRemoved
+	return s, nil
+}
+
+// notifyRemoved sends a FLOW_REMOVED for a rule leaving the table.
+func (s *Switch) notifyRemoved(ruleID int, reason flowtable.EvictionReason, now float64) {
+	if s.conn == nil {
+		return
+	}
+	r := s.rules.Rule(ruleID)
+	msg := &FlowRemoved{
+		Cookie:      uint64(ruleID),
+		Priority:    uint16(r.Priority),
+		DurationSec: uint32(now),
+	}
+	switch {
+	case reason == flowtable.ReasonEvicted:
+		msg.Reason = RemovedDelete
+	case r.Kind == rules.HardTimeout:
+		msg.Reason = RemovedHardTimeout
+	default:
+		msg.Reason = RemovedIdleTimeout
+	}
+	// Best effort: a failed notification surfaces via the receive loop.
+	_, _ = s.conn.Send(msg)
+}
+
+// Connect dials the controller, handshakes, answers the features request,
+// and starts the receive loop. Call Close to stop.
+func (s *Switch) Connect(addr string) error {
+	conn, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	return s.Start(conn)
+}
+
+// Start runs the switch over an established connection (used directly in
+// tests with a pipe transport).
+func (s *Switch) Start(conn *Conn) error {
+	s.conn = conn
+	if err := conn.Handshake(); err != nil {
+		conn.Close()
+		return fmt.Errorf("switch handshake: %w", err)
+	}
+	go s.recvLoop()
+	return nil
+}
+
+// Close tears down the connection and waits for the receive loop to exit.
+func (s *Switch) Close() error {
+	if s.conn == nil {
+		return nil
+	}
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+// Err returns the receive loop's terminal error (nil until Close, or the
+// underlying failure).
+func (s *Switch) Err() error {
+	select {
+	case <-s.done:
+		return s.err
+	default:
+		return nil
+	}
+}
+
+func (s *Switch) now() float64 { return time.Since(s.start).Seconds() }
+
+// recvLoop services controller-to-switch messages.
+func (s *Switch) recvLoop() {
+	defer close(s.done)
+	for {
+		msg, h, err := s.conn.Recv()
+		if err != nil {
+			s.err = err
+			s.failPending()
+			return
+		}
+		switch m := msg.(type) {
+		case *FeaturesRequest:
+			reply := &FeaturesReply{DatapathID: s.dpid, NumBuffers: 256, NumTables: 1}
+			if err := s.conn.SendXID(reply, h.XID); err != nil {
+				s.err = err
+				return
+			}
+		case *EchoRequest:
+			if err := s.conn.SendXID(&EchoReply{Data: m.Data}, h.XID); err != nil {
+				s.err = err
+				return
+			}
+		case *FlowMod:
+			s.handleFlowMod(m)
+		case *PacketOut:
+			s.release(m.BufferID, false)
+		case *Hello, *EchoReply, *ErrorMsg:
+			// ignored
+		}
+	}
+}
+
+// handleFlowMod installs (or deletes) the rule identified by the cookie
+// and releases the buffered packet, if any.
+func (s *Switch) handleFlowMod(m *FlowMod) {
+	ruleID := int(m.Cookie)
+	if ruleID < 0 || ruleID >= s.rules.Len() {
+		return
+	}
+	s.mu.Lock()
+	switch m.Command {
+	case FlowModAdd:
+		s.table.Install(ruleID, s.now())
+	case FlowModDelete:
+		s.table.Remove(ruleID, s.now())
+	}
+	s.mu.Unlock()
+	if m.BufferID != 0 {
+		s.release(m.BufferID, true)
+	}
+}
+
+// release completes a blocked Inject call.
+func (s *Switch) release(bufferID uint32, installed bool) {
+	s.mu.Lock()
+	ch, ok := s.pending[bufferID]
+	if ok {
+		delete(s.pending, bufferID)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- installed
+	}
+}
+
+// failPending unblocks all waiters when the connection dies.
+func (s *Switch) failPending() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, ch := range s.pending {
+		delete(s.pending, id)
+		close(ch)
+	}
+}
+
+// InjectResult describes one packet's fate at the switch.
+type InjectResult struct {
+	// Hit reports whether a cached rule matched.
+	Hit bool
+	// RuleID is the matched or installed rule (-1 if the policy covers
+	// no rule for the flow).
+	RuleID int
+	// Delay is the observed forwarding delay: effectively zero on a hit,
+	// one controller round trip on a miss. This is the side channel.
+	Delay time.Duration
+}
+
+// ErrDisconnected is returned by Inject when the controller connection
+// fails mid-request.
+var ErrDisconnected = errors.New("openflow: controller connection lost")
+
+// Inject offers a packet to the switch, blocking through the controller
+// round trip on a miss, and reports whether it hit plus the delay the
+// packet suffered — the quantity the paper's attacker measures.
+func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
+	fid, known := s.universe.Lookup(t)
+	begin := time.Now()
+	if known {
+		s.mu.Lock()
+		ruleID, hit := s.table.Lookup(fid, s.now())
+		s.mu.Unlock()
+		if hit {
+			return InjectResult{Hit: true, RuleID: ruleID, Delay: time.Since(begin)}, nil
+		}
+	}
+
+	// Miss: buffer the packet and raise a PACKET_IN.
+	s.mu.Lock()
+	s.nextBuf++
+	buf := s.nextBuf
+	ch := make(chan bool, 1)
+	s.pending[buf] = ch
+	s.mu.Unlock()
+
+	pin := &PacketIn{BufferID: buf, TotalLen: uint16(tupleLen), Reason: ReasonNoMatch, Data: EncodeTuple(t)}
+	if _, err := s.conn.Send(pin); err != nil {
+		s.release(buf, false)
+		<-ch
+		return InjectResult{}, err
+	}
+	installed, ok := <-ch
+	if !ok {
+		return InjectResult{}, ErrDisconnected
+	}
+	res := InjectResult{Hit: false, RuleID: -1, Delay: time.Since(begin)}
+	if installed && known {
+		if j, covered := s.rules.HighestCovering(fid); covered {
+			res.RuleID = j
+		}
+	}
+	return res, nil
+}
+
+// ExpireAll clears the flow table — a measurement helper standing in for
+// the passage of every timeout (used to alternate hit/miss samples in the
+// latency experiment).
+func (s *Switch) ExpireAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	for _, id := range s.table.Cached(now) {
+		s.table.Remove(id, now)
+	}
+}
+
+// CachedRules returns the rule IDs presently cached (for tests and
+// diagnostics).
+func (s *Switch) CachedRules() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.table.Cached(s.now())
+}

@@ -1,0 +1,215 @@
+// Package plot renders the reproduction's figures as standalone SVG
+// documents using only the standard library: line/marker series with
+// axes, ticks, and a legend (Figures 6a, 7a, 7b) and step CDFs
+// (Figure 6b). The output opens in any browser.
+package plot
+
+import (
+	"fmt"
+	"html"
+	"io"
+	"math"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Step renders the series as a staircase (for CDFs).
+	Step bool
+}
+
+// Chart is a 2-D line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG dimensions in pixels (defaults
+	// 640×420).
+	Width, Height int
+	// YMin/YMax optionally pin the y range (e.g. accuracy ∈ [0, 1]).
+	YMin, YMax *float64
+}
+
+// Float returns a *float64 (for the fixed-range fields).
+func Float(v float64) *float64 { return &v }
+
+// palette is a color-blind-safe cycle.
+var palette = []string{"#0072B2", "#D55E00", "#009E73", "#CC79A7", "#56B4E9", "#E69F00"}
+
+const (
+	marginLeft   = 64.0
+	marginRight  = 16.0
+	marginTop    = 40.0
+	marginBottom = 48.0
+	legendRow    = 16.0
+)
+
+// RenderSVG writes the chart as an SVG document.
+func (c *Chart) RenderSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 420
+	}
+	xmin, xmax, ymin, ymax, err := c.ranges()
+	if err != nil {
+		return err
+	}
+
+	plotW := float64(width) - marginLeft - marginRight
+	plotH := float64(height) - marginTop - marginBottom
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b svgBuilder
+	b.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	b.printf(`<rect width="%d" height="%d" fill="white"/>`, width, height)
+	b.printf(`<text x="%g" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`,
+		marginLeft, html.EscapeString(c.Title))
+
+	// Axes.
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, marginLeft, marginTop, marginLeft, marginTop+plotH)
+	b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`, marginLeft, marginTop+plotH, marginLeft+plotW, marginTop+plotH)
+
+	// Ticks and grid.
+	for _, t := range niceTicks(xmin, xmax, 6) {
+		x := px(t)
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`, x, marginTop, x, marginTop+plotH)
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`,
+			x, marginTop+plotH+14, tickLabel(t))
+	}
+	for _, t := range niceTicks(ymin, ymax, 6) {
+		y := py(t)
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="#ddd"/>`, marginLeft, y, marginLeft+plotW, y)
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`,
+			marginLeft-6, y+3, tickLabel(t))
+	}
+
+	// Axis labels.
+	b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`,
+		marginLeft+plotW/2, float64(height)-10, html.EscapeString(c.XLabel))
+	b.printf(`<text x="14" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %g)">%s</text>`,
+		marginTop+plotH/2, marginTop+plotH/2, html.EscapeString(c.YLabel))
+
+	// Series.
+	for i, s := range c.Series {
+		color := palette[i%len(palette)]
+		if len(s.X) == 0 {
+			continue
+		}
+		points := buildPath(s, px, py)
+		b.printf(`<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`, color, points)
+		for k := range s.X {
+			b.printf(`<circle cx="%g" cy="%g" r="2.6" fill="%s"/>`, px(s.X[k]), py(s.Y[k]), color)
+		}
+		// Legend entry.
+		ly := marginTop + 4 + float64(i)*legendRow
+		lx := marginLeft + plotW - 150
+		b.printf(`<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="1.8"/>`, lx, ly, lx+18, ly, color)
+		b.printf(`<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`,
+			lx+24, ly+3, html.EscapeString(s.Name))
+	}
+	b.printf(`</svg>`)
+	_, err = io.WriteString(w, b.String())
+	return err
+}
+
+// ranges computes the plotted extents, honoring fixed y bounds.
+func (c *Chart) ranges() (xmin, xmax, ymin, ymax float64, err error) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		for i := range s.X {
+			points++
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("plot: chart %q has no points", c.Title)
+	}
+	if c.YMin != nil {
+		ymin = *c.YMin
+	}
+	if c.YMax != nil {
+		ymax = *c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax, nil
+}
+
+// buildPath renders the polyline points, inserting staircase corners for
+// step series.
+func buildPath(s Series, px, py func(float64) float64) string {
+	var b svgBuilder
+	for k := range s.X {
+		if k > 0 && s.Step {
+			b.printf("%g,%g ", px(s.X[k]), py(s.Y[k-1]))
+		}
+		b.printf("%g,%g ", px(s.X[k]), py(s.Y[k]))
+	}
+	return b.String()
+}
+
+// niceTicks returns ~n human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 || hi <= lo {
+		return []float64{lo, hi}
+	}
+	rawStep := (hi - lo) / float64(n)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag < 1.5:
+		step = mag
+	case rawStep/mag < 3.5:
+		step = 2 * mag
+	case rawStep/mag < 7.5:
+		step = 5 * mag
+	default:
+		step = 10 * mag
+	}
+	first := math.Ceil(lo/step) * step
+	var out []float64
+	for t := first; t <= hi+step*1e-9; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+func tickLabel(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// svgBuilder is a tiny printf string builder.
+type svgBuilder struct {
+	buf []byte
+}
+
+func (b *svgBuilder) printf(format string, args ...interface{}) {
+	b.buf = append(b.buf, fmt.Sprintf(format, args...)...)
+	b.buf = append(b.buf, '\n')
+}
+
+func (b *svgBuilder) String() string { return string(b.buf) }

@@ -1,0 +1,141 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:  "Accuracy vs absence",
+		XLabel: "P(absent)",
+		YLabel: "accuracy",
+		YMin:   Float(0),
+		YMax:   Float(1),
+		Series: []Series{
+			{Name: "model", X: []float64{0.1, 0.3, 0.5, 0.7, 0.9}, Y: []float64{0.6, 0.65, 0.7, 0.8, 0.85}},
+			{Name: "naive", X: []float64{0.1, 0.3, 0.5, 0.7, 0.9}, Y: []float64{0.58, 0.64, 0.66, 0.77, 0.84}},
+		},
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoChart().RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("malformed SVG: %v", err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "polyline", "Accuracy vs absence", "model", "naive", "P(absent)", "accuracy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+}
+
+func TestRenderSVGEscapesText(t *testing.T) {
+	c := demoChart()
+	c.Title = `model <m=1> & friends`
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "<m=1>") {
+		t.Fatal("unescaped markup in title")
+	}
+	if !strings.Contains(buf.String(), "&lt;m=1&gt; &amp; friends") {
+		t.Fatal("title not escaped as expected")
+	}
+}
+
+func TestRenderSVGStepSeries(t *testing.T) {
+	c := &Chart{
+		Title: "CDF",
+		Series: []Series{
+			{Name: "improvement", X: []float64{0, 0.1, 0.2}, Y: []float64{0.2, 0.7, 1.0}, Step: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A 3-point step series renders 3 + 2 staircase corner points.
+	line := buf.String()
+	start := strings.Index(line, `points="`)
+	end := strings.Index(line[start+8:], `"`)
+	points := strings.Fields(line[start+8 : start+8+end])
+	if len(points) != 5 {
+		t.Fatalf("step points = %d, want 5", len(points))
+	}
+}
+
+func TestRenderSVGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Chart{Title: "empty"}).RenderSVG(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := &Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: nil}}}
+	if err := bad.RenderSVG(&buf); err == nil {
+		t.Fatal("mismatched series accepted")
+	}
+	degenerate := &Chart{Series: []Series{{Name: "x", X: []float64{}, Y: []float64{}}}}
+	if err := degenerate.RenderSVG(&buf); err == nil {
+		t.Fatal("pointless chart accepted")
+	}
+}
+
+func TestRenderSVGSinglePoint(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "p", X: []float64{2}, Y: []float64{3}}}}
+	var buf bytes.Buffer
+	if err := c.RenderSVG(&buf); err != nil {
+		t.Fatal(err) // degenerate ranges must not divide by zero
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("NaN leaked into SVG")
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 1, 6)
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("non-increasing ticks: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 1+1e-9 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	if got := niceTicks(5, 5, 4); len(got) != 2 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}
+
+func TestTickLabel(t *testing.T) {
+	if tickLabel(3) != "3" {
+		t.Fatal("integer label")
+	}
+	if tickLabel(0.25) != "0.25" {
+		t.Fatalf("fraction label = %s", tickLabel(0.25))
+	}
+	if tickLabel(math.Pi) == "" {
+		t.Fatal("empty label")
+	}
+}

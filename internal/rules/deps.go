@@ -1,0 +1,78 @@
+package rules
+
+import "flowrecon/internal/flows"
+
+// Dependency analysis over a rule set. These helpers formalize the probe
+// reasoning of §III-B: which flows install which rules, which rules can
+// shadow others, and which probes disambiguate overlapping rules.
+
+// Installers returns, for each rule ID, the set of flows whose table miss
+// installs that rule — i.e. the flows for which the rule is the
+// highest-priority cover. A rule with an empty installer set can never
+// enter the switch reactively (it is fully shadowed).
+func Installers(s *Set) []flows.Set {
+	out := make([]flows.Set, s.Len())
+	for i := range out {
+		out[i] = flows.NewSet(0)
+	}
+	s.CoveredFlows().ForEach(func(f flows.ID) {
+		if id, ok := s.HighestCovering(f); ok {
+			out[id].Add(f)
+		}
+	})
+	return out
+}
+
+// Shadowed returns the IDs of rules that no flow installs: every flow they
+// cover is covered by a higher-priority rule.
+func Shadowed(s *Set) []int {
+	inst := Installers(s)
+	var out []int
+	for id, fs := range inst {
+		if fs.Empty() {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OverlapGraph returns the adjacency structure of rule overlap:
+// graph[a] lists every rule b ≠ a with rule_a ∩ rule_b ≠ ∅.
+func OverlapGraph(s *Set) [][]int {
+	g := make([][]int, s.Len())
+	for a := 0; a < s.Len(); a++ {
+		for b := a + 1; b < s.Len(); b++ {
+			if s.Rule(a).Cover.Overlaps(s.Rule(b).Cover) {
+				g[a] = append(g[a], b)
+				g[b] = append(g[b], a)
+			}
+		}
+	}
+	return g
+}
+
+// UniqueWitnesses returns, for each rule, the flows that install that rule
+// and no other — the Figure 2c insight: probing such a flow and observing a
+// hit certifies that exactly this rule is cached (assuming no other flow
+// could have installed it). A flow f is a unique witness of rule_j if
+// rule_j is f's highest-priority cover and f is covered by no other rule.
+func UniqueWitnesses(s *Set) []flows.Set {
+	inst := Installers(s)
+	out := make([]flows.Set, s.Len())
+	for j := range out {
+		out[j] = flows.NewSet(0)
+		inst[j].ForEach(func(f flows.ID) {
+			covering := s.Covering(f)
+			if len(covering) == 1 && covering[0] == j {
+				out[j].Add(f)
+			}
+		})
+	}
+	return out
+}
+
+// NumCovering returns how many rules cover flow f — the x-axis of the
+// paper's Figure 7a for the target flow.
+func NumCovering(s *Set, f flows.ID) int {
+	return len(s.Covering(f))
+}

@@ -1,0 +1,152 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/stats"
+)
+
+// TernaryMask is a TCAM-style match over the low bits of a flow's source
+// address: each bit is 0, 1, or wildcard. The paper's evaluation universe
+// of 16 contiguous hosts admits 3⁴ = 81 such rules ("81 possible rules
+// (involving up to 4-bit masks)", §VI-A).
+type TernaryMask struct {
+	Bits  int    // number of address bits matched (4 for 16 hosts)
+	Value uint32 // required values on the cared-about bits
+	Care  uint32 // 1 = bit must equal Value's bit, 0 = wildcard
+}
+
+// Matches reports whether host index h matches the mask.
+func (m TernaryMask) Matches(h uint32) bool {
+	return (h^m.Value)&m.Care == 0
+}
+
+// String renders the mask as a bit pattern, e.g. "1*0*".
+func (m TernaryMask) String() string {
+	var b strings.Builder
+	for i := m.Bits - 1; i >= 0; i-- {
+		switch {
+		case m.Care&(1<<uint(i)) == 0:
+			b.WriteByte('*')
+		case m.Value&(1<<uint(i)) != 0:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// AllTernaryMasks enumerates every ternary mask over `bits` address bits.
+// For bits=4 this yields the paper's 81 candidate rules.
+func AllTernaryMasks(bits int) []TernaryMask {
+	var out []TernaryMask
+	var rec func(i int, m TernaryMask)
+	rec = func(i int, m TernaryMask) {
+		if i == bits {
+			out = append(out, m)
+			return
+		}
+		rec(i+1, m) // wildcard at bit i
+		m1 := m
+		m1.Care |= 1 << uint(i)
+		rec(i+1, m1) // bit i = 0
+		m1.Value |= 1 << uint(i)
+		rec(i+1, m1) // bit i = 1
+	}
+	rec(0, TernaryMask{Bits: bits})
+	return out
+}
+
+// CoverOf returns the flow set a mask covers in a universe of nhosts flows
+// indexed by host number.
+func (m TernaryMask) CoverOf(nhosts int) flows.Set {
+	s := flows.NewSet(nhosts)
+	for h := 0; h < nhosts; h++ {
+		if m.Matches(uint32(h)) {
+			s.Add(flows.ID(h))
+		}
+	}
+	return s
+}
+
+// GenerateConfig describes how to sample a random rule set the way the
+// paper's evaluation does (§VI-A).
+type GenerateConfig struct {
+	NumFlows  int     // flow universe size (16 in the paper)
+	NumRules  int     // rules to draw (|Rules| = 12)
+	MaskBits  int     // address bits subject to wildcarding (4)
+	Timeouts  []int   // candidate timeouts in steps, drawn uniformly
+	HardRatio float64 // fraction of rules given hard timeouts (0 in the paper)
+}
+
+// DefaultGenerateConfig returns the paper's evaluation parameters for a
+// model step of delta seconds: timeouts t_j drawn uniformly from
+// {⌈1/(10Δ)⌉, ⌈2/(10Δ)⌉, …, ⌈1/Δ⌉}.
+func DefaultGenerateConfig(delta float64) GenerateConfig {
+	ts := make([]int, 10)
+	for k := 1; k <= 10; k++ {
+		ts[k-1] = ceilDiv(float64(k), 10*delta)
+	}
+	return GenerateConfig{
+		NumFlows: 16,
+		NumRules: 12,
+		MaskBits: 4,
+		Timeouts: ts,
+	}
+}
+
+func ceilDiv(num, den float64) int {
+	v := num / den
+	n := int(v)
+	if float64(n) < v {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate samples a random rule set per cfg: NumRules distinct masks drawn
+// uniformly from the 3^MaskBits candidates (discarding masks that cover no
+// registered flow), distinct random priorities, and timeouts drawn
+// uniformly from cfg.Timeouts.
+func Generate(cfg GenerateConfig, rng *stats.RNG) (*Set, error) {
+	if len(cfg.Timeouts) == 0 {
+		return nil, fmt.Errorf("rules: no candidate timeouts")
+	}
+	masks := AllTernaryMasks(cfg.MaskBits)
+	// Shuffle candidates and take the first NumRules with non-empty cover.
+	rng.Shuffle(len(masks), func(i, j int) { masks[i], masks[j] = masks[j], masks[i] })
+	chosen := make([]TernaryMask, 0, cfg.NumRules)
+	for _, m := range masks {
+		if len(chosen) == cfg.NumRules {
+			break
+		}
+		if !m.CoverOf(cfg.NumFlows).Empty() {
+			chosen = append(chosen, m)
+		}
+	}
+	if len(chosen) < cfg.NumRules {
+		return nil, fmt.Errorf("rules: only %d non-empty masks available, need %d", len(chosen), cfg.NumRules)
+	}
+	prios := rng.Perm(cfg.NumRules)
+	rs := make([]Rule, cfg.NumRules)
+	for i, m := range chosen {
+		kind := IdleTimeout
+		if rng.Float64() < cfg.HardRatio {
+			kind = HardTimeout
+		}
+		rs[i] = Rule{
+			Name:     m.String(),
+			Cover:    m.CoverOf(cfg.NumFlows),
+			Priority: prios[i] + 1,
+			Timeout:  cfg.Timeouts[rng.Intn(len(cfg.Timeouts))],
+			Kind:     kind,
+		}
+	}
+	return NewSet(rs)
+}

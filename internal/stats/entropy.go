@@ -1,0 +1,56 @@
+package stats
+
+import "math"
+
+// EntropyBits returns the Shannon entropy, in bits, of the distribution ps.
+// Zero-probability entries contribute nothing (0·log 1/0 ≡ 0, as in the
+// paper's H(X̂) definition). Negative entries are treated as zero; the
+// distribution is not renormalized.
+func EntropyBits(ps ...float64) float64 {
+	var h float64
+	for _, p := range ps {
+		if p <= 0 {
+			continue
+		}
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// BinaryEntropy returns H(p) = -p log p - (1-p) log(1-p) in bits, the
+// entropy of an indicator variable such as the paper's X̂.
+func BinaryEntropy(p float64) float64 {
+	return EntropyBits(p, 1-p)
+}
+
+// ConditionalEntropyBits returns H(X | Q) in bits for a joint distribution
+// joint[x][q] = P(X=x ∧ Q=q). It implements the conditional-entropy sum of
+// Section V-A:
+//
+//	H(X|Q) = Σ_{x,q} P(X=x ∧ Q=q) · log 1/P(X=x | Q=q).
+//
+// Cells with zero joint probability contribute nothing.
+func ConditionalEntropyBits(joint [][]float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	nq := len(joint[0])
+	// Marginal over Q.
+	qm := make([]float64, nq)
+	for _, row := range joint {
+		for q, p := range row {
+			qm[q] += p
+		}
+	}
+	var h float64
+	for _, row := range joint {
+		for q, p := range row {
+			if p <= 0 || qm[q] <= 0 {
+				continue
+			}
+			cond := p / qm[q]
+			h -= p * math.Log2(cond)
+		}
+	}
+	return h
+}
