@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build fmt-check vet test race bench check
+
+all: check build
+
+build:
+	$(GO) build ./...
+
+## fmt-check fails if any file needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 200ms .
+
+## check is the pre-merge gate: formatting, vet, and the full test suite
+## under the race detector.
+check: fmt-check vet race

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/plot"
+	"flowrecon/internal/telemetry"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func run(args []string) error {
 		attempts = fs.Int("attempts", 0, "configuration sampling budget (0 = auto: ≥1000, 100×configs)")
 		svgDir   = fs.String("svg", "", "directory for SVG renderings of the figures")
 		scale    = fs.String("scale", "paper", "parameter scale: paper (16 flows/12 rules) or small (8 flows/6 rules)")
+		telOut   = fs.String("telemetry-out", "", "write the final telemetry snapshot (probe histograms, counters) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,6 +54,10 @@ func run(args []string) error {
 	if !*all && !*fig6 && !*fig7 && !*latency {
 		fs.Usage()
 		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency)")
+	}
+	var reg *telemetry.Registry
+	if *telOut != "" {
+		reg = telemetry.NewRegistry(8192)
 	}
 
 	params := experiment.DefaultParams()
@@ -79,6 +86,7 @@ func run(args []string) error {
 			TrialsPerConfig: *trials,
 			MaxAttempts:     samplingBudget(*attempts, *configs),
 			Seed:            *seed,
+			Telemetry:       reg,
 		}
 		res, err := experiment.RunFig6(opts)
 		if err != nil {
@@ -107,6 +115,7 @@ func run(args []string) error {
 			TrialsPerConfig: *trials,
 			MaxAttempts:     samplingBudget(*attempts, *configs),
 			Seed:            *seed + 1,
+			Telemetry:       reg,
 		}
 		res, err := experiment.RunFig7(opts)
 		if err != nil {
@@ -126,7 +135,25 @@ func run(args []string) error {
 		}
 		fmt.Printf("(figure 7 took %v)\n\n", time.Since(start).Round(time.Second))
 	}
+	if reg != nil {
+		if err := writeSnapshot(*telOut, reg); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry snapshot written to %s\n", *telOut)
+	}
 	return nil
+}
+
+// writeSnapshot dumps the registry's final state as indented JSON.
+func writeSnapshot(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
 }
 
 // samplingBudget derives the configuration-sampling budget: explicit when

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +17,7 @@ import (
 	"flowrecon/internal/core"
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func run(args []string) error {
 		small   = fs.Bool("small", false, "use the scaled-down 8-flow configuration")
 		details = fs.Bool("details", false, "print the rule set and per-flow probe evaluations")
 		sweep   = fs.Bool("sweep", false, "also sweep the attack window and report gain vs T")
+		telOut  = fs.String("telemetry-out", "", "write final + per-trial telemetry snapshots as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,7 +97,13 @@ func run(args []string) error {
 		&core.RandomAttacker{PPresent: 1 - nc.PAbsent()},
 	}
 	fmt.Printf("\nrunning %d trials…\n", *trials)
-	results, err := experiment.RunTrials(nc, attackers, *trials, experiment.DefaultMeasurement(), rng.Fork())
+	var reg *telemetry.Registry
+	if *telOut != "" {
+		reg = telemetry.NewRegistry(8192)
+	}
+	results, records, err := experiment.RunTrialsInstrumented(
+		nc, attackers, *trials, experiment.DefaultMeasurement(), rng.Fork(),
+		experiment.PoissonSource, reg, reg != nil)
 	if err != nil {
 		return err
 	}
@@ -105,6 +114,13 @@ func run(args []string) error {
 			name = "model(f≠f̂)"
 		}
 		fmt.Printf("%-14s %8.1f%% %6d %6d %6d %6d\n", name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
+	}
+
+	if reg != nil {
+		if err := writeTelemetry(*telOut, reg, records); err != nil {
+			return err
+		}
+		fmt.Printf("\ntelemetry written to %s (%d per-trial records)\n", *telOut, len(records))
 	}
 
 	if *sweep {
@@ -122,6 +138,22 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// writeTelemetry dumps the final registry snapshot alongside the per-trial
+// records as one indented JSON document.
+func writeTelemetry(path string, reg *telemetry.Registry, records []experiment.TrialRecord) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Final  telemetry.Snapshot       `json:"final"`
+		Trials []experiment.TrialRecord `json:"trials,omitempty"`
+	}{Final: reg.Snapshot(), Trials: records})
 }
 
 func sumRates(nc *experiment.NetworkConfig, ruleID int) float64 {

@@ -20,6 +20,7 @@ import (
 	"flowrecon/internal/openflow"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "seed for the generated policy (must match the switch)")
 		processing = fs.Duration("processing", 3900*time.Microsecond, "simulated controller compute time per PACKET_IN")
 		step       = fs.Float64("step", 0.1, "model step Δ in seconds (scales rule timeouts)")
+		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9091)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -49,6 +51,16 @@ func run(args []string) error {
 		ProcessingDelay: *processing,
 		StepSeconds:     *step,
 	})
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry(4096)
+		ctl.SetTelemetry(reg)
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (trace: /debug/trace, pprof: /debug/pprof/)\n", srv.Addr())
+	}
 	addr, err := ctl.Listen(*listen)
 	if err != nil {
 		return err

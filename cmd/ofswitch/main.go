@@ -17,6 +17,7 @@ import (
 	"flowrecon/internal/openflow"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 func main() {
@@ -35,9 +36,21 @@ func run(args []string) error {
 		capacity   = fs.Int("capacity", 9, "flow table capacity (6 + 3 reserved, §VI-A)")
 		probes     = fs.Int("probes", 10, "probe packets to inject")
 		gap        = fs.Duration("gap", 200*time.Millisecond, "delay between probes")
+		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9090)")
+		hold       = fs.Duration("hold", 0, "keep running (and serving telemetry) this long after the last probe")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var reg *telemetry.Registry
+	if *telAddr != "" {
+		reg = telemetry.NewRegistry(4096)
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics (trace: /debug/trace, pprof: /debug/pprof/)\n", srv.Addr())
 	}
 	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 16)
 	policy, err := rules.Generate(rules.DefaultGenerateConfig(*step), stats.NewRNG(*seed))
@@ -47,6 +60,9 @@ func run(args []string) error {
 	sw, err := openflow.NewSwitch(1, policy, universe, *capacity, *step)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		sw.SetTelemetry(reg)
 	}
 	if err := sw.Connect(*controller); err != nil {
 		return err
@@ -75,5 +91,9 @@ func run(args []string) error {
 		time.Sleep(*gap)
 	}
 	fmt.Printf("cached rules at exit: %v\n", sw.CachedRules())
+	if *hold > 0 {
+		fmt.Printf("holding for %v (telemetry stays live)\n", *hold)
+		time.Sleep(*hold)
+	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/rules"
+	"flowrecon/internal/telemetry"
 )
 
 // Options configure the controller application.
@@ -59,6 +60,33 @@ type Reactive struct {
 
 	mu    sync.Mutex
 	stats Stats
+	tm    reactiveMetrics // resolved telemetry instruments (zero = disabled)
+}
+
+// reactiveMetrics are the controller application's telemetry
+// instruments; all nil (no-op) until SetTelemetry attaches a registry.
+type reactiveMetrics struct {
+	packetIns       *telemetry.Counter
+	reactive        *telemetry.Counter // decisions that install a rule
+	noInstall       *telemetry.Counter // decisions that release uninstalled
+	proactivePlans  *telemetry.Counter
+	capacityRejects *telemetry.Counter // §VII-B2 capacity-check failures
+	tracer          *telemetry.Tracer
+}
+
+// SetTelemetry attaches the controller application to a registry,
+// resolving its metric series once. A nil registry disables telemetry.
+func (c *Reactive) SetTelemetry(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tm = reactiveMetrics{
+		packetIns:       reg.Counter("controller_packet_ins_total"),
+		reactive:        reg.Counter("controller_decisions_total", "kind", "install"),
+		noInstall:       reg.Counter("controller_decisions_total", "kind", "release"),
+		proactivePlans:  reg.Counter("controller_proactive_plans_total"),
+		capacityRejects: reg.Counter("controller_capacity_rejections_total"),
+		tracer:          reg.Tracer(),
+	}
 }
 
 // New builds a controller application over a policy.
@@ -83,14 +111,19 @@ func (c *Reactive) OnPacketIn(f flows.ID) Decision {
 	c.mu.Lock()
 	c.stats.PacketIns++
 	c.mu.Unlock()
+	c.tm.packetIns.Inc()
 	d := Decision{Delay: c.opts.ProcessingDelay}
 	if c.opts.Proactive {
 		// Proactive deployment never installs reactively; a miss can
 		// only be an uncovered flow.
+		c.tm.noInstall.Inc()
+		c.traceDecision(f, -1)
 		return d
 	}
 	j, ok := c.policy.HighestCovering(f)
 	if !ok {
+		c.tm.noInstall.Inc()
+		c.traceDecision(f, -1)
 		return d
 	}
 	d.Install = true
@@ -99,7 +132,22 @@ func (c *Reactive) OnPacketIn(f flows.ID) Decision {
 	c.stats.Installs++
 	c.stats.InstallsByRule[j]++
 	c.mu.Unlock()
+	c.tm.reactive.Inc()
+	c.traceDecision(f, j)
 	return d
+}
+
+// traceDecision emits one packet-in decision event (rule -1 when the
+// packet was released uninstalled).
+func (c *Reactive) traceDecision(f flows.ID, rule int) {
+	if c.tm.tracer == nil {
+		return
+	}
+	e := telemetry.Ev("packet_in.decision")
+	e.Node = "controller"
+	e.Flow = int(f)
+	e.Rule = rule
+	c.tm.tracer.Emit(e)
 }
 
 // ProactivePlan returns the rule IDs to pre-install at switch setup, in
@@ -111,8 +159,10 @@ func (c *Reactive) ProactivePlan(capacity int) ([]int, error) {
 		return nil, nil
 	}
 	if c.policy.Len() > capacity {
+		c.tm.capacityRejects.Inc()
 		return nil, fmt.Errorf("controller: proactive deployment needs %d slots, table has %d", c.policy.Len(), capacity)
 	}
+	c.tm.proactivePlans.Inc()
 	return c.policy.ByPriority(), nil
 }
 

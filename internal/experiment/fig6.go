@@ -6,6 +6,7 @@ import (
 
 	"flowrecon/internal/core"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 // Fig6Options scales the Figure 6 reproduction. The paper used 100
@@ -20,6 +21,10 @@ type Fig6Options struct {
 	// SaveDir, when non-empty, receives one JSON file per accepted
 	// configuration (see SaveConfig) for exact re-runs.
 	SaveDir string
+	// Telemetry, when non-nil, receives the run's experiment metrics
+	// (trial counters, probe hit/miss delay histograms, per-attacker
+	// confusion-matrix counters) cumulatively across all configurations.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFig6Options returns a laptop-scale version of the paper's run.
@@ -98,7 +103,7 @@ func RunFig6(opts Fig6Options) (*Fig6Result, error) {
 			&core.NaiveAttacker{TargetFlow: nc.Target},
 			model,
 		}
-		results, err := RunTrials(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork())
+		results, _, err := RunTrialsInstrumented(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), PoissonSource, opts.Telemetry, false)
 		if err != nil {
 			return nil, err
 		}

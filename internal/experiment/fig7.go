@@ -5,6 +5,7 @@ import (
 
 	"flowrecon/internal/core"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 // Fig7Options scales the Figure 7 reproduction.
@@ -17,6 +18,9 @@ type Fig7Options struct {
 	// SaveDir, when non-empty, receives one JSON file per accepted
 	// configuration (see SaveConfig) for exact re-runs.
 	SaveDir string
+	// Telemetry, when non-nil, receives the run's experiment metrics
+	// cumulatively across all configurations (see Fig6Options.Telemetry).
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFig7Options returns a laptop-scale version of the paper's run.
@@ -77,7 +81,7 @@ func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 			restricted,
 			&core.RandomAttacker{PPresent: 1 - nc.PAbsent()},
 		}
-		results, err := RunTrials(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork())
+		results, _, err := RunTrialsInstrumented(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), PoissonSource, opts.Telemetry, false)
 		if err != nil {
 			return nil, err
 		}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+
+	"flowrecon/internal/stats"
 )
 
 // WriteFig6 renders the Figure 6 reproduction as text tables.
@@ -85,12 +87,15 @@ func WriteFig7(w io.Writer, r *Fig7Result) error {
 // WriteLatency renders the §VI-A latency table.
 func WriteLatency(w io.Writer, r *LatencyReport) error {
 	fmt.Fprintf(w, "Latency characterization (§VI-A; paper: hit 0.087±0.021 ms, miss 4.070±1.806 ms)\n")
-	fmt.Fprintf(w, "%-28s %10s %10s %8s\n", "measurement", "mean(ms)", "std(ms)", "n")
-	fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "netsim hit RTT", r.SimHitMs.Mean, r.SimHitMs.Stddev, r.SimHitMs.N)
-	fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "netsim miss RTT", r.SimMissMs.Mean, r.SimMissMs.Stddev, r.SimMissMs.N)
+	fmt.Fprintf(w, "%-28s %10s %10s %9s %9s %9s %8s\n", "measurement", "mean(ms)", "std(ms)", "p50(ms)", "p95(ms)", "p99(ms)", "n")
+	row := func(name string, s stats.Summary) {
+		fmt.Fprintf(w, "%-28s %10.4f %10.4f %9.4f %9.4f %9.4f %8d\n", name, s.Mean, s.Stddev, s.P50, s.P95, s.P99, s.N)
+	}
+	row("netsim hit RTT", r.SimHitMs)
+	row("netsim miss RTT", r.SimMissMs)
 	if r.OFHitMs.N > 0 || r.OFMissMs.N > 0 {
-		fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "openflow/TCP hit delay", r.OFHitMs.Mean, r.OFHitMs.Stddev, r.OFHitMs.N)
-		fmt.Fprintf(w, "%-28s %10.4f %10.4f %8d\n", "openflow/TCP miss delay", r.OFMissMs.Mean, r.OFMissMs.Stddev, r.OFMissMs.N)
+		row("openflow/TCP hit delay", r.OFHitMs)
+		row("openflow/TCP miss delay", r.OFMissMs)
 	}
 	fmt.Fprintf(w, "threshold %.1f ms: sim misclassification %.2f%%, openflow %.2f%%\n\n",
 		r.ThresholdMs, 100*r.SimMisclassified, 100*r.OFMisclassified)

@@ -1,0 +1,139 @@
+package experiment
+
+import (
+	"flowrecon/internal/core"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
+)
+
+// TrialRecord is one per-trial telemetry sample: the cumulative registry
+// snapshot taken at the end of the trial, Prometheus-scrape style, plus
+// the trial's ground truth. Successive records can be differenced to
+// recover per-trial deltas.
+type TrialRecord struct {
+	Trial     int                `json:"trial"`
+	Truth     bool               `json:"truth"`
+	Telemetry telemetry.Snapshot `json:"telemetry"`
+}
+
+// trialMetrics are the experiment layer's instruments, resolved once per
+// run. The zero value (nil registry) disables everything.
+type trialMetrics struct {
+	trials     *telemetry.Counter
+	probeHits  *telemetry.Counter
+	probeMiss  *telemetry.Counter
+	hitMs      *telemetry.Histogram
+	missMs     *telemetry.Histogram
+	truthTrue  *telemetry.Counter
+	truthFalse *telemetry.Counter
+	tracer     *telemetry.Tracer
+}
+
+// newTrialMetrics resolves the experiment instruments from reg (nil-safe).
+func newTrialMetrics(reg *telemetry.Registry) trialMetrics {
+	return trialMetrics{
+		trials:     reg.Counter("experiment_trials_total"),
+		probeHits:  reg.Counter("experiment_probes_total", "result", "hit"),
+		probeMiss:  reg.Counter("experiment_probes_total", "result", "miss"),
+		hitMs:      reg.Histogram("experiment_probe_delay_ms", telemetry.MillisecondBuckets(), "result", "hit"),
+		missMs:     reg.Histogram("experiment_probe_delay_ms", telemetry.MillisecondBuckets(), "result", "miss"),
+		truthTrue:  reg.Counter("experiment_truth_total", "present", "true"),
+		truthFalse: reg.Counter("experiment_truth_total", "present", "false"),
+		tracer:     reg.Tracer(),
+	}
+}
+
+// verdictCounters resolves the per-attacker outcome counters (labelled by
+// attacker name and confusion-matrix cell).
+func verdictCounters(reg *telemetry.Registry, name string) [4]*telemetry.Counter {
+	return [4]*telemetry.Counter{
+		reg.Counter("experiment_verdicts_total", "attacker", name, "outcome", "true_pos"),
+		reg.Counter("experiment_verdicts_total", "attacker", name, "outcome", "true_neg"),
+		reg.Counter("experiment_verdicts_total", "attacker", name, "outcome", "false_pos"),
+		reg.Counter("experiment_verdicts_total", "attacker", name, "outcome", "false_neg"),
+	}
+}
+
+// countVerdict increments the confusion-matrix counter for one verdict.
+func countVerdict(vc [4]*telemetry.Counter, verdict, truth bool) {
+	switch {
+	case verdict && truth:
+		vc[0].Inc()
+	case !verdict && !truth:
+		vc[1].Inc()
+	case verdict && !truth:
+		vc[2].Inc()
+	default:
+		vc[3].Inc()
+	}
+}
+
+// observeProbe records one probe's ground truth and drawn delay.
+func (tm *trialMetrics) observeProbe(hit bool, ms float64) {
+	if tm == nil {
+		return
+	}
+	if hit {
+		tm.probeHits.Inc()
+		tm.hitMs.Observe(ms)
+	} else {
+		tm.probeMiss.Inc()
+		tm.missMs.Observe(ms)
+	}
+}
+
+// RunTrialsInstrumented is the fully-observable trial loop behind
+// RunTrials: each trial generates one traffic window from source, replays
+// it through a continuous-time switch table, lets every attacker probe its
+// own replica, and scores the verdicts. When reg is non-nil the run feeds
+// the experiment instruments (trial counter, probe hit/miss counters and
+// millisecond delay histograms, per-attacker confusion-matrix counters)
+// and the trial tables' flowtable metrics; when perTrial is also set, a
+// cumulative registry snapshot is recorded after every trial and returned
+// as []TrialRecord.
+func RunTrialsInstrumented(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, source TraceSource, reg *telemetry.Registry, perTrial bool) ([]AttackerResult, []TrialRecord, error) {
+	if source == nil {
+		source = PoissonSource
+	}
+	tm := newTrialMetrics(reg)
+	verdicts := make([][4]*telemetry.Counter, len(attackers))
+	results := make([]AttackerResult, len(attackers))
+	for i, a := range attackers {
+		results[i].Name = a.Name()
+		verdicts[i] = verdictCounters(reg, a.Name())
+	}
+	var records []TrialRecord
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
+	for t := 0; t < trials; t++ {
+		trace, err := source(nc.Rates, horizon, rng.Fork())
+		if err != nil {
+			return nil, nil, err
+		}
+		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
+		if truth {
+			tm.truthTrue.Inc()
+		} else {
+			tm.truthFalse.Inc()
+		}
+		for i, a := range attackers {
+			tbl, err := replayTrace(nc, trace, reg)
+			if err != nil {
+				return nil, nil, err
+			}
+			var outcomes []bool
+			if seq, ok := a.(SequentialAttacker); ok {
+				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng, &tm)
+			} else {
+				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng, &tm)
+			}
+			verdict := a.Decide(outcomes, rng)
+			score(&results[i], verdict, truth)
+			countVerdict(verdicts[i], verdict, truth)
+		}
+		tm.trials.Inc()
+		if perTrial && reg != nil {
+			records = append(records, TrialRecord{Trial: t, Truth: truth, Telemetry: reg.Snapshot()})
+		}
+	}
+	return results, records, nil
+}

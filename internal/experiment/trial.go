@@ -8,6 +8,7 @@ import (
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 	"flowrecon/internal/workload"
 )
 
@@ -37,6 +38,13 @@ func DefaultMeasurement() Measurement {
 // Classify simulates one timing observation of a probe with ground-truth
 // outcome hit and returns the attacker's classification.
 func (m Measurement) Classify(hit bool, rng *stats.RNG) bool {
+	verdict, _ := m.ClassifyMs(hit, rng)
+	return verdict
+}
+
+// ClassifyMs is Classify exposing the drawn observation (milliseconds) —
+// the quantity the telemetry probe-delay histograms record.
+func (m Measurement) ClassifyMs(hit bool, rng *stats.RNG) (bool, float64) {
 	var ms float64
 	if hit {
 		ms = rng.Normal(m.HitMeanMs, m.HitStdMs)
@@ -49,7 +57,7 @@ func (m Measurement) Classify(hit bool, rng *stats.RNG) bool {
 			ms = m.MissFloorMs
 		}
 	}
-	return ms < m.ThresholdMs
+	return ms < m.ThresholdMs, ms
 }
 
 // AttackerResult aggregates one attacker's trial outcomes.
@@ -108,33 +116,8 @@ func RunTrials(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Me
 
 // RunTrialsWithSource is RunTrials with a custom traffic source.
 func RunTrialsWithSource(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, source TraceSource) ([]AttackerResult, error) {
-	results := make([]AttackerResult, len(attackers))
-	for i, a := range attackers {
-		results[i].Name = a.Name()
-	}
-	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
-	for trial := 0; trial < trials; trial++ {
-		trace, err := source(nc.Rates, horizon, rng.Fork())
-		if err != nil {
-			return nil, err
-		}
-		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
-		for i, a := range attackers {
-			tbl, err := replayTrace(nc, trace)
-			if err != nil {
-				return nil, err
-			}
-			var outcomes []bool
-			if seq, ok := a.(SequentialAttacker); ok {
-				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng)
-			} else {
-				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng)
-			}
-			verdict := a.Decide(outcomes, rng)
-			score(&results[i], verdict, truth)
-		}
-	}
-	return results, nil
+	results, _, err := RunTrialsInstrumented(nc, attackers, trials, meas, rng, source, nil, false)
+	return results, err
 }
 
 // SequentialAttacker is an attacker that chooses each probe after seeing
@@ -147,23 +130,28 @@ type SequentialAttacker interface {
 }
 
 // probeSequential drives a sequential attacker against the table.
-func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG) []bool {
+func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics) []bool {
 	var outcomes []bool
 	for {
 		f, ok := a.NextProbe(outcomes)
 		if !ok {
 			return outcomes
 		}
-		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng)
+		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, tm)
 		outcomes = append(outcomes, step[0])
 	}
 }
 
-// replayTrace builds the switch table state after the traffic window.
-func replayTrace(nc *NetworkConfig, trace *workload.Trace) (*flowtable.Table, error) {
+// replayTrace builds the switch table state after the traffic window. A
+// non-nil registry attaches the table's flowtable instruments under the
+// "trial" node label so replay installs/evictions are observable.
+func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Registry) (*flowtable.Table, error) {
 	tbl, err := flowtable.New(nc.Rules, nc.Params.CacheSize, nc.Params.Delta)
 	if err != nil {
 		return nil, fmt.Errorf("trial table: %w", err)
+	}
+	if reg != nil {
+		tbl.SetTelemetry(reg, "trial")
 	}
 	for _, a := range trace.Arrivals() {
 		if _, hit := tbl.Lookup(a.Flow, a.Time); !hit {
@@ -178,8 +166,9 @@ func replayTrace(nc *NetworkConfig, trace *workload.Trace) (*flowtable.Table, er
 // probeTable sends the attacker's probes at the attack time, mutating the
 // table exactly as real probes would (a miss installs the covering rule; a
 // hit refreshes it), and classifies each observation through the timing
-// channel.
-func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG) []bool {
+// channel. The drawn delay of every probe feeds the experiment histograms
+// via tm (nil-safe instruments).
+func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics) []bool {
 	outcomes := make([]bool, len(probes))
 	for i, f := range probes {
 		_, hit := tbl.Lookup(f, at)
@@ -188,7 +177,9 @@ func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at f
 				tbl.Install(j, at)
 			}
 		}
-		outcomes[i] = meas.Classify(hit, rng)
+		verdict, ms := meas.ClassifyMs(hit, rng)
+		tm.observeProbe(hit, ms)
+		outcomes[i] = verdict
 	}
 	return outcomes
 }

@@ -16,6 +16,8 @@ type StepTable struct {
 	rules    *rules.Set
 	capacity int
 	slots    []StepEntry // index 0 is the cache front
+	step     int         // events processed (virtual step index)
+	tm       stepMetrics // resolved telemetry instruments (zero = disabled)
 }
 
 // StepEntry is one (rule, remaining time) cache slot.
@@ -80,7 +82,12 @@ func (t *StepTable) StepTimeout() bool {
 	if idx < 0 {
 		return false
 	}
+	removed := t.slots[idx].RuleID
 	t.slots = append(t.slots[:idx], t.slots[idx+1:]...)
+	t.step++
+	t.tm.steps.Inc()
+	t.tm.timeouts.Inc()
+	t.traceStep("sim.step.timeout", removed, -1)
 	return true
 }
 
@@ -90,6 +97,9 @@ func (t *StepTable) StepNull() {
 	for i := range t.slots {
 		t.slots[i].Exp--
 	}
+	t.step++
+	t.tm.steps.Inc()
+	t.traceStep("sim.step.null", -1, -1)
 }
 
 // StepArrival performs the flow-arrival transition for flow f and returns
@@ -101,14 +111,24 @@ func (t *StepTable) StepArrival(f flows.ID) (ruleID int, hit, ok bool) {
 	if slot, cached := t.matchCached(f); cached {
 		id := t.slots[slot].RuleID
 		t.applyHit(slot)
+		t.step++
+		t.tm.steps.Inc()
+		t.tm.hits.Inc()
+		t.traceStep("sim.step.hit", id, int(f))
 		return id, true, true
 	}
 	j, covered := t.rules.HighestCovering(f)
 	if !covered {
+		// An uncovered arrival only decrements clocks — the null
+		// transition; StepNull accounts for the step.
 		t.StepNull()
 		return 0, false, false
 	}
 	t.applyMiss(j)
+	t.step++
+	t.tm.steps.Inc()
+	t.tm.misses.Inc()
+	t.traceStep("sim.step.miss", j, int(f))
 	return j, false, true
 }
 

@@ -56,6 +56,7 @@ type Table struct {
 	stepSec  float64 // seconds per model step (Δ); rule timeouts are in steps
 	entries  map[int]*Entry
 	stats    Stats
+	tm       tableMetrics // resolved telemetry instruments (zero = disabled)
 
 	// OnRemove, if non-nil, is called whenever a rule leaves the table.
 	OnRemove func(ruleID int, reason EvictionReason, now float64)
@@ -143,6 +144,9 @@ func (t *Table) expire(now float64) {
 		if t.expiry(e) <= now {
 			delete(t.entries, id)
 			t.stats.Expirations++
+			t.tm.expirations.Inc()
+			t.tm.occupancy.Set(int64(len(t.entries)))
+			t.traceRule("rule.expire", id, now)
 			if t.OnRemove != nil {
 				t.OnRemove(id, ReasonExpired, now)
 			}
@@ -157,12 +161,15 @@ func (t *Table) expire(now float64) {
 func (t *Table) Lookup(f flows.ID, now float64) (ruleID int, ok bool) {
 	t.expire(now)
 	t.stats.Lookups++
+	t.tm.lookups.Inc()
 	id, ok := t.rules.MatchIn(f, func(r int) bool { _, c := t.entries[r]; return c })
 	if !ok {
 		t.stats.Misses++
+		t.tm.misses.Inc()
 		return 0, false
 	}
 	t.stats.Hits++
+	t.tm.hits.Inc()
 	t.stats.MatchesByRule[id]++
 	t.entries[id].LastMatch = now
 	return id, true
@@ -187,12 +194,17 @@ func (t *Table) Install(ruleID int, now float64) {
 		}
 		delete(t.entries, victim)
 		t.stats.Evictions++
+		t.tm.evictions.Inc()
+		t.traceRule("rule.evict", victim, now)
 		if t.OnRemove != nil {
 			t.OnRemove(victim, ReasonEvicted, now)
 		}
 	}
 	t.stats.Installs++
 	t.entries[ruleID] = &Entry{RuleID: ruleID, InstalledAt: now, LastMatch: now}
+	t.tm.installs.Inc()
+	t.tm.occupancy.Set(int64(len(t.entries)))
+	t.traceRule("rule.install", ruleID, now)
 }
 
 // Remove deletes ruleID from the table if present (a controller-initiated
@@ -203,5 +215,7 @@ func (t *Table) Remove(ruleID int, now float64) bool {
 		return false
 	}
 	delete(t.entries, ruleID)
+	t.tm.occupancy.Set(int64(len(t.entries)))
+	t.traceRule("rule.remove", ruleID, now)
 	return true
 }

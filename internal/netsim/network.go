@@ -10,6 +10,7 @@ import (
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 )
 
 // LatencyModel holds the timing parameters of the simulated fabric. The
@@ -105,6 +106,48 @@ type Network struct {
 	adj      map[string]map[string]bool
 	// PacketIns counts controller consultations (misses).
 	PacketIns int
+
+	reg *telemetry.Registry
+	tm  netMetrics // resolved instruments (zero = disabled)
+}
+
+// netMetrics are the fabric's telemetry instruments.
+type netMetrics struct {
+	packetIns *telemetry.Counter
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	rtt       *telemetry.Histogram // delivered echo RTT, seconds
+	tracer    *telemetry.Tracer
+}
+
+// SetTelemetry attaches the fabric (and every switch's flow table, keyed
+// by node name) to a registry. Switches added later are wired on
+// AddSwitch. A nil registry disables telemetry.
+func (n *Network) SetTelemetry(reg *telemetry.Registry) {
+	n.reg = reg
+	n.tm = netMetrics{
+		packetIns: reg.Counter("netsim_packet_ins_total"),
+		hits:      reg.Counter("netsim_lookups_total", "result", "hit"),
+		misses:    reg.Counter("netsim_lookups_total", "result", "miss"),
+		rtt:       reg.Histogram("netsim_echo_rtt_seconds", nil),
+		tracer:    reg.Tracer(),
+	}
+	for name, sw := range n.switches {
+		sw.Table.SetTelemetry(reg, name)
+	}
+}
+
+// trace emits one per-node virtual-time event.
+func (n *Network) trace(kind, node string, flow flows.ID, value float64) {
+	if n.tm.tracer == nil {
+		return
+	}
+	e := telemetry.Ev(kind)
+	e.Node = node
+	e.Flow = int(flow)
+	e.Virtual = n.sim.Now()
+	e.Value = value
+	n.tm.tracer.Emit(e)
 }
 
 // NewNetwork builds an empty fabric. stepSec scales rule timeouts exactly
@@ -133,6 +176,9 @@ func (n *Network) AddSwitch(name string, capacity int, stepSec float64) error {
 	tbl, err := flowtable.New(n.ctrl.App.Policy(), capacity, stepSec)
 	if err != nil {
 		return err
+	}
+	if n.reg != nil {
+		tbl.SetTelemetry(n.reg, name)
 	}
 	n.switches[name] = &SwitchNode{Name: name, Table: tbl}
 	n.adj[name] = make(map[string]bool)
@@ -254,6 +300,7 @@ func (n *Network) SendEcho(srcHost, dstHost string, at float64) (*EchoResult, er
 
 	res := &EchoResult{SentAt: at, RTT: math.NaN()}
 	n.sim.At(at+n.lat.HostLink, func() {
+		n.trace("probe.sent", src.Switch, fid, 0)
 		n.forward(res, path, 0, fid, known, at)
 	})
 	return res, nil
@@ -270,10 +317,17 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		if known {
 			_, hit = sw.Table.Lookup(fid, now)
 		}
+		if hit {
+			n.tm.hits.Inc()
+			n.trace("probe.hit", sw.Name, fid, 0)
+		}
 		if !hit {
 			// Table miss: consult the controller (steps b–e of Figure 1).
 			res.Missed = true
 			n.PacketIns++
+			n.tm.misses.Inc()
+			n.tm.packetIns.Inc()
+			n.trace("probe.miss", sw.Name, fid, 0)
 			setup := sample(n.rng, n.lat.SetupMean, n.lat.SetupStd)
 			if setup < n.lat.SetupFloor {
 				setup = n.lat.SetupFloor
@@ -310,8 +364,11 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		}
 	}
 	replyDelay += n.lat.HostLink // back to the source host
+	last := path[len(path)-1]
 	n.sim.After(replyDelay, func() {
 		res.RTT = n.sim.Now() - res.SentAt
 		res.Delivered = true
+		n.tm.rtt.Observe(res.RTT)
+		n.trace("echo.delivered", last, fid, res.RTT)
 	})
 }

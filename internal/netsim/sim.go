@@ -9,6 +9,8 @@ package netsim
 
 import (
 	"container/heap"
+
+	"flowrecon/internal/telemetry"
 )
 
 // event is one scheduled simulator callback.
@@ -45,10 +47,30 @@ type Sim struct {
 	now  float64
 	seq  int64
 	heap eventHeap
+
+	events  *telemetry.Counter // processed events
+	pending *telemetry.Gauge   // queued events
+	clock   *telemetry.Gauge   // virtual time, microseconds
 }
 
 // NewSim returns a simulator at time zero.
 func NewSim() *Sim { return &Sim{} }
+
+// SetTelemetry attaches the simulator's event counter, queue-depth gauge,
+// and virtual-clock gauge (microseconds) to a registry. A nil registry
+// disables telemetry.
+func (s *Sim) SetTelemetry(reg *telemetry.Registry) {
+	s.events = reg.Counter("netsim_events_total")
+	s.pending = reg.Gauge("netsim_pending_events")
+	s.clock = reg.Gauge("netsim_virtual_time_us")
+}
+
+// observe records post-event simulator state.
+func (s *Sim) observe() {
+	s.events.Inc()
+	s.pending.Set(int64(len(s.heap)))
+	s.clock.Set(int64(s.now * 1e6))
+}
 
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
@@ -78,6 +100,7 @@ func (s *Sim) Run() int {
 		e := heap.Pop(&s.heap).(*event)
 		s.now = e.at
 		e.run()
+		s.observe()
 		n++
 	}
 	return n
@@ -91,6 +114,7 @@ func (s *Sim) RunUntil(t float64) int {
 		e := heap.Pop(&s.heap).(*event)
 		s.now = e.at
 		e.run()
+		s.observe()
 		n++
 	}
 	if s.now < t {

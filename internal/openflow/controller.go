@@ -11,6 +11,7 @@ import (
 	"flowrecon/internal/controller"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/rules"
+	"flowrecon/internal/telemetry"
 )
 
 // ControllerOptions tune the reactive controller.
@@ -40,8 +41,35 @@ type Controller struct {
 	// flowRemovals counts FLOW_REMOVED notifications from switches.
 	flowRemovals atomic.Int64
 
+	reg *telemetry.Registry
+	tm  ctlMetrics // resolved instruments (zero = disabled)
+
 	connMu sync.Mutex
 	conns  map[*Conn]struct{}
+}
+
+// ctlMetrics are the TCP controller's telemetry instruments.
+type ctlMetrics struct {
+	connections  *telemetry.Counter
+	flowRemovals *telemetry.Counter
+	serviceTime  *telemetry.Histogram // packet-in → flow-mod/packet-out, seconds
+	tracer       *telemetry.Tracer
+}
+
+// SetTelemetry attaches the controller (its shared application plus every
+// future switch connection) to a registry. Call before Listen/ServeConn.
+// A nil registry disables telemetry.
+func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
+	c.reg = reg
+	if c.app != nil {
+		c.app.SetTelemetry(reg)
+	}
+	c.tm = ctlMetrics{
+		connections:  reg.Counter("controller_connections_total"),
+		flowRemovals: reg.Counter("controller_flow_removals_total"),
+		serviceTime:  reg.Histogram("controller_packet_in_service_seconds", nil),
+		tracer:       reg.Tracer(),
+	}
 }
 
 // NewController builds a controller over the shared policy.
@@ -115,6 +143,10 @@ func (c *Controller) acceptLoop() {
 // ServeConn drives one switch connection to completion (used directly in
 // tests with a pipe transport).
 func (c *Controller) ServeConn(conn *Conn) {
+	if c.reg != nil {
+		conn.SetTelemetry(c.reg, "controller")
+	}
+	c.tm.connections.Inc()
 	c.connMu.Lock()
 	c.conns[conn] = struct{}{}
 	c.connMu.Unlock()
@@ -132,25 +164,45 @@ func (c *Controller) ServeConn(conn *Conn) {
 		return
 	}
 	for {
-		msg, _, err := conn.Recv()
+		msg, h, err := conn.Recv()
 		if err != nil {
 			return
 		}
 		switch m := msg.(type) {
 		case *PacketIn:
+			begin := time.Now()
 			if err := c.handlePacketIn(conn, m); err != nil {
 				return
 			}
+			c.tm.serviceTime.Observe(time.Since(begin).Seconds())
 		case *EchoRequest:
-			if err := conn.SendXID(&EchoReply{Data: m.Data}, 0); err != nil {
+			if err := conn.SendXID(&EchoReply{Data: m.Data}, h.XID); err != nil {
 				return
 			}
 		case *FlowRemoved:
 			c.flowRemovals.Add(1)
+			c.tm.flowRemovals.Inc()
+			c.traceRemoved(m)
 		case *FeaturesReply, *Hello, *EchoReply, *ErrorMsg:
 			// informational
 		}
 	}
+}
+
+// traceRemoved emits one flow-removal notification event.
+func (c *Controller) traceRemoved(m *FlowRemoved) {
+	if c.tm.tracer == nil {
+		return
+	}
+	kind := "rule.expire"
+	if m.Reason == RemovedDelete {
+		kind = "rule.evict"
+	}
+	e := telemetry.Ev(kind)
+	e.Node = "controller"
+	e.Rule = int(m.Cookie)
+	e.Detail = "flow_removed"
+	c.tm.tracer.Emit(e)
 }
 
 // handlePacketIn implements the reactive rule setup of Figure 1 (steps

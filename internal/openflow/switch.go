@@ -9,6 +9,7 @@ import (
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/rules"
+	"flowrecon/internal/telemetry"
 )
 
 // Switch is a user-space OpenFlow switch agent: it owns a flow table,
@@ -22,13 +23,62 @@ type Switch struct {
 	conn     *Conn
 	start    time.Time
 
-	mu      sync.Mutex
-	table   *flowtable.Table
-	pending map[uint32]chan bool // buffer id → "rule installed?"
-	nextBuf uint32
+	mu          sync.Mutex
+	table       *flowtable.Table
+	pending     map[uint32]chan bool     // buffer id → "rule installed?"
+	pendingEcho map[uint32]chan struct{} // echo xid → reply arrival
+	nextBuf     uint32
+
+	reg *telemetry.Registry
+	tm  switchMetrics // resolved instruments (zero = disabled)
 
 	done chan struct{}
 	err  error
+}
+
+// switchMetrics are the switch agent's telemetry instruments.
+type switchMetrics struct {
+	injects   *telemetry.Counter
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	hitDelay  *telemetry.Histogram // seconds; effectively the hot-path cost
+	missDelay *telemetry.Histogram // seconds; one controller round trip
+	echoRTT   *telemetry.Histogram // seconds; control-channel echo RTT
+	tracer    *telemetry.Tracer
+}
+
+// SetTelemetry attaches the switch (its flow table, its connection once
+// established, and its probe/echo instruments) to a registry. Call before
+// Connect/Start. A nil registry disables telemetry.
+func (s *Switch) SetTelemetry(reg *telemetry.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.table.SetTelemetry(reg, "switch")
+	s.tm = switchMetrics{
+		injects:   reg.Counter("switch_injects_total"),
+		hits:      reg.Counter("switch_inject_results_total", "result", "hit"),
+		misses:    reg.Counter("switch_inject_results_total", "result", "miss"),
+		hitDelay:  reg.Histogram("switch_inject_delay_seconds", nil, "result", "hit"),
+		missDelay: reg.Histogram("switch_inject_delay_seconds", nil, "result", "miss"),
+		echoRTT:   reg.Histogram("openflow_echo_rtt_seconds", nil),
+		tracer:    reg.Tracer(),
+	}
+	if s.conn != nil {
+		s.conn.SetTelemetry(reg, "switch")
+	}
+}
+
+// traceProbe emits one probe lifecycle event.
+func (s *Switch) traceProbe(kind string, rule int, delay time.Duration) {
+	if s.tm.tracer == nil {
+		return
+	}
+	e := telemetry.Ev(kind)
+	e.Node = "switch"
+	e.Rule = rule
+	e.Value = delay.Seconds()
+	s.tm.tracer.Emit(e)
 }
 
 // NewSwitch builds a switch over the shared policy. capacity and stepSec
@@ -39,13 +89,14 @@ func NewSwitch(dpid uint64, rs *rules.Set, universe *flows.Universe, capacity in
 		return nil, err
 	}
 	s := &Switch{
-		dpid:     dpid,
-		rules:    rs,
-		universe: universe,
-		table:    tbl,
-		pending:  make(map[uint32]chan bool),
-		start:    time.Now(),
-		done:     make(chan struct{}),
+		dpid:        dpid,
+		rules:       rs,
+		universe:    universe,
+		table:       tbl,
+		pending:     make(map[uint32]chan bool),
+		pendingEcho: make(map[uint32]chan struct{}),
+		start:       time.Now(),
+		done:        make(chan struct{}),
 	}
 	// Report expirations and evictions to the controller, as OpenFlow's
 	// OFPFF_SEND_FLOW_REM does.
@@ -76,10 +127,11 @@ func (s *Switch) notifyRemoved(ruleID int, reason flowtable.EvictionReason, now 
 	_, _ = s.conn.Send(msg)
 }
 
-// Connect dials the controller, handshakes, answers the features request,
-// and starts the receive loop. Call Close to stop.
+// Connect dials the controller (bounded by DefaultHandshakeTimeout),
+// handshakes, answers the features request, and starts the receive loop.
+// Call Close to stop.
 func (s *Switch) Connect(addr string) error {
-	conn, err := Dial(addr)
+	conn, err := DialTimeout(addr, DefaultHandshakeTimeout)
 	if err != nil {
 		return err
 	}
@@ -90,6 +142,9 @@ func (s *Switch) Connect(addr string) error {
 // tests with a pipe transport).
 func (s *Switch) Start(conn *Conn) error {
 	s.conn = conn
+	if s.reg != nil {
+		conn.SetTelemetry(s.reg, "switch")
+	}
 	if err := conn.Handshake(); err != nil {
 		conn.Close()
 		return fmt.Errorf("switch handshake: %w", err)
@@ -147,7 +202,9 @@ func (s *Switch) recvLoop() {
 			s.handleFlowMod(m)
 		case *PacketOut:
 			s.release(m.BufferID, false)
-		case *Hello, *EchoReply, *ErrorMsg:
+		case *EchoReply:
+			s.releaseEcho(h.XID)
+		case *Hello, *ErrorMsg:
 			// ignored
 		}
 	}
@@ -186,6 +243,19 @@ func (s *Switch) release(bufferID uint32, installed bool) {
 	}
 }
 
+// releaseEcho completes a blocked Echo call.
+func (s *Switch) releaseEcho(xid uint32) {
+	s.mu.Lock()
+	ch, ok := s.pendingEcho[xid]
+	if ok {
+		delete(s.pendingEcho, xid)
+	}
+	s.mu.Unlock()
+	if ok {
+		close(ch)
+	}
+}
+
 // failPending unblocks all waiters when the connection dies.
 func (s *Switch) failPending() {
 	s.mu.Lock()
@@ -193,6 +263,46 @@ func (s *Switch) failPending() {
 	for id, ch := range s.pending {
 		delete(s.pending, id)
 		close(ch)
+	}
+	for xid, ch := range s.pendingEcho {
+		delete(s.pendingEcho, xid)
+		close(ch)
+	}
+}
+
+// ErrEchoTimeout is returned by Echo when the reply does not arrive in
+// time.
+var ErrEchoTimeout = errors.New("openflow: echo timed out")
+
+// Echo measures one control-channel round trip: it sends an ECHO_REQUEST
+// to the controller and blocks until the matching ECHO_REPLY or the
+// timeout (0 = DefaultHandshakeTimeout). The RTT feeds the
+// openflow_echo_rtt_seconds histogram.
+func (s *Switch) Echo(timeout time.Duration) (time.Duration, error) {
+	if timeout <= 0 {
+		timeout = DefaultHandshakeTimeout
+	}
+	xid := s.conn.XID()
+	ch := make(chan struct{})
+	s.mu.Lock()
+	s.pendingEcho[xid] = ch
+	s.mu.Unlock()
+	begin := time.Now()
+	if err := s.conn.SendXID(&EchoRequest{}, xid); err != nil {
+		s.releaseEcho(xid)
+		return 0, err
+	}
+	select {
+	case <-ch:
+		rtt := time.Since(begin)
+		s.tm.echoRTT.Observe(rtt.Seconds())
+		s.traceProbe("echo.rtt", -1, rtt)
+		return rtt, nil
+	case <-time.After(timeout):
+		s.releaseEcho(xid)
+		return 0, ErrEchoTimeout
+	case <-s.done:
+		return 0, ErrDisconnected
 	}
 }
 
@@ -218,12 +328,17 @@ var ErrDisconnected = errors.New("openflow: controller connection lost")
 func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 	fid, known := s.universe.Lookup(t)
 	begin := time.Now()
+	s.tm.injects.Inc()
 	if known {
 		s.mu.Lock()
 		ruleID, hit := s.table.Lookup(fid, s.now())
 		s.mu.Unlock()
 		if hit {
-			return InjectResult{Hit: true, RuleID: ruleID, Delay: time.Since(begin)}, nil
+			delay := time.Since(begin)
+			s.tm.hits.Inc()
+			s.tm.hitDelay.Observe(delay.Seconds())
+			s.traceProbe("probe.hit", ruleID, delay)
+			return InjectResult{Hit: true, RuleID: ruleID, Delay: delay}, nil
 		}
 	}
 
@@ -251,6 +366,9 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 			res.RuleID = j
 		}
 	}
+	s.tm.misses.Inc()
+	s.tm.missDelay.Observe(res.Delay.Seconds())
+	s.traceProbe("probe.miss", res.RuleID, res.Delay)
 	return res, nil
 }
 

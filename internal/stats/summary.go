@@ -6,17 +6,23 @@ import (
 	"sort"
 )
 
-// Summary holds first- and second-moment statistics of a sample.
+// Summary holds first- and second-moment statistics of a sample plus
+// the tail quantiles used by the telemetry histograms and the latency
+// reports.
 type Summary struct {
-	N      int
-	Mean   float64
-	Stddev float64
-	Min    float64
-	Max    float64
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
 }
 
-// Summarize computes summary statistics for xs. An empty sample yields a
-// zero Summary.
+// Summarize computes summary statistics for xs, including the P50/P95/P99
+// quantiles (linear interpolation, see Quantile). An empty sample yields
+// a zero Summary.
 func Summarize(xs []float64) Summary {
 	if len(xs) == 0 {
 		return Summary{}
@@ -41,12 +47,19 @@ func Summarize(xs []float64) Summary {
 		}
 		s.Stddev = math.Sqrt(ss / float64(len(xs)-1))
 	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
 	return s
 }
 
 // String renders the summary as "mean=… std=… (n=…)".
 func (s Summary) String() string {
-	return fmt.Sprintf("mean=%.6g std=%.6g min=%.6g max=%.6g (n=%d)", s.Mean, s.Stddev, s.Min, s.Max, s.N)
+	return fmt.Sprintf("mean=%.6g std=%.6g min=%.6g max=%.6g p50=%.6g p95=%.6g p99=%.6g (n=%d)",
+		s.Mean, s.Stddev, s.Min, s.Max, s.P50, s.P95, s.P99, s.N)
 }
 
 // CDFPoint is one point of an empirical cumulative distribution function.
@@ -84,6 +97,14 @@ func Quantile(xs []float64, q float64) float64 {
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
 	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// quantileSorted is Quantile over an already-sorted sample.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

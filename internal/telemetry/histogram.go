@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+
+	"flowrecon/internal/stats"
+)
+
+// DefaultLatencyBuckets are histogram upper bounds (in seconds) spanning
+// 1 µs – 10 s, the range of every latency in the reproduction: per-hop
+// forwarding (µs), controller round trips (ms), and rule timeouts (s).
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+	}
+}
+
+// MillisecondBuckets are upper bounds (in milliseconds) matched to the
+// paper's timing channel: hit ≈ 0.087 ms, miss ≈ 4.07 ms, threshold 1 ms.
+func MillisecondBuckets() []float64 {
+	return []float64{
+		0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 0.75,
+		1, 1.5, 2, 3, 4, 5, 7.5, 10, 25, 50, 100,
+	}
+}
+
+// Histogram is a fixed-bucket histogram with atomic updates. Buckets are
+// cumulative-style upper bounds plus an implicit +Inf overflow bucket.
+// A nil *Histogram is the disabled instrument: Observe is a no-op.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; len(counts) == len(bounds)+1
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomicFloat
+	sumsq  atomicFloat
+	min    atomicFloat // initialized to +Inf
+	max    atomicFloat // initialized to -Inf
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds
+// (nil → DefaultLatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound ≥ v.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.sumsq.add(v * v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations (0 on a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Summary holds
+// moment statistics plus the bucket-interpolated P50/P95/P99 quantiles
+// (see stats.Summary); Bounds/Counts carry the raw buckets, with
+// Counts[len(Bounds)] the +Inf overflow bucket.
+type HistogramSnapshot struct {
+	Summary stats.Summary `json:"summary"`
+	Bounds  []float64     `json:"bounds"`
+	Counts  []int64       `json:"counts"`
+}
+
+// Snapshot captures the histogram's state. Quantiles are estimated by
+// linear interpolation within the containing bucket (clamped to the
+// observed min/max), the standard fixed-bucket estimator. On a nil
+// histogram it returns a zero snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	var n int64
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		n += s.Counts[i]
+	}
+	if n == 0 {
+		return s
+	}
+	sum, sumsq := h.sum.load(), h.sumsq.load()
+	mean := sum / float64(n)
+	s.Summary = stats.Summary{
+		N:    int(n),
+		Mean: mean,
+		Min:  h.min.load(),
+		Max:  h.max.load(),
+	}
+	if n > 1 {
+		// Sample variance from the power sums; clamp fp cancellation.
+		v := (sumsq - float64(n)*mean*mean) / float64(n-1)
+		if v > 0 {
+			s.Summary.Stddev = math.Sqrt(v)
+		}
+	}
+	s.Summary.P50 = s.quantile(0.50)
+	s.Summary.P95 = s.quantile(0.95)
+	s.Summary.P99 = s.quantile(0.99)
+	return s
+}
+
+// quantile estimates the q-quantile from the snapshot's buckets.
+func (s HistogramSnapshot) quantile(q float64) float64 {
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		// The quantile falls inside bucket i: interpolate between its
+		// bounds, clamped to the observed extrema.
+		lo := s.Summary.Min
+		if i > 0 && s.Bounds[i-1] > lo {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Summary.Max
+		if i < len(s.Bounds) && s.Bounds[i] < hi {
+			hi = s.Bounds[i]
+		}
+		if hi < lo {
+			hi = lo
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Summary.Max
+}
+
+// atomicFloat is a float64 with atomic add and monotone min/max updates,
+// stored as IEEE-754 bits in a uint64.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// splitSeries splits a series key produced by Series into its family
+// name and the inner label text (without braces; empty when unlabelled).
+func splitSeries(key string) (family, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 {
+		return key, ""
+	}
+	return key[:i], strings.TrimSuffix(key[i+1:], "}")
+}
+
+// joinLabels renders a brace block from inner label fragments, skipping
+// empties.
+func joinLabels(parts ...string) string {
+	kept := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			kept = append(kept, p)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format (version 0.0.4). Counters become `counter` families,
+// gauges `gauge`, histograms the standard `_bucket`/`_sum`/`_count`
+// triplet with cumulative `le` buckets. On a nil registry it writes
+// nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]int64, len(r.counters))
+	for k, c := range r.counters {
+		counters[k] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for k, g := range r.gauges {
+		gauges[k] = g.Value()
+	}
+	hists := make(map[string]HistogramSnapshot, len(r.histograms))
+	for k, h := range r.histograms {
+		hists[k] = h.Snapshot()
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	for _, key := range sortedKeys(counters) {
+		family, labels := splitSeries(key)
+		if !typed[family] {
+			typed[family] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", family); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, joinLabels(labels), counters[key]); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(gauges) {
+		family, labels := splitSeries(key)
+		if !typed[family] {
+			typed[family] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", family); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", family, joinLabels(labels), gauges[key]); err != nil {
+			return err
+		}
+	}
+	for _, key := range sortedKeys(hists) {
+		family, labels := splitSeries(key)
+		snap := hists[key]
+		if !typed[family] {
+			typed[family] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+				return err
+			}
+		}
+		var cum int64
+		for i, c := range snap.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(snap.Bounds) {
+				le = formatFloat(snap.Bounds[i])
+			}
+			lePair := fmt.Sprintf("le=%q", le)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, joinLabels(labels, lePair), cum); err != nil {
+				return err
+			}
+		}
+		sum := snap.Summary.Mean * float64(snap.Summary.N)
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, joinLabels(labels), formatFloat(sum)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, joinLabels(labels), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a float compactly ("0.001", not "1e-03", for the
+// common bucket bounds; falls back to %g).
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}

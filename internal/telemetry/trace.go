@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one timestamped structured trace record. Kind is a
+// dot-separated event name ("rule.install", "packet_in.recv",
+// "probe.miss", "sim.step", …); Node names the emitting component
+// (switch, controller, simulator node). Rule and Flow are -1 when not
+// applicable; Virtual is the simulator's virtual time in seconds (0 when
+// the event is wall-clock only).
+type Event struct {
+	Seq     int64   `json:"seq"`
+	WallNs  int64   `json:"wallNs"`
+	Virtual float64 `json:"virtual,omitempty"`
+	Kind    string  `json:"kind"`
+	Node    string  `json:"node,omitempty"`
+	Rule    int     `json:"rule"`
+	Flow    int     `json:"flow"`
+	Value   float64 `json:"value,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// Ev returns an Event of the given kind with Rule/Flow marked
+// not-applicable; callers fill the relevant fields before Emit.
+func Ev(kind string) Event {
+	return Event{Kind: kind, Rule: -1, Flow: -1}
+}
+
+// Tracer records events into a bounded ring buffer: the most recent cap
+// events are retained, older ones overwritten. A nil *Tracer is the
+// disabled instrument: Emit is a single nil check.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int   // ring write position
+	total int64 // events ever emitted (monotone sequence source)
+}
+
+// NewTracer returns a tracer retaining the most recent cap events.
+func NewTracer(cap int) *Tracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Tracer{buf: make([]Event, 0, cap)}
+}
+
+// Emit records one event, stamping its sequence number and (when unset)
+// its wall-clock time.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if e.WallNs == 0 {
+		e.WallNs = time.Now().UnixNano()
+	}
+	t.mu.Lock()
+	e.Seq = t.total
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.next] = e
+		t.next = (t.next + 1) % cap(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the number of events ever emitted (0 on a nil tracer).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events in emission order (nil on a nil
+// tracer).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) < cap(t.buf) {
+		out = append(out, t.buf...)
+		return out
+	}
+	out = append(out, t.buf[t.next:]...)
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// WriteJSONL writes the retained events as one JSON object per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range t.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
