@@ -23,8 +23,15 @@ test:
 race:
 	$(GO) test -race ./...
 
+## bench runs the root benchmark suite and writes BENCH_PR2.json — the
+## machine-readable ns/op table (via cmd/benchjson), including the
+## instrumented vs nil-recorder trial loop comparison.
 bench:
-	$(GO) test -run xxx -bench . -benchtime 200ms .
+	$(GO) test -run xxx -bench . -benchtime 200ms . > bench.out
+	@cat bench.out
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
+	@rm -f bench.out
+	@echo "wrote BENCH_PR2.json"
 
 ## check is the pre-merge gate: formatting, vet, and the full test suite
 ## under the race detector.

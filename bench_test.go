@@ -9,6 +9,7 @@
 package flowrecon_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
+	"flowrecon/internal/trialrec"
 )
 
 // benchParams is the reduced §VI-A configuration used by the figure
@@ -405,6 +407,64 @@ func BenchmarkAblationProbeCount(b *testing.B) {
 	}
 	b.ReportMetric(single, "gain1-bits")
 	b.ReportMetric(pair, "gain2-bits")
+}
+
+// BenchmarkTrialLoopRecording compares one full attack trial (traffic
+// generation, table replay, probing, verdicts for the standard
+// four-attacker roster) with forensics off (nil recorder — the per-probe
+// observer is a nil pointer), with causal spans only, and with the
+// complete JSONL recording (belief steps + spans) streamed to a discarded
+// writer. "off" must track the uninstrumented trial loop within noise —
+// the ISSUE's nil-recorder-is-free contract; the gap to "record" is the
+// price of full forensics.
+func BenchmarkTrialLoopRecording(b *testing.B) {
+	spec := experiment.RecordingSpec{
+		Params:      benchParams(),
+		ConfigSeed:  11,
+		TrialSeed:   13,
+		Trials:      1,
+		Probes:      2,
+		Measurement: experiment.DefaultMeasurement(),
+	}
+	nc, err := spec.BuildConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	attackers, err := experiment.StandardAttackers(nc, spec.Probes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trial := func(b *testing.B, opts experiment.TrialOptions) {
+		b.Helper()
+		if _, _, err := experiment.RunTrialsOpts(nc, attackers, 1, spec.Measurement, stats.NewRNG(spec.TrialSeed), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trial(b, experiment.TrialOptions{})
+		}
+	})
+	b.Run("spans", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			trial(b, experiment.TrialOptions{Spans: telemetry.NewSpanRecorder(0)})
+		}
+	})
+	b.Run("record", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec, err := trialrec.NewRecorder(io.Discard, trialrec.Header{Trials: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			trial(b, experiment.TrialOptions{Recorder: rec})
+			if err := rec.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTelemetryOverhead compares the flow table's hot path

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: flowrecon
+cpu: some cpu
+BenchmarkStateCount-8         	 5000000	       231.4 ns/op	         1.284e+21 states
+BenchmarkTrialLoopRecording/off-8    	     358	   3351216 ns/op	  501690 B/op	    5346 allocs/op
+BenchmarkTrialLoopRecording/record-8 	     301	   3904102 ns/op	  812345 B/op	    9123 allocs/op
+PASS
+ok  	flowrecon	12.3s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "flowrecon" {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("benchmarks = %d", len(rep.Benchmarks))
+	}
+	sc := rep.Benchmarks[0]
+	if sc.Name != "StateCount" || sc.Iters != 5000000 {
+		t.Fatalf("first: %+v", sc)
+	}
+	if sc.Metrics["ns/op"] != 231.4 || sc.Metrics["states"] != 1.284e+21 {
+		t.Fatalf("metrics: %+v", sc.Metrics)
+	}
+	off := rep.Benchmarks[1]
+	if off.Name != "TrialLoopRecording/off" {
+		t.Fatalf("sub-benchmark name: %q", off.Name)
+	}
+	if off.Metrics["allocs/op"] != 5346 {
+		t.Fatalf("allocs: %+v", off.Metrics)
+	}
+	rec := rep.Benchmarks[2]
+	if rec.Metrics["ns/op"] <= off.Metrics["ns/op"] {
+		t.Fatalf("sample sanity: %v vs %v", rec.Metrics["ns/op"], off.Metrics["ns/op"])
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
+		t.Fatal("no benchmarks accepted")
+	}
+}
+
+func TestParseResultMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 abc 1 ns/op",
+		"BenchmarkX-8 100 xyz ns/op",
+		"BenchmarkX-8 100 5 ns/op trailing",
+	} {
+		if _, ok := parseResult(line); ok {
+			t.Fatalf("malformed line parsed: %q", line)
+		}
+	}
+}

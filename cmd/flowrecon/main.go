@@ -6,6 +6,7 @@
 // Usage:
 //
 //	flowrecon -seed 7 -trials 200 -probes 2
+//	flowrecon -seed 7 -trials 200 -record run.jsonl -telemetry-out tel.json
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
+	"flowrecon/internal/trialrec"
 )
 
 func main() {
@@ -37,9 +39,13 @@ func run(args []string) error {
 		details = fs.Bool("details", false, "print the rule set and per-flow probe evaluations")
 		sweep   = fs.Bool("sweep", false, "also sweep the attack window and report gain vs T")
 		telOut  = fs.String("telemetry-out", "", "write final + per-trial telemetry snapshots as JSON to this file")
+		recOut  = fs.String("record", "", "write the deterministic trial recording (JSONL) to this file; replay with cmd/inspect -replay")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *recOut != "" && *recOut == *telOut {
+		return fmt.Errorf("flowrecon: -record and -telemetry-out must name different files (both got %q)", *recOut)
 	}
 
 	params := experiment.DefaultParams()
@@ -47,10 +53,20 @@ func run(args []string) error {
 		params.NumFlows, params.NumRules, params.MaskBits, params.CacheSize = 8, 6, 3, 3
 		params.WindowSeconds = 5
 	}
-	rng := stats.NewRNG(*seed)
+	// Derive both role seeds from the root seed so a recording header
+	// pins everything needed to replay the run bit-for-bit.
+	rootRNG := stats.NewRNG(*seed)
+	spec := experiment.RecordingSpec{
+		Params:      params,
+		ConfigSeed:  rootRNG.Int63(),
+		TrialSeed:   rootRNG.Int63(),
+		Trials:      *trials,
+		Probes:      *probes,
+		Measurement: experiment.DefaultMeasurement(),
+	}
 	fmt.Printf("sampling a network configuration (|Rules|=%d, n=%d, %d flows, Δ=%.3fs, T=%d steps)…\n",
 		params.NumRules, params.CacheSize, params.NumFlows, params.Delta, params.Steps())
-	nc, err := experiment.GenerateConfig(params, rng)
+	nc, err := spec.BuildConfig()
 	if err != nil {
 		return err
 	}
@@ -82,40 +98,56 @@ func run(args []string) error {
 		fmt.Println("→ warning: this configuration is not a viable detector (§VI-B filter)")
 	}
 
-	model, err := core.NewModelAttacker(nc.Selector, nc.Selector.AllFlows(), *probes, core.DecideByPosterior)
+	attackers, err := experiment.StandardAttackers(nc, *probes)
 	if err != nil {
 		return err
-	}
-	restricted, err := core.NewModelAttacker(nc.Selector, nc.Selector.FlowsExcept(nc.Target), 1, core.DecideByPosterior)
-	if err != nil {
-		return err
-	}
-	attackers := []core.Attacker{
-		&core.NaiveAttacker{TargetFlow: nc.Target},
-		model,
-		restricted,
-		&core.RandomAttacker{PPresent: 1 - nc.PAbsent()},
 	}
 	fmt.Printf("\nrunning %d trials…\n", *trials)
 	var reg *telemetry.Registry
 	if *telOut != "" {
 		reg = telemetry.NewRegistry(8192)
 	}
-	results, records, err := experiment.RunTrialsInstrumented(
-		nc, attackers, *trials, experiment.DefaultMeasurement(), rng.Fork(),
-		experiment.PoissonSource, reg, reg != nil)
+	var rec *trialrec.Recorder
+	if *recOut != "" {
+		specJSON, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		names := make([]string, len(attackers))
+		for i, a := range attackers {
+			names[i] = a.Name()
+		}
+		rec, err = trialrec.Create(*recOut, trialrec.Header{
+			Spec:      specJSON,
+			Seed:      spec.TrialSeed,
+			Trials:    *trials,
+			Attackers: names,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	results, records, err := experiment.RunTrialsOpts(
+		nc, attackers, *trials, spec.Measurement, stats.NewRNG(spec.TrialSeed),
+		experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec})
 	if err != nil {
+		rec.Close()
 		return err
 	}
-	fmt.Printf("\n%-14s %9s %6s %6s %6s %6s\n", "attacker", "accuracy", "TP", "TN", "FP", "FN")
-	for i, r := range results {
-		name := r.Name
-		if i == 2 {
-			name = "model(f≠f̂)"
-		}
-		fmt.Printf("%-14s %8.1f%% %6d %6d %6d %6d\n", name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
+	fmt.Printf("\n%-16s %9s %6s %6s %6s %6s\n", "attacker", "accuracy", "TP", "TN", "FP", "FN")
+	for _, r := range results {
+		fmt.Printf("%-16s %8.1f%% %6d %6d %6d %6d\n", r.Name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
 	}
 
+	// Both sinks flush before run returns: the recording on Close, the
+	// telemetry snapshot in writeTelemetry.
+	if rec.Enabled() {
+		trialsWritten := rec.Trials()
+		if err := rec.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nrecording written to %s (%d trials; verify with: inspect -replay %s)\n", *recOut, trialsWritten, *recOut)
+	}
 	if reg != nil {
 		if err := writeTelemetry(*telOut, reg, records); err != nil {
 			return err

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flowrecon/internal/experiment"
+	"flowrecon/internal/trialrec"
+)
 
 func TestRunSmall(t *testing.T) {
 	if testing.Short() {
@@ -14,6 +21,43 @@ func TestRunSmall(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+}
+
+func TestRunRecordComposesWithTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run")
+	}
+	dir := t.TempDir()
+	recPath := filepath.Join(dir, "run.jsonl")
+	telPath := filepath.Join(dir, "tel.json")
+
+	// Both sinks on the same path is rejected before any work happens.
+	if err := run([]string{"-small", "-record", recPath, "-telemetry-out", recPath}); err == nil {
+		t.Fatal("same path for -record and -telemetry-out accepted")
+	}
+
+	if err := run([]string{"-small", "-seed", "3", "-trials", "12", "-probes", "2",
+		"-record", recPath, "-telemetry-out", telPath}); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(telPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("telemetry sink not flushed: %v", err)
+	}
+	rec, err := trialrec.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Trials) != 12 || len(rec.Header.Attackers) != 4 {
+		t.Fatalf("recording shape: %d trials, %d attackers", len(rec.Trials), len(rec.Header.Attackers))
+	}
+	// The recording is self-describing: replaying its spec reproduces it.
+	fresh, _, err := experiment.Replay(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divs := trialrec.Diff(rec, fresh); len(divs) != 0 {
+		t.Fatalf("CLI recording does not replay: first divergence %s", divs[0])
 	}
 }
 

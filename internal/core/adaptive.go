@@ -45,6 +45,24 @@ func (n *AdaptiveNode) Decide(outcomes []bool) bool {
 	return cur.PosteriorPresent > 0.5
 }
 
+// PosteriorAfter returns P(X̂ = 1 | outcomes) at the node reached by
+// walking the plan with the observed outcomes. Outcomes beyond the
+// plan's depth leave the belief at the reached leaf, matching Decide.
+func (n *AdaptiveNode) PosteriorAfter(outcomes []bool) float64 {
+	cur := n
+	for _, hit := range outcomes {
+		if cur.Leaf {
+			break
+		}
+		if hit {
+			cur = cur.Hit
+		} else {
+			cur = cur.Miss
+		}
+	}
+	return cur.PosteriorPresent
+}
+
 // NextProbe returns the probe at the node reached by outcomes, and false
 // once the plan is exhausted.
 func (n *AdaptiveNode) NextProbe(outcomes []bool) (flows.ID, bool) {
@@ -157,9 +175,13 @@ func (s *ProbeSelector) buildAdaptive(candidates []flows.ID, depth int, d, d0 ma
 type AdaptiveAttacker struct {
 	tree  *AdaptiveNode
 	depth int
+	sel   *ProbeSelector
 }
 
-var _ Attacker = (*AdaptiveAttacker)(nil)
+var (
+	_ Attacker       = (*AdaptiveAttacker)(nil)
+	_ BeliefProvider = (*AdaptiveAttacker)(nil)
+)
 
 // NewAdaptiveAttacker plans an adaptive attack of up to depth probes.
 func NewAdaptiveAttacker(sel *ProbeSelector, candidates []flows.ID, depth int) (*AdaptiveAttacker, error) {
@@ -167,8 +189,11 @@ func NewAdaptiveAttacker(sel *ProbeSelector, candidates []flows.ID, depth int) (
 	if err != nil {
 		return nil, err
 	}
-	return &AdaptiveAttacker{tree: tree, depth: depth}, nil
+	return &AdaptiveAttacker{tree: tree, depth: depth, sel: sel}, nil
 }
+
+// Selector implements BeliefProvider.
+func (a *AdaptiveAttacker) Selector() *ProbeSelector { return a.sel }
 
 // Name implements Attacker.
 func (a *AdaptiveAttacker) Name() string { return fmt.Sprintf("adaptive(m=%d)", a.depth) }

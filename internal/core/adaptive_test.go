@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flowrecon/internal/flows"
+)
+
+// TestAdaptiveTreeGainDominatesSequence: an adaptive plan can always mimic
+// the best non-adaptive sequence, so its expected gain must be at least as
+// large.
+func TestAdaptiveTreeGainDominatesSequence(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	seq, ok := sel.BestSequence(sel.AllFlows(), 2)
+	if !ok {
+		t.Fatal("no best sequence")
+	}
+	root, err := sel.BuildAdaptiveTree(sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := sel.ExpectedGain(root); g < seq.Gain-1e-12 {
+		t.Fatalf("adaptive gain %v < sequence gain %v", g, seq.Gain)
+	}
+}
+
+// TestAdaptiveDecideEdgeCases covers Decide/NextProbe/PosteriorAfter on
+// degenerate inputs: empty outcome slices, outcome vectors longer than the
+// tree is deep, and plans that are a single leaf.
+func TestAdaptiveDecideEdgeCases(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	root, err := sel.BuildAdaptiveTree(sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty outcomes: the verdict is the root posterior thresholded at ½,
+	// i.e. the prior-based guess before any probing.
+	wantEmpty := root.PosteriorPresent > 0.5
+	if got := root.Decide(nil); got != wantEmpty {
+		t.Fatalf("Decide(nil) = %v, want %v", got, wantEmpty)
+	}
+	if got := root.Decide([]bool{}); got != wantEmpty {
+		t.Fatalf("Decide([]) = %v, want %v", got, wantEmpty)
+	}
+	if got := root.PosteriorAfter(nil); got != root.PosteriorPresent {
+		t.Fatalf("PosteriorAfter(nil) = %v, want root posterior %v", got, root.PosteriorPresent)
+	}
+
+	// NextProbe with no outcomes returns the root probe.
+	f, ok := root.NextProbe(nil)
+	if !ok || f != root.Probe {
+		t.Fatalf("NextProbe(nil) = %v,%v, want %v,true", f, ok, root.Probe)
+	}
+
+	// Outcomes longer than the tree depth: excess observations are ignored;
+	// the verdict sticks to the reached leaf and NextProbe reports
+	// exhaustion.
+	long := []bool{false, true, true, false, true}
+	short := long[:2]
+	if root.Decide(long) != root.Decide(short) {
+		t.Fatal("over-long outcomes changed the verdict")
+	}
+	if root.PosteriorAfter(long) != root.PosteriorAfter(short) {
+		t.Fatal("over-long outcomes changed the posterior")
+	}
+	if _, ok := root.NextProbe(long); ok {
+		t.Fatal("NextProbe beyond the plan depth should report exhaustion")
+	}
+
+	// A depth-bounded walk must land on a leaf within the planned depth.
+	cur := root
+	for range short {
+		if cur.Leaf {
+			break
+		}
+		if short[0] {
+			cur = cur.Hit
+		} else {
+			cur = cur.Miss
+		}
+		short = short[1:]
+	}
+}
+
+// TestAdaptiveLeafRootTree exercises a plan that is a single leaf: with no
+// candidate that adds information (probing the sole flow covered by no rule
+// shared with anything else tells us nothing new at depth 0 equivalents),
+// the root itself is terminal.
+func TestAdaptiveLeafRootTree(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	root, err := sel.BuildAdaptiveTree(sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize a leaf-root plan (BuildAdaptiveTree produces one whenever
+	// no candidate has positive gain; we construct it directly to pin the
+	// contract rather than depend on a particular config).
+	leaf := &AdaptiveNode{Leaf: true, PosteriorPresent: root.PosteriorPresent, PathProb: 1}
+
+	wantVerdict := leaf.PosteriorPresent > 0.5
+	for _, outcomes := range [][]bool{nil, {}, {true}, {false, true, false}} {
+		if got := leaf.Decide(outcomes); got != wantVerdict {
+			t.Fatalf("leaf Decide(%v) = %v, want %v", outcomes, got, wantVerdict)
+		}
+		if got := leaf.PosteriorAfter(outcomes); got != leaf.PosteriorPresent {
+			t.Fatalf("leaf PosteriorAfter(%v) = %v", outcomes, got)
+		}
+		if _, ok := leaf.NextProbe(outcomes); ok {
+			t.Fatalf("leaf NextProbe(%v) should be exhausted", outcomes)
+		}
+	}
+
+	// ExpectedGain of a leaf-root plan is zero: no probes, no information.
+	if g := sel.ExpectedGain(leaf); g > 1e-12 {
+		t.Fatalf("leaf-root expected gain = %v, want 0", g)
+	}
+}
+
+// TestAdaptiveAttackerSequentialContract: the attacker's Probes() exposes
+// only the first probe, with the rest delivered through NextProbe.
+func TestAdaptiveAttackerSequentialContract(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	a, err := NewAdaptiveAttacker(sel, sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := a.Probes()
+	if len(probes) != 1 || probes[0] != a.Tree().Probe {
+		t.Fatalf("Probes() = %v, want just the root probe %v", probes, a.Tree().Probe)
+	}
+	for _, first := range []bool{false, true} {
+		f, ok := a.NextProbe([]bool{first})
+		child := a.Tree().Miss
+		if first {
+			child = a.Tree().Hit
+		}
+		if child.Leaf {
+			if ok {
+				t.Fatalf("NextProbe after %v: got %v, want exhausted", first, f)
+			}
+			continue
+		}
+		if !ok || f != child.Probe {
+			t.Fatalf("NextProbe after %v = %v,%v, want %v,true", first, f, ok, child.Probe)
+		}
+	}
+	// Verdicts agree with the tree at every depth-2 outcome vector.
+	for _, outcomes := range [][]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		if a.Decide(outcomes, nil) != a.Tree().Decide(outcomes) {
+			t.Fatalf("attacker and tree verdicts diverge at %v", outcomes)
+		}
+	}
+}
+
+// TestAdaptivePathProbsSumToOne: leaf path probabilities of an adaptive
+// plan form a distribution.
+func TestAdaptivePathProbsSumToOne(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	root, err := sel.BuildAdaptiveTree(sel.AllFlows(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var walk func(n *AdaptiveNode)
+	walk = func(n *AdaptiveNode) {
+		if n.Leaf {
+			sum += n.PathProb
+			return
+		}
+		walk(n.Miss)
+		walk(n.Hit)
+	}
+	walk(root)
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("leaf path probabilities sum to %v", sum)
+	}
+}
+
+// TestBuildAdaptiveTreeValidation rejects empty candidates and depth < 1.
+func TestBuildAdaptiveTreeValidation(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	if _, err := sel.BuildAdaptiveTree(nil, 2); err == nil {
+		t.Fatal("empty candidates should error")
+	}
+	if _, err := sel.BuildAdaptiveTree([]flows.ID{1}, 0); err == nil {
+		t.Fatal("depth 0 should error")
+	}
+}

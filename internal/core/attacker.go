@@ -59,13 +59,17 @@ const (
 type ModelAttacker struct {
 	name     string
 	mode     DecisionMode
+	sel      *ProbeSelector
 	eval     SequenceEval
 	prior    float64 // P(X̂ = 1)
 	singleOK ProbeEval
 	isSingle bool
 }
 
-var _ Attacker = (*ModelAttacker)(nil)
+var (
+	_ Attacker       = (*ModelAttacker)(nil)
+	_ BeliefProvider = (*ModelAttacker)(nil)
+)
 
 // NewModelAttacker plans numProbes probes from candidates using sel.
 // With numProbes == 1 it is the paper's single-query model attacker.
@@ -76,6 +80,7 @@ func NewModelAttacker(sel *ProbeSelector, candidates []flows.ID, numProbes int, 
 	a := &ModelAttacker{
 		name:  fmt.Sprintf("model(m=%d)", numProbes),
 		mode:  mode,
+		sel:   sel,
 		prior: 1 - sel.PAbsent(),
 	}
 	if numProbes == 1 {
@@ -99,6 +104,14 @@ func NewModelAttacker(sel *ProbeSelector, candidates []flows.ID, numProbes int, 
 // Name implements Attacker.
 func (a *ModelAttacker) Name() string { return a.name }
 
+// Rename overrides the attacker's reported name (for rosters that field
+// several model attackers, e.g. the §VI-B restricted attacker) and
+// returns the attacker for chaining.
+func (a *ModelAttacker) Rename(name string) *ModelAttacker {
+	a.name = name
+	return a
+}
+
 // Probes implements Attacker.
 func (a *ModelAttacker) Probes() []flows.ID {
 	return append([]flows.ID(nil), a.eval.Flows...)
@@ -107,6 +120,13 @@ func (a *ModelAttacker) Probes() []flows.ID {
 // PlannedEval returns the single-probe evaluation (zero value when the
 // attacker plans multiple probes).
 func (a *ModelAttacker) PlannedEval() ProbeEval { return a.singleOK }
+
+// PlannedSequence returns the planned probe-sequence evaluation (with
+// Flows holding the single planned probe when numProbes == 1).
+func (a *ModelAttacker) PlannedSequence() SequenceEval { return a.eval }
+
+// Selector implements BeliefProvider.
+func (a *ModelAttacker) Selector() *ProbeSelector { return a.sel }
 
 // Decide implements Attacker.
 func (a *ModelAttacker) Decide(outcomes []bool, _ *stats.RNG) bool {

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"sort"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/markov"
+	"flowrecon/internal/stats"
+)
+
+// Belief observability: the paper's attacker is an inference engine —
+// it chooses probes by expected information gain over a Markov model
+// (§V) — and this file makes its inference state inspectable. A
+// BeliefTracker follows the attacker's posterior over X̂ ("the target
+// flow occurred within the window") probe by probe, emitting one
+// BeliefStep per observation with the realized information gain, the
+// entropy still unresolved, and a snapshot of the conditioned
+// switch-state distribution.
+
+// StateProb is one entry of a Markov state-distribution snapshot.
+type StateProb struct {
+	// State is the model's state index (a cached-rule subset in the
+	// compact model).
+	State int `json:"state"`
+	// P is the state's posterior probability.
+	P float64 `json:"p"`
+}
+
+// BeliefStep is the structured record of one probe observation: what the
+// attacker believed before, what it saw, and what it believes after.
+type BeliefStep struct {
+	// Index is the probe's position within the trial (0-based).
+	Index int `json:"index"`
+	// Probe is the flow probed.
+	Probe flows.ID `json:"probe"`
+	// Hit is the classified outcome Q_f the attacker observed.
+	Hit bool `json:"hit"`
+	// Prior is P(X̂ = 1 | outcomes before this probe).
+	Prior float64 `json:"prior"`
+	// Posterior is P(X̂ = 1 | outcomes including this probe).
+	Posterior float64 `json:"posterior"`
+	// GainBits is the realized information gain of this observation in
+	// bits: H(prior) − H(posterior). Unlike the expected gain that drove
+	// probe selection it can be negative — a surprising outcome can
+	// leave the attacker less certain than before.
+	GainBits float64 `json:"gainBits"`
+	// EntropyBits is the entropy remaining about X̂ after this probe,
+	// H(posterior).
+	EntropyBits float64 `json:"entropyBits"`
+	// PathProb is P(observing this outcome prefix) under the attacker's
+	// model — small values flag trials the model considered unlikely.
+	PathProb float64 `json:"pathProb"`
+	// TopStates is the (normalized) outcome-conditioned switch-state
+	// distribution, truncated to the most probable states.
+	TopStates []StateProb `json:"topStates,omitempty"`
+}
+
+// BeliefTrackerTopK is the number of states retained in each
+// BeliefStep's state-distribution snapshot.
+const BeliefTrackerTopK = 8
+
+// BeliefTracker follows a selector's posterior over X̂ through a
+// sequence of observed probe outcomes. It mirrors the conditioning that
+// EvaluateSequence and BuildAdaptiveTree apply during planning — split
+// the state distribution on the observed outcome, apply the probe's
+// cache side effect — but over the outcomes actually seen at run time.
+type BeliefTracker struct {
+	sel   *ProbeSelector
+	d     markov.Dist // unconditional dist, mass = P(outcome prefix)
+	d0    markov.Dist // target-absent dist, mass = P(prefix | X̂=0)
+	post  float64     // current P(X̂=1 | prefix)
+	steps []BeliefStep
+}
+
+// NewBeliefTracker starts a tracker at the selector's prior (no probes
+// observed yet).
+func (s *ProbeSelector) NewBeliefTracker() *BeliefTracker {
+	return &BeliefTracker{
+		sel:  s,
+		d:    s.dist.Clone(),
+		d0:   s.dist0.Clone(),
+		post: 1 - s.pAbsent,
+	}
+}
+
+// Prior returns the tracker's current belief P(X̂ = 1 | outcomes so
+// far) — the prior of the next probe.
+func (t *BeliefTracker) Prior() float64 { return t.post }
+
+// EntropyBits returns the entropy remaining about X̂ in bits.
+func (t *BeliefTracker) EntropyBits() float64 { return stats.BinaryEntropy(t.post) }
+
+// Observe folds one classified probe outcome into the belief state and
+// returns the resulting BeliefStep (also retained in Steps).
+func (t *BeliefTracker) Observe(f flows.ID, hit bool) BeliefStep {
+	prior := t.post
+	hitD, missD := t.sel.model.SplitByHit(t.d, f)
+	hitD0, missD0 := t.sel.model0.SplitByHit(t.d0, f)
+	bd, bd0 := missD, missD0
+	if hit {
+		bd, bd0 = hitD, hitD0
+	}
+	pq := bd.Sum()                   // P(prefix ∧ this outcome)
+	pq0 := t.sel.pAbsent * bd0.Sum() // P(X̂=0 ∧ prefix ∧ outcome)
+	posterior := 1 - t.sel.pAbsent   // prior fallback for impossible paths
+	if pq > 0 {
+		posterior = clamp01(pq-pq0) / pq
+	}
+	t.d = t.sel.model.ApplyProbe(bd, f, hit)
+	t.d0 = t.sel.model0.ApplyProbe(bd0, f, hit)
+	t.post = posterior
+
+	step := BeliefStep{
+		Index:       len(t.steps),
+		Probe:       f,
+		Hit:         hit,
+		Prior:       prior,
+		Posterior:   posterior,
+		GainBits:    stats.BinaryEntropy(prior) - stats.BinaryEntropy(posterior),
+		EntropyBits: stats.BinaryEntropy(posterior),
+		PathProb:    pq,
+		TopStates:   TopStates(t.d, BeliefTrackerTopK),
+	}
+	t.steps = append(t.steps, step)
+	return step
+}
+
+// Steps returns the belief steps observed so far.
+func (t *BeliefTracker) Steps() []BeliefStep {
+	return append([]BeliefStep(nil), t.steps...)
+}
+
+// TopStates returns the k most probable states of d, normalized to the
+// distribution's mass (nil for zero-mass or empty distributions). Ties
+// break toward the lower state index so snapshots are deterministic.
+func TopStates(d markov.Dist, k int) []StateProb {
+	total := d.Sum()
+	if total <= 0 || k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, len(d))
+	for i, p := range d {
+		if p > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if d[idx[a]] != d[idx[b]] {
+			return d[idx[a]] > d[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if len(idx) > k {
+		idx = idx[:k]
+	}
+	out := make([]StateProb, len(idx))
+	for i, s := range idx {
+		out[i] = StateProb{State: s, P: d[s] / total}
+	}
+	return out
+}
+
+// BeliefProvider is implemented by attackers whose verdicts come from a
+// fitted model; the trial runner uses it to attach a BeliefTracker and
+// record per-probe belief steps.
+type BeliefProvider interface {
+	// Selector exposes the probe selector (the fitted model chains) the
+	// attacker plans and decides with.
+	Selector() *ProbeSelector
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/markov"
+)
+
+// TestBeliefTrackerMatchesSequenceEval checks the run-time belief update
+// against the planning-time joint: for every outcome vector of a planned
+// two-probe sequence, replaying the outcomes through a BeliefTracker
+// must land on the decision tree's leaf posterior.
+func TestBeliefTrackerMatchesSequenceEval(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	fs := []flows.ID{1, 2}
+	eval := sel.EvaluateSequence(fs)
+	for _, outcomes := range [][]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		tr := sel.NewBeliefTracker()
+		if got, want := tr.Prior(), 1-sel.PAbsent(); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("initial prior = %v, want %v", got, want)
+		}
+		var last BeliefStep
+		for i, hit := range outcomes {
+			last = tr.Observe(fs[i], hit)
+		}
+		want := eval.PosteriorPresent[outcomeKey(outcomes)]
+		if math.Abs(last.Posterior-want) > 1e-9 {
+			t.Fatalf("outcomes %v: tracker posterior %v, leaf posterior %v", outcomes, last.Posterior, want)
+		}
+		wantPath := eval.PathProb[outcomeKey(outcomes)]
+		if math.Abs(last.PathProb-wantPath) > 1e-9 {
+			t.Fatalf("outcomes %v: tracker path prob %v, want %v", outcomes, last.PathProb, wantPath)
+		}
+		if len(tr.Steps()) != 2 {
+			t.Fatalf("steps = %d, want 2", len(tr.Steps()))
+		}
+	}
+}
+
+// TestBeliefTrackerMatchesAdaptivePlan replays every root-to-leaf path of
+// an adaptive plan through a BeliefTracker and compares posteriors.
+func TestBeliefTrackerMatchesAdaptivePlan(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	root, err := sel.BuildAdaptiveTree(sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var walk func(n *AdaptiveNode, outcomes []bool)
+	walk = func(n *AdaptiveNode, outcomes []bool) {
+		if n.Leaf {
+			if n.PathProb <= 1e-12 {
+				return // unreachable branch: tracker falls back to the prior
+			}
+			tr := sel.NewBeliefTracker()
+			cur := root
+			for _, hit := range outcomes {
+				tr.Observe(cur.Probe, hit)
+				if hit {
+					cur = cur.Hit
+				} else {
+					cur = cur.Miss
+				}
+			}
+			if math.Abs(tr.Prior()-n.PosteriorPresent) > 1e-9 {
+				t.Fatalf("outcomes %v: tracker %v, plan node %v", outcomes, tr.Prior(), n.PosteriorPresent)
+			}
+			if got := root.PosteriorAfter(outcomes); math.Abs(got-n.PosteriorPresent) > 1e-12 {
+				t.Fatalf("PosteriorAfter(%v) = %v, want %v", outcomes, got, n.PosteriorPresent)
+			}
+			return
+		}
+		walk(n.Miss, append(append([]bool(nil), outcomes...), false))
+		walk(n.Hit, append(append([]bool(nil), outcomes...), true))
+	}
+	walk(root, nil)
+}
+
+func TestBeliefStepFields(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	tr := sel.NewBeliefTracker()
+	step := tr.Observe(1, true)
+	if step.Index != 0 || step.Probe != 1 || !step.Hit {
+		t.Fatalf("identity fields wrong: %+v", step)
+	}
+	if step.Posterior < 0 || step.Posterior > 1 {
+		t.Fatalf("posterior out of range: %v", step.Posterior)
+	}
+	if math.Abs(step.EntropyBits-binEntropy(step.Posterior)) > 1e-12 {
+		t.Fatalf("entropy %v for posterior %v", step.EntropyBits, step.Posterior)
+	}
+	if math.Abs(step.GainBits-(binEntropy(step.Prior)-binEntropy(step.Posterior))) > 1e-12 {
+		t.Fatalf("gain %v inconsistent with prior/posterior", step.GainBits)
+	}
+	if len(step.TopStates) == 0 || len(step.TopStates) > BeliefTrackerTopK {
+		t.Fatalf("top states: %v", step.TopStates)
+	}
+	var sum float64
+	prev := math.Inf(1)
+	for _, sp := range step.TopStates {
+		if sp.P > prev+1e-12 {
+			t.Fatalf("top states not sorted: %v", step.TopStates)
+		}
+		prev = sp.P
+		sum += sp.P
+	}
+	if sum > 1+1e-9 {
+		t.Fatalf("top-state mass %v > 1", sum)
+	}
+	if _, err := json.Marshal(step); err != nil {
+		t.Fatalf("belief step not JSON-encodable: %v", err)
+	}
+}
+
+func binEntropy(p float64) float64 {
+	h := 0.0
+	for _, q := range []float64{p, 1 - p} {
+		if q > 0 {
+			h -= q * math.Log2(q)
+		}
+	}
+	return h
+}
+
+func TestTopStates(t *testing.T) {
+	d := markov.Dist{0.1, 0, 0.5, 0.2, 0.2}
+	top := TopStates(d, 3)
+	if len(top) != 3 || top[0].State != 2 {
+		t.Fatalf("top = %v", top)
+	}
+	// Ties break toward the lower index.
+	if top[1].State != 3 || top[2].State != 4 {
+		t.Fatalf("tie break wrong: %v", top)
+	}
+	if math.Abs(top[0].P-0.5) > 1e-12 {
+		t.Fatalf("normalization wrong: %v", top)
+	}
+	if TopStates(markov.Dist{0, 0}, 3) != nil {
+		t.Fatal("zero-mass dist should yield nil")
+	}
+	if TopStates(d, 0) != nil {
+		t.Fatal("k=0 should yield nil")
+	}
+}
+
+func TestSequencePosteriorAfterPrefix(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	fs := []flows.ID{1, 2}
+	eval := sel.EvaluateSequence(fs)
+
+	// Leaf lookup.
+	if post, ok := eval.PosteriorAfter([]bool{true, false}); !ok || post != eval.PosteriorPresent["10"] {
+		t.Fatalf("leaf lookup: %v %v", post, ok)
+	}
+	// Prefix marginalization must match a fresh tracker's belief.
+	tr := sel.NewBeliefTracker()
+	tr.Observe(fs[0], true)
+	post, ok := eval.PosteriorAfter([]bool{true})
+	if !ok {
+		t.Fatal("prefix lookup failed")
+	}
+	if math.Abs(post-tr.Prior()) > 1e-9 {
+		t.Fatalf("prefix posterior %v, tracker %v", post, tr.Prior())
+	}
+	// Root prefix = the prior.
+	post, ok = eval.PosteriorAfter(nil)
+	if !ok || math.Abs(post-(1-sel.PAbsent())) > 1e-9 {
+		t.Fatalf("root prefix posterior %v (ok=%v), want prior %v", post, ok, 1-sel.PAbsent())
+	}
+	// Longer than the plan: not in the tree.
+	if _, ok := eval.PosteriorAfter([]bool{true, false, true}); ok {
+		t.Fatal("over-long prefix should not resolve")
+	}
+}
+
+func TestModelAttackerExposesSelector(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	a, err := NewModelAttacker(sel, sel.AllFlows(), 1, DecideByPosterior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bp BeliefProvider = a
+	if bp.Selector() != sel {
+		t.Fatal("ModelAttacker.Selector() lost the selector")
+	}
+	ad, err := NewAdaptiveAttacker(sel, sel.AllFlows(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp = ad
+	if bp.Selector() != sel {
+		t.Fatal("AdaptiveAttacker.Selector() lost the selector")
+	}
+}

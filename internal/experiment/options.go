@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"flowrecon/internal/core"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
+	"flowrecon/internal/trialrec"
+)
+
+// TrialOptions configures the fully-observable trial loop. The zero value
+// reproduces RunTrials exactly: Poisson traffic, no telemetry, no
+// recording, no spans.
+type TrialOptions struct {
+	// Source generates each trial's traffic window (PoissonSource when
+	// nil).
+	Source TraceSource
+	// Registry receives the experiment metrics; nil disables them.
+	Registry *telemetry.Registry
+	// PerTrial, with a Registry, returns a cumulative registry snapshot
+	// per trial.
+	PerTrial bool
+	// Recorder streams the forensic trial recording (traffic window,
+	// per-attacker probes/outcomes/verdicts/belief steps, spans). Nil
+	// disables recording at zero per-probe cost.
+	Recorder *trialrec.Recorder
+	// Spans collects the causal span tree of each trial. When nil and a
+	// Recorder is set, an internal recorder is used so recordings always
+	// carry spans. When both are set, spans are drained into the
+	// recording each trial rather than accumulating here.
+	Spans *telemetry.SpanRecorder
+}
+
+// RunTrialsOpts is the trial loop with every observability layer
+// optional: telemetry instruments, per-trial snapshots, causal spans, and
+// the deterministic trial recording. The probing and scoring sequence —
+// and therefore every RNG draw — is identical across all option
+// combinations, which is what makes recordings replayable: re-running
+// the same seeds with or without observers yields the same outcomes.
+func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, opts TrialOptions) ([]AttackerResult, []TrialRecord, error) {
+	source := opts.Source
+	if source == nil {
+		source = PoissonSource
+	}
+	reg := opts.Registry
+	rec := opts.Recorder
+	spans := opts.Spans
+	if spans == nil && rec.Enabled() {
+		spans = telemetry.NewSpanRecorder(0)
+	}
+	observing := rec.Enabled() || spans != nil
+
+	tm := newTrialMetrics(reg)
+	verdicts := make([][4]*telemetry.Counter, len(attackers))
+	results := make([]AttackerResult, len(attackers))
+	for i, a := range attackers {
+		results[i].Name = a.Name()
+		verdicts[i] = verdictCounters(reg, a.Name())
+	}
+	var records []TrialRecord
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
+	for t := 0; t < trials; t++ {
+		trace, err := source(nc.Rates, horizon, rng.Fork())
+		if err != nil {
+			return nil, nil, err
+		}
+		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
+		if truth {
+			tm.truthTrue.Inc()
+		} else {
+			tm.truthFalse.Inc()
+		}
+		var traceID int64
+		var trialSpan telemetry.SpanID
+		if observing {
+			traceID = spans.NewTrace()
+			trialSpan = spans.Start(traceID, 0, "trial", "experiment", 0)
+			if truth {
+				spans.Annotate(trialSpan, int(nc.Target), -1, "truth=present")
+			} else {
+				spans.Annotate(trialSpan, int(nc.Target), -1, "truth=absent")
+			}
+			if rec.Enabled() {
+				rec.BeginTrial(t, truth, trace.Arrivals())
+			}
+		}
+		for i, a := range attackers {
+			var obs *probeObserver
+			var attSpan telemetry.SpanID
+			if observing {
+				attSpan = spans.Start(traceID, trialSpan, "attacker", results[i].Name, 0)
+				obs = &probeObserver{spans: spans, trace: traceID, parent: attSpan}
+				if bp, ok := a.(core.BeliefProvider); ok {
+					obs.tracker = bp.Selector().NewBeliefTracker()
+				}
+			}
+			replaySpan := spans.Start(traceID, attSpan, "replay", "experiment", 0)
+			tbl, err := replayTrace(nc, trace, reg)
+			spans.End(replaySpan, horizon)
+			if err != nil {
+				return nil, nil, err
+			}
+			var outcomes []bool
+			if seq, ok := a.(SequentialAttacker); ok {
+				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng, &tm, obs)
+			} else {
+				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng, &tm, obs)
+			}
+			verdict := a.Decide(outcomes, rng)
+			score(&results[i], verdict, truth)
+			countVerdict(verdicts[i], verdict, truth)
+			if observing {
+				decSpan := spans.Start(traceID, attSpan, "decision", results[i].Name, horizon)
+				spans.Annotate(decSpan, -1, -1, decisionDetail(verdict, truth))
+				spans.End(decSpan, horizon)
+				spans.End(attSpan, horizon)
+				if rec.Enabled() {
+					rec.Attacker(trialrec.AttackerTrial{
+						Name:     results[i].Name,
+						Probes:   obs.probes,
+						Outcomes: outcomes,
+						Verdict:  verdict,
+						Belief:   obs.belief,
+					})
+				}
+			}
+		}
+		tm.trials.Inc()
+		if observing {
+			spans.End(trialSpan, horizon)
+			if rec.Enabled() {
+				rec.Spans(spans.Drain())
+				if err := rec.EndTrial(); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+		if opts.PerTrial && reg != nil {
+			records = append(records, TrialRecord{Trial: t, Truth: truth, Telemetry: reg.Snapshot()})
+		}
+	}
+	return results, records, nil
+}
+
+func decisionDetail(verdict, truth bool) string {
+	v := "absent"
+	if verdict {
+		v = "present"
+	}
+	if verdict == truth {
+		return "verdict=" + v + " correct"
+	}
+	return "verdict=" + v + " wrong"
+}

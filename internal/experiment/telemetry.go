@@ -90,50 +90,9 @@ func (tm *trialMetrics) observeProbe(hit bool, ms float64) {
 // millisecond delay histograms, per-attacker confusion-matrix counters)
 // and the trial tables' flowtable metrics; when perTrial is also set, a
 // cumulative registry snapshot is recorded after every trial and returned
-// as []TrialRecord.
+// as []TrialRecord. It is RunTrialsOpts without recording or spans.
 func RunTrialsInstrumented(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, source TraceSource, reg *telemetry.Registry, perTrial bool) ([]AttackerResult, []TrialRecord, error) {
-	if source == nil {
-		source = PoissonSource
-	}
-	tm := newTrialMetrics(reg)
-	verdicts := make([][4]*telemetry.Counter, len(attackers))
-	results := make([]AttackerResult, len(attackers))
-	for i, a := range attackers {
-		results[i].Name = a.Name()
-		verdicts[i] = verdictCounters(reg, a.Name())
-	}
-	var records []TrialRecord
-	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
-	for t := 0; t < trials; t++ {
-		trace, err := source(nc.Rates, horizon, rng.Fork())
-		if err != nil {
-			return nil, nil, err
-		}
-		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
-		if truth {
-			tm.truthTrue.Inc()
-		} else {
-			tm.truthFalse.Inc()
-		}
-		for i, a := range attackers {
-			tbl, err := replayTrace(nc, trace, reg)
-			if err != nil {
-				return nil, nil, err
-			}
-			var outcomes []bool
-			if seq, ok := a.(SequentialAttacker); ok {
-				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng, &tm)
-			} else {
-				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng, &tm)
-			}
-			verdict := a.Decide(outcomes, rng)
-			score(&results[i], verdict, truth)
-			countVerdict(verdicts[i], verdict, truth)
-		}
-		tm.trials.Inc()
-		if perTrial && reg != nil {
-			records = append(records, TrialRecord{Trial: t, Truth: truth, Telemetry: reg.Snapshot()})
-		}
-	}
-	return results, records, nil
+	return RunTrialsOpts(nc, attackers, trials, meas, rng, TrialOptions{
+		Source: source, Registry: reg, PerTrial: perTrial,
+	})
 }

@@ -129,15 +129,56 @@ type SequentialAttacker interface {
 	NextProbe(outcomes []bool) (flows.ID, bool)
 }
 
+// probeObserver captures per-probe forensics for one attacker within one
+// trial: the probes actually sent (needed for sequential attackers, whose
+// plan only materializes as outcomes arrive), the belief trajectory when
+// the attacker exposes a fitted model, and one causal span per probe. A
+// nil observer disables everything at the cost of one pointer check, so
+// the un-instrumented trial loop stays allocation-free.
+type probeObserver struct {
+	tracker *core.BeliefTracker
+	spans   *telemetry.SpanRecorder
+	trace   int64
+	parent  telemetry.SpanID
+	probes  []flows.ID
+	belief  []core.BeliefStep
+}
+
+// observe records one probe: ground truth hit, the classified outcome the
+// attacker saw, and the drawn delay in milliseconds.
+func (o *probeObserver) observe(f flows.ID, hit, classified bool, ms, at float64) {
+	if o == nil {
+		return
+	}
+	o.probes = append(o.probes, f)
+	id := o.spans.Start(o.trace, o.parent, "probe", "experiment", at)
+	o.spans.Annotate(id, int(f), -1, probeDetail(hit, classified, ms))
+	o.spans.End(id, at+ms/1e3)
+	if o.tracker != nil {
+		o.belief = append(o.belief, o.tracker.Observe(f, classified))
+	}
+}
+
+func probeDetail(hit, classified bool, ms float64) string {
+	return fmt.Sprintf("truth=%s classified=%s delay=%.3fms", hitStr(hit), hitStr(classified), ms)
+}
+
+func hitStr(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
 // probeSequential drives a sequential attacker against the table.
-func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics) []bool {
+func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics, obs *probeObserver) []bool {
 	var outcomes []bool
 	for {
 		f, ok := a.NextProbe(outcomes)
 		if !ok {
 			return outcomes
 		}
-		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, tm)
+		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, tm, obs)
 		outcomes = append(outcomes, step[0])
 	}
 }
@@ -168,7 +209,7 @@ func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Regist
 // hit refreshes it), and classifies each observation through the timing
 // channel. The drawn delay of every probe feeds the experiment histograms
 // via tm (nil-safe instruments).
-func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics) []bool {
+func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics, obs *probeObserver) []bool {
 	outcomes := make([]bool, len(probes))
 	for i, f := range probes {
 		_, hit := tbl.Lookup(f, at)
@@ -179,6 +220,7 @@ func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at f
 		}
 		verdict, ms := meas.ClassifyMs(hit, rng)
 		tm.observeProbe(hit, ms)
+		obs.observe(f, hit, verdict, ms, at)
 		outcomes[i] = verdict
 	}
 	return outcomes

@@ -118,6 +118,7 @@ type netMetrics struct {
 	misses    *telemetry.Counter
 	rtt       *telemetry.Histogram // delivered echo RTT, seconds
 	tracer    *telemetry.Tracer
+	spans     *telemetry.SpanRecorder // causal spans in virtual time
 }
 
 // SetTelemetry attaches the fabric (and every switch's flow table, keyed
@@ -131,6 +132,7 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry) {
 		misses:    reg.Counter("netsim_lookups_total", "result", "miss"),
 		rtt:       reg.Histogram("netsim_echo_rtt_seconds", nil),
 		tracer:    reg.Tracer(),
+		spans:     reg.Spans(),
 	}
 	for name, sw := range n.switches {
 		sw.Table.SetTelemetry(reg, name)
@@ -275,6 +277,10 @@ type EchoResult struct {
 	Missed bool
 	// Delivered is set when the reply arrives.
 	Delivered bool
+	// Trace is the causal-span correlation ID of this exchange (0 when
+	// span recording is off): every hop, packet-in, controller decision
+	// and flow-mod of the echo shares it.
+	Trace int64
 }
 
 // SendEcho schedules an ICMP-style echo from srcHost to dstHost at the
@@ -299,18 +305,28 @@ func (n *Network) SendEcho(srcHost, dstHost string, at float64) (*EchoResult, er
 	fid, known := n.universe.Lookup(tuple)
 
 	res := &EchoResult{SentAt: at, RTT: math.NaN()}
+	var root telemetry.SpanID
+	if n.tm.spans != nil {
+		res.Trace = n.tm.spans.NewTrace()
+		root = n.tm.spans.Start(res.Trace, 0, "echo", src.Switch, at)
+		n.tm.spans.Annotate(root, int(fid), -1, srcHost+"→"+dstHost)
+	}
 	n.sim.At(at+n.lat.HostLink, func() {
 		n.trace("probe.sent", src.Switch, fid, 0)
-		n.forward(res, path, 0, fid, known, at)
+		n.forward(res, path, 0, fid, known, at, root)
 	})
 	return res, nil
 }
 
-// forward processes the packet at path[idx] and passes it on.
-func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID, known bool, sentAt float64) {
+// forward processes the packet at path[idx] and passes it on. parent is
+// the echo's root span; every hop (and, on a miss, the packet-in →
+// controller-decision → flow-mod chain) hangs beneath it in virtual time.
+func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID, known bool, sentAt float64, parent telemetry.SpanID) {
 	sw := n.switches[path[idx]]
 	now := n.sim.Now()
 	delay := sample(n.rng, n.lat.HopMean, n.lat.HopStd) + n.ctrl.ExtraHitDelay
+	hop := n.tm.spans.Start(res.Trace, parent, "hop", sw.Name, now)
+	n.tm.spans.Annotate(hop, int(fid), -1, "")
 
 	if sw.Reactive && !n.ctrl.App.Options().Proactive {
 		hit := false
@@ -320,6 +336,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		if hit {
 			n.tm.hits.Inc()
 			n.trace("probe.hit", sw.Name, fid, 0)
+			n.tm.spans.Annotate(hop, -1, -1, "hit")
 		}
 		if !hit {
 			// Table miss: consult the controller (steps b–e of Figure 1).
@@ -328,10 +345,13 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			n.tm.misses.Inc()
 			n.tm.packetIns.Inc()
 			n.trace("probe.miss", sw.Name, fid, 0)
+			pin := n.tm.spans.Start(res.Trace, hop, "packet_in", sw.Name, now)
+			n.tm.spans.Annotate(pin, int(fid), -1, "")
 			setup := sample(n.rng, n.lat.SetupMean, n.lat.SetupStd)
 			if setup < n.lat.SetupFloor {
 				setup = n.lat.SetupFloor
 			}
+			dec := n.tm.spans.Start(res.Trace, pin, "controller.decision", "controller", now)
 			var decision controller.Decision
 			if known {
 				decision = n.ctrl.App.OnPacketIn(fid)
@@ -340,16 +360,25 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 				// no policy rule; only the processing delay applies.
 				decision = controller.Decision{Delay: n.ctrl.App.Options().ProcessingDelay}
 			}
+			decEnd := now + setup + decision.Delay.Seconds()
 			delay += setup + decision.Delay.Seconds()
+			n.tm.spans.Annotate(dec, int(fid), -1, "")
 			if decision.Install {
 				sw.Table.Install(decision.RuleID, now)
+				n.tm.spans.Annotate(dec, -1, decision.RuleID, "")
+				fm := n.tm.spans.Start(res.Trace, dec, "flow_mod", sw.Name, decEnd)
+				n.tm.spans.Annotate(fm, int(fid), decision.RuleID, "install")
+				n.tm.spans.End(fm, decEnd)
 			}
+			n.tm.spans.End(dec, decEnd)
+			n.tm.spans.End(pin, decEnd)
 		}
 	}
+	n.tm.spans.End(hop, now+delay)
 
 	if idx+1 < len(path) {
 		n.sim.After(delay+n.lat.SwitchLink, func() {
-			n.forward(res, path, idx+1, fid, known, sentAt)
+			n.forward(res, path, idx+1, fid, known, sentAt, parent)
 		})
 		return
 	}
@@ -370,5 +399,6 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		res.Delivered = true
 		n.tm.rtt.Observe(res.RTT)
 		n.trace("echo.delivered", last, fid, res.RTT)
+		n.tm.spans.End(parent, n.sim.Now())
 	})
 }

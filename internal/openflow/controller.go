@@ -33,6 +33,7 @@ type Controller struct {
 	app      *controller.Reactive
 	universe *flows.Universe
 	opts     ControllerOptions
+	start    time.Time // span clock epoch
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -54,6 +55,7 @@ type ctlMetrics struct {
 	flowRemovals *telemetry.Counter
 	serviceTime  *telemetry.Histogram // packet-in → flow-mod/packet-out, seconds
 	tracer       *telemetry.Tracer
+	spans        *telemetry.SpanRecorder // wall-clock causal spans
 }
 
 // SetTelemetry attaches the controller (its shared application plus every
@@ -69,6 +71,7 @@ func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
 		flowRemovals: reg.Counter("controller_flow_removals_total"),
 		serviceTime:  reg.Histogram("controller_packet_in_service_seconds", nil),
 		tracer:       reg.Tracer(),
+		spans:        reg.Spans(),
 	}
 }
 
@@ -81,8 +84,11 @@ func NewController(rs *rules.Set, universe *flows.Universe, opts ControllerOptio
 	if rs != nil {
 		app = controller.New(rs, controller.Options{ProcessingDelay: opts.ProcessingDelay})
 	}
-	return &Controller{app: app, universe: universe, opts: opts, conns: make(map[*Conn]struct{})}
+	return &Controller{app: app, universe: universe, opts: opts, start: time.Now(), conns: make(map[*Conn]struct{})}
 }
+
+// now returns seconds since the controller's span epoch.
+func (c *Controller) now() float64 { return time.Since(c.start).Seconds() }
 
 // PacketIns returns the number of PACKET_IN messages processed.
 func (c *Controller) PacketIns() int64 {
@@ -214,6 +220,15 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 		return conn.SendXID(&ErrorMsg{ErrType: 1, Code: 0}, 0)
 	}
 	fid, known := c.universe.Lookup(tuple)
+	// The decision span echoes the switch's buffer id, correlating this
+	// tree with the switch-side packet_in span across the wire.
+	var dec telemetry.SpanID
+	var decTrace int64
+	if c.tm.spans != nil {
+		decTrace = c.tm.spans.NewTrace()
+		dec = c.tm.spans.Start(decTrace, 0, "controller.decision", "controller", c.now())
+		c.tm.spans.Annotate(dec, int(fid), -1, fmt.Sprintf("buffer=%d", m.BufferID))
+	}
 	if known {
 		decision := c.app.OnPacketIn(fid)
 		if decision.Delay > 0 {
@@ -237,6 +252,14 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 			// Installing with the buffer id releases the packet at the
 			// switch; no separate PACKET_OUT is needed.
 			_, err := conn.Send(fm)
+			if c.tm.spans != nil {
+				end := c.now()
+				fms := c.tm.spans.Start(decTrace, dec, "flow_mod", "controller", end)
+				c.tm.spans.Annotate(fms, int(fid), decision.RuleID, "install")
+				c.tm.spans.End(fms, end)
+				c.tm.spans.Annotate(dec, -1, decision.RuleID, "")
+				c.tm.spans.End(dec, end)
+			}
 			return err
 		}
 	} else if c.opts.ProcessingDelay > 0 {
@@ -244,6 +267,13 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 	}
 	// No covering rule: flood via the pre-installed default (release only).
 	_, err = conn.Send(&PacketOut{BufferID: m.BufferID, InPort: m.InPort, Data: m.Data})
+	if c.tm.spans != nil {
+		end := c.now()
+		po := c.tm.spans.Start(decTrace, dec, "packet_out", "controller", end)
+		c.tm.spans.Annotate(po, int(fid), -1, "release")
+		c.tm.spans.End(po, end)
+		c.tm.spans.End(dec, end)
+	}
 	return err
 }
 

@@ -1,0 +1,134 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/rules"
+	"flowrecon/internal/telemetry"
+)
+
+// TestInjectSpansCorrelateByBuffer: when both the switch and the
+// controller record spans into one registry, a miss produces a
+// switch-side inject → packet_in tree and a controller-side
+// controller.decision → flow_mod tree whose buffer=N details match — the
+// cross-wire correlation key, since the OpenFlow framing carries no trace
+// IDs.
+func TestInjectSpansCorrelateByBuffer(t *testing.T) {
+	universe := flowsUniverse()
+	rs := testRules(t)
+	ctl := NewController(rs, universe, ControllerOptions{StepSeconds: 0.5})
+	reg := telemetry.NewRegistry(0)
+	reg.EnableSpans(0)
+	ctl.SetTelemetry(reg)
+	addr, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwitch(1, rs, universe, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SetTelemetry(reg)
+	if err := sw.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sw.Close()
+		ctl.Close()
+	})
+
+	tuple := universe.Tuple(0)
+	res1, err := sw.Inject(tuple) // miss: full controller round trip
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := sw.Inject(tuple) // hit: local lookup only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Hit || !res2.Hit {
+		t.Fatalf("outcomes: %v %v", res1.Hit, res2.Hit)
+	}
+
+	spans := reg.Spans().Spans()
+	find := func(name string) []telemetry.Span {
+		var out []telemetry.Span
+		for _, s := range spans {
+			if s.Name == name {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	injects := find("inject")
+	if len(injects) != 2 {
+		t.Fatalf("inject spans = %d, want 2", len(injects))
+	}
+	pins := find("packet_in")
+	decs := find("controller.decision")
+	fms := find("flow_mod")
+	if len(pins) != 1 || len(decs) != 1 || len(fms) != 1 {
+		t.Fatalf("miss chain spans: pins=%d decisions=%d flow_mods=%d", len(pins), len(decs), len(fms))
+	}
+	// Correlation: both sides carry the same buffer=N detail.
+	bufDetail := ""
+	for _, f := range strings.Fields(pins[0].Detail) {
+		if strings.HasPrefix(f, "buffer=") {
+			bufDetail = f
+		}
+	}
+	if bufDetail == "" {
+		t.Fatalf("switch packet_in span lacks a buffer key: %q", pins[0].Detail)
+	}
+	if !strings.Contains(decs[0].Detail, bufDetail) {
+		t.Fatalf("controller decision %q does not echo %q", decs[0].Detail, bufDetail)
+	}
+	// Rule annotations point at the installed rule on both sides.
+	if pins[0].Rule != res1.RuleID || fms[0].Rule != res1.RuleID {
+		t.Fatalf("rule annotations: pin=%d fm=%d want %d", pins[0].Rule, fms[0].Rule, res1.RuleID)
+	}
+	// Flow identity survives on every span of the chain.
+	for _, s := range [][]telemetry.Span{pins, decs, fms} {
+		if s[0].Flow != 0 {
+			t.Fatalf("span %s flow = %d", s[0].Name, s[0].Flow)
+		}
+	}
+	// The switch-side tree nests packet_in under inject.
+	forest := telemetry.BuildSpanForest(spans)
+	var missRoot *telemetry.SpanNode
+	for _, n := range forest {
+		if n.Span.Name == "inject" && n.Span.ID == injects[0].ID {
+			missRoot = n
+		}
+	}
+	if missRoot == nil || len(missRoot.Children) != 1 || missRoot.Children[0].Span.Name != "packet_in" {
+		t.Fatalf("switch span tree malformed: %+v", missRoot)
+	}
+	// Hit injects record no packet-in chain.
+	hitInject := injects[1]
+	if hitInject.Detail != "hit" || hitInject.Rule != res2.RuleID {
+		t.Fatalf("hit inject span: %+v", hitInject)
+	}
+}
+
+// flowsUniverse returns the paper's client-server universe used by the
+// span correlation test. Kept separate from testFabric because the spans
+// must be enabled on both sides BEFORE the switch connects.
+func flowsUniverse() *flows.Universe {
+	return flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+}
+
+func testRules(t *testing.T) *rules.Set {
+	t.Helper()
+	rs, err := rules.NewSet([]rules.Rule{
+		{Name: "r0", Cover: flows.SetOf(0, 1), Priority: 3, Timeout: 2},
+		{Name: "r1", Cover: flows.SetOf(1, 2), Priority: 2, Timeout: 2},
+		{Name: "r2", Cover: flows.SetOf(2), Priority: 1, Timeout: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}

@@ -45,6 +45,7 @@ type switchMetrics struct {
 	missDelay *telemetry.Histogram // seconds; one controller round trip
 	echoRTT   *telemetry.Histogram // seconds; control-channel echo RTT
 	tracer    *telemetry.Tracer
+	spans     *telemetry.SpanRecorder // wall-clock causal spans
 }
 
 // SetTelemetry attaches the switch (its flow table, its connection once
@@ -63,6 +64,7 @@ func (s *Switch) SetTelemetry(reg *telemetry.Registry) {
 		missDelay: reg.Histogram("switch_inject_delay_seconds", nil, "result", "miss"),
 		echoRTT:   reg.Histogram("openflow_echo_rtt_seconds", nil),
 		tracer:    reg.Tracer(),
+		spans:     reg.Spans(),
 	}
 	if s.conn != nil {
 		s.conn.SetTelemetry(reg, "switch")
@@ -329,6 +331,14 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 	fid, known := s.universe.Lookup(t)
 	begin := time.Now()
 	s.tm.injects.Inc()
+	startSec := s.now()
+	var inj telemetry.SpanID
+	var injTrace int64
+	if s.tm.spans != nil {
+		injTrace = s.tm.spans.NewTrace()
+		inj = s.tm.spans.Start(injTrace, 0, "inject", "switch", startSec)
+		s.tm.spans.Annotate(inj, int(fid), -1, "")
+	}
 	if known {
 		s.mu.Lock()
 		ruleID, hit := s.table.Lookup(fid, s.now())
@@ -338,6 +348,10 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 			s.tm.hits.Inc()
 			s.tm.hitDelay.Observe(delay.Seconds())
 			s.traceProbe("probe.hit", ruleID, delay)
+			if s.tm.spans != nil {
+				s.tm.spans.Annotate(inj, -1, ruleID, "hit")
+				s.tm.spans.End(inj, s.now())
+			}
 			return InjectResult{Hit: true, RuleID: ruleID, Delay: delay}, nil
 		}
 	}
@@ -350,6 +364,14 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 	s.pending[buf] = ch
 	s.mu.Unlock()
 
+	// The buffer id is the cross-wire correlation key: the controller
+	// echoes it in its own decision span, so the two recorders' trees can
+	// be joined without any wire-format change.
+	var pinSpan telemetry.SpanID
+	if s.tm.spans != nil {
+		pinSpan = s.tm.spans.Start(injTrace, inj, "packet_in", "switch", s.now())
+		s.tm.spans.Annotate(pinSpan, int(fid), -1, fmt.Sprintf("buffer=%d", buf))
+	}
 	pin := &PacketIn{BufferID: buf, TotalLen: uint16(tupleLen), Reason: ReasonNoMatch, Data: EncodeTuple(t)}
 	if _, err := s.conn.Send(pin); err != nil {
 		s.release(buf, false)
@@ -369,6 +391,13 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 	s.tm.misses.Inc()
 	s.tm.missDelay.Observe(res.Delay.Seconds())
 	s.traceProbe("probe.miss", res.RuleID, res.Delay)
+	if s.tm.spans != nil {
+		end := s.now()
+		s.tm.spans.Annotate(pinSpan, -1, res.RuleID, "")
+		s.tm.spans.End(pinSpan, end)
+		s.tm.spans.Annotate(inj, -1, res.RuleID, "miss")
+		s.tm.spans.End(inj, end)
+	}
 	return res, nil
 }
 

@@ -127,6 +127,15 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Min:  h.min.load(),
 		Max:  h.max.load(),
 	}
+	// A concurrent Observe can make a bucket count visible before its
+	// min/max stores land, leaving the ±Inf initializers in place; ±Inf
+	// (and NaN) would poison the JSON exposition, so clamp to the mean.
+	if math.IsInf(s.Summary.Min, 0) || math.IsNaN(s.Summary.Min) {
+		s.Summary.Min = mean
+	}
+	if math.IsInf(s.Summary.Max, 0) || math.IsNaN(s.Summary.Max) {
+		s.Summary.Max = mean
+	}
 	if n > 1 {
 		// Sample variance from the power sums; clamp fp cancellation.
 		v := (sumsq - float64(n)*mean*mean) / float64(n-1)
@@ -140,7 +149,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
-// quantile estimates the q-quantile from the snapshot's buckets.
+// quantile estimates the q-quantile from the snapshot's buckets. It is
+// guarded against degenerate snapshots: an empty histogram returns 0, a
+// single-sample histogram returns that sample, and unfilled or
+// non-finite Min/Max (e.g. a hand-built snapshot, or the ±Inf
+// initializers leaking through) are clamped to the bucket bounds so the
+// result is always finite and JSON-encodable.
 func (s HistogramSnapshot) quantile(q float64) float64 {
 	var total int64
 	for _, c := range s.Counts {
@@ -148,6 +162,19 @@ func (s HistogramSnapshot) quantile(q float64) float64 {
 	}
 	if total == 0 {
 		return 0
+	}
+	min, max := s.Summary.Min, s.Summary.Max
+	if math.IsNaN(min) || math.IsInf(min, 0) {
+		min = 0
+		if len(s.Bounds) > 0 {
+			min = math.Min(0, s.Bounds[0])
+		}
+	}
+	if math.IsNaN(max) || math.IsInf(max, 0) {
+		max = min
+		if len(s.Bounds) > 0 {
+			max = s.Bounds[len(s.Bounds)-1]
+		}
 	}
 	rank := q * float64(total)
 	var cum int64
@@ -162,11 +189,11 @@ func (s HistogramSnapshot) quantile(q float64) float64 {
 		}
 		// The quantile falls inside bucket i: interpolate between its
 		// bounds, clamped to the observed extrema.
-		lo := s.Summary.Min
+		lo := min
 		if i > 0 && s.Bounds[i-1] > lo {
 			lo = s.Bounds[i-1]
 		}
-		hi := s.Summary.Max
+		hi := max
 		if i < len(s.Bounds) && s.Bounds[i] < hi {
 			hi = s.Bounds[i]
 		}
@@ -174,9 +201,21 @@ func (s HistogramSnapshot) quantile(q float64) float64 {
 			hi = lo
 		}
 		frac := (rank - float64(prev)) / float64(c)
-		return lo + (hi-lo)*frac
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		v := lo + (hi-lo)*frac
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
 	}
-	return s.Summary.Max
+	if math.IsNaN(max) || math.IsInf(max, 0) {
+		return 0
+	}
+	return max
 }
 
 // atomicFloat is a float64 with atomic add and monotone min/max updates,

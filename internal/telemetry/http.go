@@ -5,12 +5,16 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 )
 
 // Handler returns the live-introspection HTTP handler for a registry:
 //
 //	/metrics      — Prometheus text exposition of every instrument
-//	/debug/trace  — the ring buffer's recent events as JSONL
+//	/debug/trace  — the ring buffer's recent events as JSONL; supports
+//	                ?kind=probe.miss (exact event-kind filter) and ?n=100
+//	                (only the most recent n matching events)
+//	/debug/spans  — recorded causal spans as JSONL (empty when disabled)
 //	/debug/vars   — the full Snapshot as indented JSON
 //	/debug/pprof/ — the standard net/http/pprof profiles
 //
@@ -21,10 +25,24 @@ func Handler(r *Registry) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		if t := r.Tracer(); t != nil {
-			_ = t.WriteJSONL(w)
+		t := r.Tracer()
+		if t == nil {
+			return
+		}
+		events := FilterEvents(t.Events(), req.URL.Query().Get("kind"), parseN(req.URL.Query().Get("n")))
+		enc := json.NewEncoder(w)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/spans", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if s := r.Spans(); s != nil {
+			_ = s.WriteJSONL(w)
 		}
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
@@ -39,6 +57,39 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// FilterEvents applies the /debug/trace query semantics to an event
+// slice: kind != "" keeps only events of exactly that kind; n > 0 keeps
+// only the most recent n of the survivors. The input order (emission
+// order) is preserved.
+func FilterEvents(events []Event, kind string, n int) []Event {
+	if kind != "" {
+		kept := events[:0:0]
+		for _, e := range events {
+			if e.Kind == kind {
+				kept = append(kept, e)
+			}
+		}
+		events = kept
+	}
+	if n > 0 && len(events) > n {
+		events = events[len(events)-n:]
+	}
+	return events
+}
+
+// parseN parses the ?n= query value (0 — meaning "no limit" — on absent
+// or malformed input).
+func parseN(s string) int {
+	if s == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // Server is a running telemetry HTTP endpoint.

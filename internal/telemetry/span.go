@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanID identifies one span within a SpanRecorder. Zero is "no span"
+// (the nil parent, or the result of starting a span on a disabled
+// recorder) and is always safe to pass back into the recorder.
+type SpanID int64
+
+// Span is one timed node of a causal tree. Trace is the correlation ID
+// shared by every span of one logical operation (a trial, a probe, an
+// echo exchange); Parent links the tree. Start/End are in virtual
+// seconds where the emitter runs under the simulator's clock, and in
+// seconds since the recorder's epoch for wall-clock emitters; WallNs
+// carries the absolute wall time of Start for cross-recorder alignment.
+type Span struct {
+	Trace  int64   `json:"trace"`
+	ID     SpanID  `json:"id"`
+	Parent SpanID  `json:"parent,omitempty"`
+	Name   string  `json:"name"`
+	Node   string  `json:"node,omitempty"`
+	Flow   int     `json:"flow"`
+	Rule   int     `json:"rule"`
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	WallNs int64   `json:"wallNs,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+}
+
+// Duration returns End − Start (0 for an unfinished span).
+func (s Span) Duration() float64 {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// SpanRecorder collects spans for causal tracing. A nil *SpanRecorder is
+// the disabled instrument: every method is a no-op behind a single nil
+// check, and Start returns SpanID 0, which End/Annotate ignore — the
+// span hot path costs nothing when spans are off.
+type SpanRecorder struct {
+	mu        sync.Mutex
+	nextID    int64
+	nextTrace int64
+	spans     []Span
+	index     map[SpanID]int // id → position in spans
+	cap       int            // max retained spans (excess Starts are dropped)
+}
+
+// NewSpanRecorder returns a recorder retaining at most cap spans
+// (cap ≤ 0 selects a generous default).
+func NewSpanRecorder(cap int) *SpanRecorder {
+	if cap <= 0 {
+		cap = 1 << 16
+	}
+	return &SpanRecorder{index: make(map[SpanID]int), cap: cap}
+}
+
+// NewTrace allocates a fresh correlation ID (0 on a nil recorder).
+func (r *SpanRecorder) NewTrace() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	r.nextTrace++
+	t := r.nextTrace
+	r.mu.Unlock()
+	return t
+}
+
+// Start opens a span under trace/parent beginning at time at and returns
+// its ID. When the recorder is nil or full it returns 0, which every
+// other method treats as "no span".
+func (r *SpanRecorder) Start(trace int64, parent SpanID, name, node string, at float64) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= r.cap {
+		return 0
+	}
+	r.nextID++
+	id := SpanID(r.nextID)
+	r.index[id] = len(r.spans)
+	r.spans = append(r.spans, Span{
+		Trace: trace, ID: id, Parent: parent,
+		Name: name, Node: node,
+		Flow: -1, Rule: -1,
+		Start: at, End: at,
+		WallNs: time.Now().UnixNano(),
+	})
+	return id
+}
+
+// End closes a span at time at. Unknown (or zero) IDs are ignored.
+func (r *SpanRecorder) End(id SpanID, at float64) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	if i, ok := r.index[id]; ok {
+		r.spans[i].End = at
+	}
+	r.mu.Unlock()
+}
+
+// Annotate attaches a flow, rule, and detail string to a span. Negative
+// flow/rule leave the corresponding field unchanged; an empty detail
+// leaves the detail unchanged.
+func (r *SpanRecorder) Annotate(id SpanID, flow, rule int, detail string) {
+	if r == nil || id == 0 {
+		return
+	}
+	r.mu.Lock()
+	if i, ok := r.index[id]; ok {
+		if flow >= 0 {
+			r.spans[i].Flow = flow
+		}
+		if rule >= 0 {
+			r.spans[i].Rule = rule
+		}
+		if detail != "" {
+			r.spans[i].Detail = detail
+		}
+	}
+	r.mu.Unlock()
+}
+
+// Len returns the number of retained spans (0 on a nil recorder).
+func (r *SpanRecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.spans)
+}
+
+// Spans returns a copy of the retained spans in start order.
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Drain returns the retained spans and clears the recorder, keeping ID
+// and trace allocation monotone — the per-trial collection primitive.
+func (r *SpanRecorder) Drain() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.spans
+	r.spans = nil
+	r.index = make(map[SpanID]int)
+	return out
+}
+
+// WriteJSONL writes the retained spans one JSON object per line.
+func (r *SpanRecorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range r.Spans() {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanNode is one node of a reconstructed span tree.
+type SpanNode struct {
+	Span     Span
+	Children []*SpanNode
+}
+
+// BuildSpanForest reconstructs the causal trees from a flat span list:
+// spans whose parent is absent (or zero) become roots. Roots are ordered
+// by (trace, start); children by start time.
+func BuildSpanForest(spans []Span) []*SpanNode {
+	nodes := make(map[SpanID]*SpanNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &SpanNode{Span: s}
+	}
+	var roots []*SpanNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != 0 && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortNodes func(ns []*SpanNode)
+	sortNodes = func(ns []*SpanNode) {
+		sort.Slice(ns, func(i, j int) bool {
+			a, b := ns[i].Span, ns[j].Span
+			if a.Trace != b.Trace {
+				return a.Trace < b.Trace
+			}
+			if a.Start != b.Start {
+				return a.Start < b.Start
+			}
+			return a.ID < b.ID
+		})
+		for _, n := range ns {
+			sortNodes(n.Children)
+		}
+	}
+	sortNodes(roots)
+	return roots
+}

@@ -40,6 +40,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 	tracer     *Tracer
+	spans      *SpanRecorder
 }
 
 // NewRegistry returns an empty registry whose tracer retains up to
@@ -138,6 +139,32 @@ func (r *Registry) Tracer() *Tracer {
 	return r.tracer
 }
 
+// EnableSpans attaches a causal-span recorder retaining up to cap spans
+// and returns it. Safe on a nil registry (returns nil, i.e. the
+// disabled recorder). Calling it again returns the existing recorder.
+func (r *Registry) EnableSpans(cap int) *SpanRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = NewSpanRecorder(cap)
+	}
+	return r.spans
+}
+
+// Spans returns the registry's span recorder (nil when spans are
+// disabled or the registry itself is nil).
+func (r *Registry) Spans() *SpanRecorder {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans
+}
+
 // Snapshot is a point-in-time, JSON-serializable copy of every
 // instrument in a registry.
 type Snapshot struct {
@@ -145,6 +172,7 @@ type Snapshot struct {
 	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 	Events     []Event                      `json:"events,omitempty"`
+	Spans      []Span                       `json:"spans,omitempty"`
 }
 
 // Snapshot captures the current value of every instrument. On a nil
@@ -170,6 +198,7 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[name] = h.Snapshot()
 	}
 	s.Events = r.tracer.Events()
+	s.Spans = r.spans.Spans()
 	return s
 }
 

@@ -1,0 +1,137 @@
+package trialrec
+
+import (
+	"fmt"
+	"math"
+
+	"flowrecon/internal/workload"
+)
+
+// Divergence locates one difference between two recordings. Trial and
+// Probe are -1 when the divergence is not at that granularity (e.g. a
+// header mismatch).
+type Divergence struct {
+	// Trial is the 0-based trial index, or -1 for header-level.
+	Trial int `json:"trial"`
+	// Attacker names the strategy, "" for trial-level differences.
+	Attacker string `json:"attacker,omitempty"`
+	// Probe is the 0-based probe index, or -1 when not probe-level.
+	Probe int `json:"probe"`
+	// Field names what differed (e.g. "outcome", "verdict", "truth").
+	Field string `json:"field"`
+	// A and B render the two values.
+	A string `json:"a"`
+	B string `json:"b"`
+}
+
+// String formats the divergence for terminal output.
+func (d Divergence) String() string {
+	loc := "header"
+	if d.Trial >= 0 {
+		loc = fmt.Sprintf("trial %d", d.Trial)
+		if d.Attacker != "" {
+			loc += " " + d.Attacker
+		}
+		if d.Probe >= 0 {
+			loc += fmt.Sprintf(" probe %d", d.Probe)
+		}
+	}
+	return fmt.Sprintf("%s: %s %s ≠ %s", loc, d.Field, d.A, d.B)
+}
+
+// Diff compares two recordings and returns every divergence, in
+// encounter order: header first, then trial by trial, attacker by
+// attacker, probe by probe — so the first element is the earliest point
+// the runs separated. Spans and belief snapshots are excluded (they
+// carry wall-clock annotations); outcome-bearing fields — truth,
+// arrivals, probes, outcomes, verdicts, posteriors — are all compared.
+// An empty result means the recordings describe identical runs.
+func Diff(a, b *Recording) []Divergence {
+	var ds []Divergence
+	add := func(trial int, attacker string, probe int, field, av, bv string) {
+		ds = append(ds, Divergence{Trial: trial, Attacker: attacker, Probe: probe, Field: field, A: av, B: bv})
+	}
+
+	if a.Header.ConfigHash != b.Header.ConfigHash {
+		add(-1, "", -1, "configHash", a.Header.ConfigHash, b.Header.ConfigHash)
+	}
+	if a.Header.Seed != b.Header.Seed {
+		add(-1, "", -1, "seed", fmt.Sprint(a.Header.Seed), fmt.Sprint(b.Header.Seed))
+	}
+	if len(a.Trials) != len(b.Trials) {
+		add(-1, "", -1, "trials", fmt.Sprint(len(a.Trials)), fmt.Sprint(len(b.Trials)))
+	}
+
+	n := min(len(a.Trials), len(b.Trials))
+	for i := 0; i < n; i++ {
+		ta, tb := a.Trials[i], b.Trials[i]
+		if ta.Truth != tb.Truth {
+			add(i, "", -1, "truth", fmt.Sprint(ta.Truth), fmt.Sprint(tb.Truth))
+		}
+		if !sameArrivals(ta.Arrivals, tb.Arrivals) {
+			add(i, "", -1, "arrivals", fmt.Sprintf("%d arrivals", len(ta.Arrivals)), fmt.Sprintf("%d arrivals", len(tb.Arrivals)))
+		}
+		m := min(len(ta.Attackers), len(tb.Attackers))
+		if len(ta.Attackers) != len(tb.Attackers) {
+			add(i, "", -1, "attackers", fmt.Sprint(len(ta.Attackers)), fmt.Sprint(len(tb.Attackers)))
+		}
+		for j := 0; j < m; j++ {
+			diffAttacker(i, ta.Attackers[j], tb.Attackers[j], add)
+		}
+	}
+	return ds
+}
+
+func diffAttacker(trial int, a, b AttackerTrial, add func(int, string, int, string, string, string)) {
+	name := a.Name
+	if a.Name != b.Name {
+		add(trial, name, -1, "name", a.Name, b.Name)
+		return // nothing below is comparable across different strategies
+	}
+	np := min(len(a.Probes), len(b.Probes))
+	if len(a.Probes) != len(b.Probes) {
+		add(trial, name, -1, "probes", fmt.Sprint(len(a.Probes)), fmt.Sprint(len(b.Probes)))
+	}
+	for p := 0; p < np; p++ {
+		if a.Probes[p] != b.Probes[p] {
+			add(trial, name, p, "probe flow", fmt.Sprint(a.Probes[p]), fmt.Sprint(b.Probes[p]))
+		}
+		if p < len(a.Outcomes) && p < len(b.Outcomes) && a.Outcomes[p] != b.Outcomes[p] {
+			add(trial, name, p, "outcome", outcomeStr(a.Outcomes[p]), outcomeStr(b.Outcomes[p]))
+		}
+		if p < len(a.Belief) && p < len(b.Belief) {
+			if pa, pb := a.Belief[p].Posterior, b.Belief[p].Posterior; math.Abs(pa-pb) > 1e-12 {
+				add(trial, name, p, "posterior", fmt.Sprintf("%.9f", pa), fmt.Sprintf("%.9f", pb))
+			}
+		}
+	}
+	if a.Verdict != b.Verdict {
+		add(trial, name, -1, "verdict", fmt.Sprint(a.Verdict), fmt.Sprint(b.Verdict))
+	}
+}
+
+func sameArrivals(a, b []workload.Arrival) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func outcomeStr(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,279 @@
+// Package trialrec defines the deterministic trial-recording format: a
+// JSONL stream whose first line is a Header (format version, config hash,
+// the generating spec, RNG seed) and whose remaining lines are one Trial
+// each — the traffic window, every attacker's probes, classified outcomes,
+// verdict and belief trajectory, plus any causal spans captured during the
+// trial. Because every random draw in the simulator flows through seeded
+// stats.RNG streams, re-running the spec reproduces the recording
+// bit-for-bit; Diff pinpoints the first divergence when it does not.
+//
+// Import direction: experiment imports trialrec (never the reverse), so
+// the spec travels as raw JSON and is interpreted by the layer that owns
+// it.
+package trialrec
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/telemetry"
+	"flowrecon/internal/workload"
+)
+
+// FormatVersion identifies the recording schema. Readers reject newer
+// versions rather than misinterpret them.
+const FormatVersion = 1
+
+// Header is the first JSONL line of a recording.
+type Header struct {
+	// Format is the schema version (FormatVersion at write time).
+	Format int `json:"format"`
+	// ConfigHash is the SHA-256 of Spec — a cheap identity check before a
+	// full diff.
+	ConfigHash string `json:"configHash"`
+	// Spec is the generating specification (the experiment layer's
+	// RecordingSpec), opaque at this layer.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Seed is the root RNG seed of the run.
+	Seed int64 `json:"seed"`
+	// Trials is the number of trial lines that follow.
+	Trials int `json:"trials"`
+	// Attackers names the strategies in per-trial order.
+	Attackers []string `json:"attackers"`
+}
+
+// AttackerTrial is one attacker's activity within one trial.
+type AttackerTrial struct {
+	// Name is the attacker's reported name.
+	Name string `json:"name"`
+	// Probes are the flows probed, in send order (resolved after the fact
+	// for sequential attackers).
+	Probes []flows.ID `json:"probes"`
+	// Outcomes are the classified timing observations, Outcomes[i] for
+	// Probes[i].
+	Outcomes []bool `json:"outcomes"`
+	// Verdict is the attacker's decision: true = "target occurred".
+	Verdict bool `json:"verdict"`
+	// Belief is the per-probe posterior trajectory (empty for attackers
+	// without a fitted model).
+	Belief []core.BeliefStep `json:"belief,omitempty"`
+}
+
+// Trial is one JSONL line after the header.
+type Trial struct {
+	// Trial is the 0-based trial index.
+	Trial int `json:"trial"`
+	// Truth is the ground truth X̂ of this window.
+	Truth bool `json:"truth"`
+	// Arrivals is the generated traffic window.
+	Arrivals []workload.Arrival `json:"arrivals,omitempty"`
+	// Attackers holds each strategy's probes/outcomes/verdict, in the
+	// header's attacker order.
+	Attackers []AttackerTrial `json:"attackers"`
+	// Spans are the causal spans captured during the trial (replay,
+	// probes, decisions), already ended.
+	Spans []telemetry.Span `json:"spans,omitempty"`
+}
+
+// HashSpec returns the hex SHA-256 of a spec blob ("" for empty).
+func HashSpec(spec []byte) string {
+	if len(spec) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256(spec)
+	return hex.EncodeToString(sum[:])
+}
+
+// Recorder streams a recording to a writer, one JSONL line per trial. All
+// methods are safe on a nil *Recorder, so the trial loop can thread one
+// pointer unconditionally and pay nothing when recording is off.
+type Recorder struct {
+	w      *bufio.Writer
+	closer io.Closer
+	cur    *Trial
+	trials int
+	err    error
+}
+
+// NewRecorder writes the header (stamped with FormatVersion and the spec
+// hash) and returns a recorder for the trial lines. If w is also an
+// io.Closer, Close closes it.
+func NewRecorder(w io.Writer, h Header) (*Recorder, error) {
+	h.Format = FormatVersion
+	h.ConfigHash = HashSpec(h.Spec)
+	r := &Recorder{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		r.closer = c
+	}
+	if err := r.writeLine(h); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Create opens path for writing and returns a recorder over it.
+func Create(path string, h Header) (*Recorder, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trialrec: %w", err)
+	}
+	r, err := NewRecorder(f, h)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Recorder) writeLine(v any) error {
+	if r.err != nil {
+		return r.err
+	}
+	b, err := json.Marshal(v)
+	if err == nil {
+		_, err = r.w.Write(append(b, '\n'))
+	}
+	if err != nil {
+		r.err = fmt.Errorf("trialrec: %w", err)
+	}
+	return r.err
+}
+
+// Enabled reports whether the recorder captures anything (false for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// BeginTrial opens a trial record. Arrivals are copied.
+func (r *Recorder) BeginTrial(trial int, truth bool, arrivals []workload.Arrival) {
+	if r == nil {
+		return
+	}
+	r.cur = &Trial{
+		Trial:    trial,
+		Truth:    truth,
+		Arrivals: append([]workload.Arrival(nil), arrivals...),
+	}
+}
+
+// Attacker appends one attacker's activity to the open trial.
+func (r *Recorder) Attacker(at AttackerTrial) {
+	if r == nil || r.cur == nil {
+		return
+	}
+	r.cur.Attackers = append(r.cur.Attackers, at)
+}
+
+// Spans attaches causal spans to the open trial.
+func (r *Recorder) Spans(spans []telemetry.Span) {
+	if r == nil || r.cur == nil || len(spans) == 0 {
+		return
+	}
+	r.cur.Spans = append(r.cur.Spans, spans...)
+}
+
+// EndTrial writes the open trial line.
+func (r *Recorder) EndTrial() error {
+	if r == nil || r.cur == nil {
+		return nil
+	}
+	t := r.cur
+	r.cur = nil
+	r.trials++
+	return r.writeLine(t)
+}
+
+// Close flushes the stream (and closes the underlying file if the
+// recorder owns one). Safe on nil.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	if r.w != nil {
+		if err := r.w.Flush(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("trialrec: %w", err)
+		}
+	}
+	if r.closer != nil {
+		if err := r.closer.Close(); err != nil && r.err == nil {
+			r.err = fmt.Errorf("trialrec: %w", err)
+		}
+		r.closer = nil
+	}
+	return r.err
+}
+
+// Trials returns the number of trial lines written so far (0 for nil).
+func (r *Recorder) Trials() int {
+	if r == nil {
+		return 0
+	}
+	return r.trials
+}
+
+// Recording is a fully-parsed recording.
+type Recording struct {
+	Header Header
+	Trials []Trial
+}
+
+// Read parses a JSONL recording stream.
+func Read(rd io.Reader) (*Recording, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<26) // span-heavy trials can be long lines
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trialrec: %w", err)
+		}
+		return nil, fmt.Errorf("trialrec: empty recording")
+	}
+	var rec Recording
+	if err := json.Unmarshal(sc.Bytes(), &rec.Header); err != nil {
+		return nil, fmt.Errorf("trialrec: header: %w", err)
+	}
+	if rec.Header.Format < 1 || rec.Header.Format > FormatVersion {
+		return nil, fmt.Errorf("trialrec: unsupported format %d (reader supports ≤ %d)", rec.Header.Format, FormatVersion)
+	}
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var t Trial
+		if err := json.Unmarshal(sc.Bytes(), &t); err != nil {
+			return nil, fmt.Errorf("trialrec: line %d: %w", line, err)
+		}
+		rec.Trials = append(rec.Trials, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trialrec: %w", err)
+	}
+	return &rec, nil
+}
+
+// ReadFile parses the recording at path.
+func ReadFile(path string) (*Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trialrec: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Trace reconstitutes trial t's traffic window for replay.
+func (t Trial) Trace() *workload.Trace { return workload.NewTrace(t.Arrivals) }
+
+// FindAttacker returns the named attacker's record within the trial.
+func (t Trial) FindAttacker(name string) (AttackerTrial, bool) {
+	for _, at := range t.Attackers {
+		if at.Name == name {
+			return at, true
+		}
+	}
+	return AttackerTrial{}, false
+}

@@ -22,6 +22,15 @@ type Trace struct {
 	arrivals []Arrival
 }
 
+// NewTrace builds a trace from explicit arrivals (sorted defensively by
+// time). It is how recorded traffic windows are reconstituted for replay.
+func NewTrace(arrivals []Arrival) *Trace {
+	out := make([]Arrival, len(arrivals))
+	copy(out, arrivals)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return &Trace{arrivals: out}
+}
+
 // Arrivals returns the arrivals in time order.
 func (t *Trace) Arrivals() []Arrival {
 	out := make([]Arrival, len(t.arrivals))
