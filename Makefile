@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench check
+.PHONY: all build fmt-check vet test race bench bench-compare check
 
 all: check build
 
@@ -23,15 +23,21 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench runs the root benchmark suite and writes BENCH_PR2.json — the
-## machine-readable ns/op table (via cmd/benchjson), including the
-## instrumented vs nil-recorder trial loop comparison.
+## bench runs the root benchmark suite and writes BENCH_PR3.json — the
+## machine-readable ns/op table (via cmd/benchjson), including the cold vs
+## memoized compact-model build and the serial vs parallel trial loop.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 200ms . > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR2.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR3.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR2.json"
+	@echo "wrote BENCH_PR3.json"
+
+## bench-compare diffs the committed benchmark history: it fails when any
+## benchmark present in both BENCH_PR2.json and BENCH_PR3.json regressed
+## by more than 15% ns/op. CI runs this as the perf gate.
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json -max-regress 15
 
 ## check is the pre-merge gate: formatting, vet, and the full test suite
 ## under the race detector.

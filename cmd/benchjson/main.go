@@ -1,16 +1,26 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a machine-readable JSON document on stdout. The Makefile's
-// bench target pipes the suite through it to produce BENCH_PR2.json, so
+// bench target pipes the suite through it to produce BENCH_PR3.json, so
 // benchmark history (notably the instrumented vs nil-recorder trial loop)
 // can be diffed across PRs.
+//
+// With -compare it instead diffs two such documents:
+//
+//	benchjson -compare BENCH_PR2.json BENCH_PR3.json -max-regress 15
+//
+// printing per-benchmark ns/op deltas and exiting non-zero when any
+// benchmark present in both files regressed by more than -max-regress
+// percent — the CI guard against accidental slowdowns.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -36,6 +46,39 @@ type Report struct {
 }
 
 func main() {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	compare := fs.Bool("compare", false, "compare two benchmark JSON files (old new) instead of parsing stdin")
+	maxRegress := fs.Float64("max-regress", 15, "with -compare: fail when any shared benchmark's ns/op regressed by more than this percentage")
+	// Accept flags before and after the positional file arguments
+	// (benchjson -compare old.json new.json -max-regress 15): the stdlib
+	// parser stops at the first non-flag, so feed it back the remainder.
+	var files []string
+	rest := os.Args[1:]
+	for {
+		_ = fs.Parse(rest)
+		if fs.NArg() == 0 {
+			break
+		}
+		files = append(files, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+
+	if *compare {
+		if len(files) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		ok, err := runCompare(os.Stdout, files[0], files[1], *maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -47,6 +90,85 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadReport reads one benchjson document.
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare prints the ns/op delta table for benchmarks present in both
+// reports and reports whether every shared benchmark stayed within
+// maxRegress percent of the old time. Benchmarks that exist on only one
+// side are listed but never fail the comparison (suites grow across
+// PRs).
+func runCompare(w io.Writer, oldPath, newPath string, maxRegress float64) (bool, error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldNs := map[string]float64{}
+	for _, b := range oldRep.Benchmarks {
+		if v, ok := b.Metrics["ns/op"]; ok {
+			oldNs[b.Name] = v
+		}
+	}
+	ok := true
+	var shared, added []string
+	newNs := map[string]float64{}
+	for _, b := range newRep.Benchmarks {
+		v, has := b.Metrics["ns/op"]
+		if !has {
+			continue
+		}
+		newNs[b.Name] = v
+		if _, both := oldNs[b.Name]; both {
+			shared = append(shared, b.Name)
+		} else {
+			added = append(added, b.Name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(added)
+
+	fmt.Fprintf(w, "%-40s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range shared {
+		o, n := oldNs[name], newNs[name]
+		delta := 100 * (n - o) / o
+		mark := ""
+		if delta > maxRegress {
+			mark = "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, delta, mark)
+	}
+	for _, name := range added {
+		fmt.Fprintf(w, "%-40s %14s %14.0f %9s\n", name, "—", newNs[name], "new")
+	}
+	for _, b := range oldRep.Benchmarks {
+		if _, still := newNs[b.Name]; !still {
+			fmt.Fprintf(w, "%-40s %14.0f %14s %9s\n", b.Name, oldNs[b.Name], "—", "removed")
+		}
+	}
+	if !ok {
+		fmt.Fprintf(w, "\nFAIL: at least one benchmark regressed by more than %.1f%%\n", maxRegress)
+	} else {
+		fmt.Fprintf(w, "\nOK: no shared benchmark regressed by more than %.1f%%\n", maxRegress)
+	}
+	return ok, nil
 }
 
 // parse scans benchmark output: "goos:"/"goarch:"/"pkg:" headers and

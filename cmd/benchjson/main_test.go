@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -63,5 +65,57 @@ func TestParseResultMalformed(t *testing.T) {
 		if _, ok := parseResult(line); ok {
 			t.Fatalf("malformed line parsed: %q", line)
 		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", `{"benchmarks":[
+		{"name":"A","iters":1,"metrics":{"ns/op":1000}},
+		{"name":"B","iters":1,"metrics":{"ns/op":2000}},
+		{"name":"Gone","iters":1,"metrics":{"ns/op":5}}]}`)
+	newPath := write("new.json", `{"benchmarks":[
+		{"name":"A","iters":1,"metrics":{"ns/op":1100}},
+		{"name":"B","iters":1,"metrics":{"ns/op":500}},
+		{"name":"New","iters":1,"metrics":{"ns/op":7}}]}`)
+
+	var buf strings.Builder
+	ok, err := runCompare(&buf, oldPath, newPath, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("10%% regression must pass a 15%% gate:\n%s", buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"A", "B", "New", "Gone", "new", "removed", "OK:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out)
+		}
+	}
+
+	buf.Reset()
+	ok, err = runCompare(&buf, oldPath, newPath, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("10%% regression must fail a 5%% gate:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("regression not flagged:\n%s", buf.String())
+	}
+}
+
+func TestRunCompareBadFile(t *testing.T) {
+	if _, err := runCompare(io.Discard, "does-not-exist.json", "also-missing.json", 15); err == nil {
+		t.Fatal("missing file must error")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"flowrecon/internal/core"
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/plot"
 	"flowrecon/internal/telemetry"
@@ -47,6 +48,7 @@ func run(args []string) error {
 		svgDir   = fs.String("svg", "", "directory for SVG renderings of the figures")
 		scale    = fs.String("scale", "paper", "parameter scale: paper (16 flows/12 rules) or small (8 flows/6 rules)")
 		telOut   = fs.String("telemetry-out", "", "write the final telemetry snapshot (probe histograms, counters) as JSON to this file")
+		par      = fs.Int("parallelism", 1, "trial-runner worker goroutines per configuration; results are identical at every level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,9 @@ func run(args []string) error {
 	var reg *telemetry.Registry
 	if *telOut != "" {
 		reg = telemetry.NewRegistry(8192)
+		// Route the model layer's build/evolve/cache instruments into the
+		// same snapshot as the experiment metrics.
+		core.SetTelemetry(reg)
 	}
 
 	params := experiment.DefaultParams()
@@ -87,6 +92,7 @@ func run(args []string) error {
 			MaxAttempts:     samplingBudget(*attempts, *configs),
 			Seed:            *seed,
 			Telemetry:       reg,
+			Parallelism:     *par,
 		}
 		res, err := experiment.RunFig6(opts)
 		if err != nil {
@@ -116,6 +122,7 @@ func run(args []string) error {
 			MaxAttempts:     samplingBudget(*attempts, *configs),
 			Seed:            *seed + 1,
 			Telemetry:       reg,
+			Parallelism:     *par,
 		}
 		res, err := experiment.RunFig7(opts)
 		if err != nil {

@@ -40,6 +40,7 @@ func run(args []string) error {
 		sweep   = fs.Bool("sweep", false, "also sweep the attack window and report gain vs T")
 		telOut  = fs.String("telemetry-out", "", "write final + per-trial telemetry snapshots as JSON to this file")
 		recOut  = fs.String("record", "", "write the deterministic trial recording (JSONL) to this file; replay with cmd/inspect -replay")
+		par     = fs.Int("parallelism", 1, "trial-runner worker goroutines; results and recordings are identical at every level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +107,9 @@ func run(args []string) error {
 	var reg *telemetry.Registry
 	if *telOut != "" {
 		reg = telemetry.NewRegistry(8192)
+		// Route the model layer's build/evolve/cache instruments into the
+		// same snapshot as the experiment metrics.
+		core.SetTelemetry(reg)
 	}
 	var rec *trialrec.Recorder
 	if *recOut != "" {
@@ -129,7 +133,7 @@ func run(args []string) error {
 	}
 	results, records, err := experiment.RunTrialsOpts(
 		nc, attackers, *trials, spec.Measurement, stats.NewRNG(spec.TrialSeed),
-		experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec})
+		experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec, Parallelism: *par})
 	if err != nil {
 		rec.Close()
 		return err

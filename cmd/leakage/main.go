@@ -41,6 +41,7 @@ func run(args []string) error {
 		coarsen    = fs.Bool("coarsen", false, "greedily merge rules to reduce leakage")
 		targetBits = fs.Float64("target-bits", 0.02, "coarsening target for worst-case leakage")
 		maxMerges  = fs.Int("max-merges", 3, "coarsening budget")
+		par        = fs.Int("parallelism", 1, "per-target profiling worker goroutines; the profile is identical at every level")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,7 +71,7 @@ func run(args []string) error {
 		fmt.Printf("  %s\n", r)
 	}
 
-	prof, err := defense.MeasureLeakage(cfg, steps, core.DefaultUSumParams())
+	prof, err := defense.MeasureLeakageWorkers(cfg, steps, core.DefaultUSumParams(), *par)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/markov"
@@ -67,6 +68,13 @@ type BasicModel struct {
 	cfg Config
 	sr  []float64 // per-step rates λ_f·Δ
 	res *markov.ExploreResult[string]
+	// frozen is the CSR snapshot of the transition matrix (evolve
+	// kernel), compiled lazily on the first Evolve so build-only users
+	// (state counting, the ordered-vs-canonical ablation) don't pay for
+	// it.
+	frozen     *markov.CSR
+	freezeOnce sync.Once
+	wsPool     sync.Pool
 	// ruleMask[i] is the bitmask of rules cached in state i.
 	ruleMask []uint64
 	// canonical states drop cache order (see NewBasicModelCanonical).
@@ -122,6 +130,8 @@ func newBasicModel(cfg Config, maxStates int, canonical bool) (*BasicModel, erro
 	if err := res.Matrix.CheckStochastic(1e-9); err != nil {
 		return nil, err
 	}
+	n := len(res.States)
+	m.wsPool.New = func() any { return markov.NewWorkspace(n) }
 	return m, nil
 }
 
@@ -272,8 +282,21 @@ func (m *BasicModel) InitialDist() markov.Dist {
 }
 
 // Evolve advances a state distribution the given number of steps (Eqn 8).
+// The input is not modified; the frozen CSR kernel is bit-identical to
+// the reference Sparse.Evolve.
 func (m *BasicModel) Evolve(d markov.Dist, steps int) markov.Dist {
-	return m.res.Matrix.Evolve(d, steps)
+	out := d.Clone()
+	m.EvolveInPlace(out, steps)
+	return out
+}
+
+// EvolveInPlace advances d in place via a pooled workspace (zero
+// allocation once warm). Safe for concurrent use.
+func (m *BasicModel) EvolveInPlace(d markov.Dist, steps int) {
+	m.freezeOnce.Do(func() { m.frozen = m.res.Matrix.Freeze() })
+	ws := m.wsPool.Get().(*markov.Workspace)
+	m.frozen.EvolveInPlace(ws, d, steps)
+	m.wsPool.Put(ws)
 }
 
 // HitProbability returns P(Q_f = 1) under d: the mass of states caching at

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"flowrecon/internal/flows"
+)
+
+// ConfigKey is the canonical hash identifying a (Config, USumParams)
+// pair: rule structure (priority, timeout, kind, cover), rate vector
+// bits, Δ, cache size, and estimator parameters. Two configurations with
+// equal keys build identical compact models.
+type ConfigKey [sha256.Size]byte
+
+// KeyOf computes the canonical key of a model configuration.
+func KeyOf(cfg Config, params USumParams) ConfigKey {
+	h := sha256.New()
+	var buf [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	if cfg.Rules != nil {
+		w64(uint64(cfg.Rules.Len()))
+		for j := 0; j < cfg.Rules.Len(); j++ {
+			r := cfg.Rules.Rule(j)
+			w64(uint64(int64(r.Priority)))
+			w64(uint64(r.Timeout))
+			w64(uint64(r.Kind))
+			w64(uint64(r.Cover.Len()))
+			r.Cover.ForEach(func(f flows.ID) { w64(uint64(f)) })
+		}
+	}
+	w64(uint64(len(cfg.Rates)))
+	for _, r := range cfg.Rates {
+		w64(math.Float64bits(r))
+	}
+	w64(math.Float64bits(cfg.Delta))
+	w64(uint64(cfg.CacheSize))
+	w64(uint64(params.ExactLimit))
+	w64(uint64(params.MCSamples))
+	w64(uint64(params.Seed))
+	var key ConfigKey
+	h.Sum(key[:0])
+	return key
+}
+
+// ModelCache memoizes compact-model builds by canonical configuration
+// key so that GainVsWindow sweeps, ProbeSelector constructors, the
+// defense leakage profiler, and repeated experiment trials stop paying
+// the §IV-B build for identical chains. Lookups are singleflight: when
+// several goroutines request the same key, one builds and the rest wait.
+// Capacity is bounded with FIFO eviction (evicted in-flight builds still
+// complete for their waiters).
+type ModelCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[ConfigKey]*modelEntry
+	order   []ConfigKey
+}
+
+type modelEntry struct {
+	once sync.Once
+	m    *CompactModel
+	err  error
+}
+
+// NewModelCache returns a cache holding at most max models (≤ 0 means
+// the DefaultModelCacheSize).
+func NewModelCache(max int) *ModelCache {
+	if max <= 0 {
+		max = DefaultModelCacheSize
+	}
+	return &ModelCache{max: max, entries: make(map[ConfigKey]*modelEntry)}
+}
+
+// DefaultModelCacheSize bounds the process-wide DefaultModelCache. A
+// paper-scale model is a few MB; 32 of them cover a full defense
+// profile (one M plus one M₀ per target) with room to spare.
+const DefaultModelCacheSize = 32
+
+// DefaultModelCache serves the package-level cached constructors.
+var DefaultModelCache = NewModelCache(DefaultModelCacheSize)
+
+// Get returns the cached model for (cfg, params), building it on first
+// use. The returned model is shared: it is immutable after construction
+// and safe for concurrent use, but callers must not mutate its exposed
+// matrix.
+func (c *ModelCache) Get(cfg Config, params USumParams) (*CompactModel, error) {
+	key := KeyOf(cfg, params)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &modelEntry{}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			old := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, old)
+		}
+	}
+	c.mu.Unlock()
+	obsModelCache(ok)
+	e.once.Do(func() {
+		e.m, e.err = NewCompactModel(cfg, params)
+	})
+	return e.m, e.err
+}
+
+// Len reports the number of resident entries.
+func (c *ModelCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry. Benchmarks use it to measure cold builds.
+func (c *ModelCache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[ConfigKey]*modelEntry)
+	c.order = nil
+	c.mu.Unlock()
+}
+
+// CachedCompactModel is NewCompactModel through the DefaultModelCache.
+func CachedCompactModel(cfg Config, params USumParams) (*CompactModel, error) {
+	return DefaultModelCache.Get(cfg, params)
+}

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/markov"
@@ -47,6 +51,8 @@ type CompactModel struct {
 	states []uint64       // rule bitmasks, index-aligned with the matrix
 	index  map[uint64]int // mask → state index
 	matrix *markov.Sparse
+	frozen *markov.CSR      // immutable CSR snapshot driving Evolve/SteadyState
+	wsPool sync.Pool        // *markov.Workspace, per-goroutine evolve scratch
 	est    []StateEstimates // per-state §IV-B estimates (nil for the empty state)
 	params USumParams
 	// exactStates counts states whose u-sums were enumerated exactly.
@@ -54,9 +60,20 @@ type CompactModel struct {
 }
 
 // NewCompactModel enumerates every subset state and builds the transition
-// matrix. params tunes the u-sum estimator; pass DefaultUSumParams() unless
-// benchmarking the estimator itself.
+// matrix, fanning the per-state u-sum estimation across GOMAXPROCS
+// workers. params tunes the u-sum estimator; pass DefaultUSumParams()
+// unless benchmarking the estimator itself.
 func NewCompactModel(cfg Config, params USumParams) (*CompactModel, error) {
+	return NewCompactModelWorkers(cfg, params, 0)
+}
+
+// NewCompactModelWorkers is NewCompactModel with an explicit build
+// worker count (≤ 0 selects GOMAXPROCS). Per-state rows are computed on
+// the pool and assembled in state order, so the resulting model is
+// bit-identical regardless of the worker count: the only cross-state
+// coupling is the u-sum memo, whose entries are pure functions of their
+// keys.
+func NewCompactModelWorkers(cfg Config, params USumParams, workers int) (*CompactModel, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -64,11 +81,19 @@ func NewCompactModel(cfg Config, params USumParams) (*CompactModel, error) {
 	if nr > 24 {
 		return nil, fmt.Errorf("core: compact model supports ≤ 24 rules, got %d", nr)
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
 	m := &CompactModel{cfg: cfg, sr: cfg.stepRates(), params: params}
 	m.enumerateStates()
-	if err := m.buildMatrix(); err != nil {
+	if err := m.buildMatrix(workers); err != nil {
 		return nil, err
 	}
+	m.frozen = m.matrix.Freeze()
+	n := len(m.states)
+	m.wsPool.New = func() any { return markov.NewWorkspace(n) }
+	obsBuild(float64(time.Since(start).Nanoseconds())/1e6, workers)
 	return m, nil
 }
 
@@ -114,60 +139,120 @@ func (m *CompactModel) enumerateStates() {
 	}
 }
 
-func (m *CompactModel) buildMatrix() error {
-	m.matrix = markov.NewSparse(len(m.states))
-	m.est = make([]StateEstimates, len(m.states))
-	estimator := &uEstimator{rs: m.cfg.Rules, sr: m.sr, capacity: m.cfg.CacheSize, params: m.params}
+// builtRow is the output of one state's independent row computation.
+type builtRow struct {
+	est    StateEstimates
+	hasEst bool
+	tos    []int
+	ps     []float64
+}
 
-	for idx, mask := range m.states {
-		cachedIDs := maskIDs(mask)
-		cached := func(j int) bool { return mask&(1<<uint(j)) != 0 }
-		w := computeEventWeights(m.cfg.Rules, m.sr, cached)
+// buildRow computes state idx's estimates and unnormalized row entries.
+// It touches only immutable model fields (states, index, cfg, sr) plus
+// the caller-owned estimator, so rows can be built concurrently.
+func (m *CompactModel) buildRow(estimator *uEstimator, idx int) builtRow {
+	mask := m.states[idx]
+	cachedIDs := maskIDs(mask)
+	cached := func(j int) bool { return mask&(1<<uint(j)) != 0 }
+	w := computeEventWeights(m.cfg.Rules, m.sr, cached)
 
-		var est StateEstimates
-		if len(cachedIDs) > 0 {
-			est = estimator.estimate(cachedIDs)
-			m.est[idx] = est
-			if est.Exact {
+	var row builtRow
+	add := func(to int, p float64) {
+		row.tos = append(row.tos, to)
+		row.ps = append(row.ps, p)
+	}
+	est := row.est
+	if len(cachedIDs) > 0 {
+		est = estimator.estimate(cachedIDs)
+		row.est = est
+		row.hasEst = true
+	}
+
+	// Null event: per-rule timeouts plus the stay-put remainder.
+	var timeoutTotal float64
+	for _, j := range cachedIDs {
+		timeoutTotal += est.Timeout[j]
+	}
+	if timeoutTotal > 1 {
+		// Conditional probabilities can overshoot jointly; rescale so
+		// the null event stays a probability split.
+		for _, j := range cachedIDs {
+			add(m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j]/timeoutTotal)
+		}
+	} else {
+		for _, j := range cachedIDs {
+			add(m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j])
+		}
+		add(idx, w.null*(1-timeoutTotal))
+	}
+
+	// Arrival events.
+	for j := 0; j < m.cfg.Rules.Len(); j++ {
+		p := w.arrival[j]
+		if p <= 0 {
+			continue
+		}
+		switch {
+		case cached(j):
+			add(idx, p) // hit: subset unchanged
+		case len(cachedIDs) < m.cfg.CacheSize:
+			add(m.index[mask|1<<uint(j)], p)
+		default:
+			for _, v := range cachedIDs {
+				to := (mask | 1<<uint(j)) &^ (1 << uint(v))
+				add(m.index[to], p*est.Evict[v])
+			}
+		}
+	}
+	return row
+}
+
+// buildMatrix computes every state's row — the u-sum estimation is the
+// §VI hot path — on a pool of workers, then assembles the sparse matrix
+// serially in state order so the result is independent of scheduling.
+func (m *CompactModel) buildMatrix(workers int) error {
+	n := len(m.states)
+	m.est = make([]StateEstimates, n)
+	rows := make([]builtRow, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		estimator := &uEstimator{rs: m.cfg.Rules, sr: m.sr, capacity: m.cfg.CacheSize, params: m.params}
+		for idx := range m.states {
+			rows[idx] = m.buildRow(estimator, idx)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				estimator := &uEstimator{rs: m.cfg.Rules, sr: m.sr, capacity: m.cfg.CacheSize, params: m.params}
+				for {
+					idx := int(next.Add(1)) - 1
+					if idx >= n {
+						return
+					}
+					rows[idx] = m.buildRow(estimator, idx)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Deterministic in-order assembly.
+	m.matrix = markov.NewSparse(n)
+	for idx := range rows {
+		if rows[idx].hasEst {
+			m.est[idx] = rows[idx].est
+			if rows[idx].est.Exact {
 				m.exactStates++
 			}
 		}
-
-		// Null event: per-rule timeouts plus the stay-put remainder.
-		var timeoutTotal float64
-		for _, j := range cachedIDs {
-			timeoutTotal += est.Timeout[j]
-		}
-		if timeoutTotal > 1 {
-			// Conditional probabilities can overshoot jointly; rescale so
-			// the null event stays a probability split.
-			for _, j := range cachedIDs {
-				m.matrix.Add(idx, m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j]/timeoutTotal)
-			}
-		} else {
-			for _, j := range cachedIDs {
-				m.matrix.Add(idx, m.index[mask&^(1<<uint(j))], w.null*est.Timeout[j])
-			}
-			m.matrix.Add(idx, idx, w.null*(1-timeoutTotal))
-		}
-
-		// Arrival events.
-		for j := 0; j < m.cfg.Rules.Len(); j++ {
-			p := w.arrival[j]
-			if p <= 0 {
-				continue
-			}
-			switch {
-			case cached(j):
-				m.matrix.Add(idx, idx, p) // hit: subset unchanged
-			case len(cachedIDs) < m.cfg.CacheSize:
-				m.matrix.Add(idx, m.index[mask|1<<uint(j)], p)
-			default:
-				for _, v := range cachedIDs {
-					to := (mask | 1<<uint(j)) &^ (1 << uint(v))
-					m.matrix.Add(idx, m.index[to], p*est.Evict[v])
-				}
-			}
+		for k, to := range rows[idx].tos {
+			m.matrix.Add(idx, to, rows[idx].ps[k])
 		}
 	}
 	m.matrix.NormalizeRows()
@@ -215,10 +300,35 @@ func (m *CompactModel) InitialDist() markov.Dist {
 	return markov.PointDist(len(m.states), m.index[0])
 }
 
-// Evolve advances a distribution the given number of steps (Eqn 8).
+// Evolve advances a distribution the given number of steps (Eqn 8). The
+// input is not modified. The frozen CSR kernel keeps the result
+// bit-identical to the reference Sparse.Evolve while avoiding its
+// per-step allocation and full-space scans.
 func (m *CompactModel) Evolve(d markov.Dist, steps int) markov.Dist {
-	return m.matrix.Evolve(d, steps)
+	out := d.Clone()
+	m.EvolveInPlace(out, steps)
+	return out
 }
+
+// EvolveInPlace advances d in place by steps, using a pooled workspace
+// so repeated calls (probe sweeps, per-trial model pushes) allocate
+// nothing. Safe for concurrent use; each call draws its own workspace.
+func (m *CompactModel) EvolveInPlace(d markov.Dist, steps int) {
+	var start time.Time
+	instrumented := evolveInstrumented()
+	if instrumented {
+		start = time.Now()
+	}
+	ws := m.wsPool.Get().(*markov.Workspace)
+	m.frozen.EvolveInPlace(ws, d, steps)
+	m.wsPool.Put(ws)
+	if instrumented {
+		obsEvolve(float64(time.Since(start).Nanoseconds()))
+	}
+}
+
+// Frozen exposes the CSR kernel for diagnostics and benchmarks.
+func (m *CompactModel) Frozen() *markov.CSR { return m.frozen }
 
 // coverMask returns the bitmask of rules covering f.
 func (m *CompactModel) coverMask(f flows.ID) uint64 {
@@ -245,9 +355,19 @@ func (m *CompactModel) CachedProbability(d markov.Dist, j int) float64 {
 
 // SplitByHit partitions d by whether probing f hits.
 func (m *CompactModel) SplitByHit(d markov.Dist, f flows.ID) (hit, miss markov.Dist) {
-	cover := m.coverMask(f)
 	hit = make(markov.Dist, len(d))
 	miss = make(markov.Dist, len(d))
+	m.SplitByHitInto(d, f, hit, miss)
+	return hit, miss
+}
+
+// SplitByHitInto is SplitByHit writing into caller-provided buffers,
+// which are fully overwritten. Used by the allocation-free sequence
+// evaluation.
+func (m *CompactModel) SplitByHitInto(d markov.Dist, f flows.ID, hit, miss markov.Dist) {
+	cover := m.coverMask(f)
+	clear(hit)
+	clear(miss)
 	for i, p := range d {
 		if p == 0 {
 			continue
@@ -258,7 +378,6 @@ func (m *CompactModel) SplitByHit(d markov.Dist, f flows.ID) (hit, miss markov.D
 			miss[i] = p
 		}
 	}
-	return hit, miss
 }
 
 // ApplyProbe implements the §V-B state update for one probe: a hit leaves
@@ -266,14 +385,26 @@ func (m *CompactModel) SplitByHit(d markov.Dist, f flows.ID) (hit, miss markov.D
 // not carry); a miss installs the highest-priority rule covering f,
 // splitting mass across evictions when the table is full.
 func (m *CompactModel) ApplyProbe(d markov.Dist, f flows.ID, hit bool) markov.Dist {
+	out := make(markov.Dist, len(d))
+	m.ApplyProbeInto(out, d, f, hit)
+	return out
+}
+
+// ApplyProbeInto is ApplyProbe writing into dst, which is fully
+// overwritten and must not alias d. The eviction fan-out iterates mask
+// bits directly, so the per-state maskIDs allocation of the former
+// implementation is gone.
+func (m *CompactModel) ApplyProbeInto(dst, d markov.Dist, f flows.ID, hit bool) {
 	if hit {
-		return d.Clone()
+		copy(dst, d)
+		return
 	}
 	jStar, ok := m.cfg.Rules.HighestCovering(f)
 	if !ok {
-		return d.Clone() // probe of an uncovered flow cannot install anything
+		copy(dst, d) // probe of an uncovered flow cannot install anything
+		return
 	}
-	out := make(markov.Dist, len(d))
+	clear(dst)
 	bit := uint64(1) << uint(jStar)
 	for i, p := range d {
 		if p == 0 {
@@ -281,21 +412,21 @@ func (m *CompactModel) ApplyProbe(d markov.Dist, f flows.ID, hit bool) markov.Di
 		}
 		mask := m.states[i]
 		if mask&bit != 0 {
-			out[i] += p // already cached (possible when called on hit-mass)
+			dst[i] += p // already cached (possible when called on hit-mass)
 			continue
 		}
-		cachedIDs := maskIDs(mask)
-		if len(cachedIDs) < m.cfg.CacheSize {
-			out[m.index[mask|bit]] += p
+		if bits.OnesCount64(mask) < m.cfg.CacheSize {
+			dst[m.index[mask|bit]] += p
 			continue
 		}
 		est := m.est[i]
-		for _, v := range cachedIDs {
+		for rem := mask; rem != 0; {
+			v := bits.TrailingZeros64(rem)
+			rem &^= 1 << uint(v)
 			to := (mask | bit) &^ (1 << uint(v))
-			out[m.index[to]] += p * est.Evict[v]
+			dst[m.index[to]] += p * est.Evict[v]
 		}
 	}
-	return out
 }
 
 // SteadyState iterates the chain from the empty cache until the
@@ -303,13 +434,14 @@ func (m *CompactModel) ApplyProbe(d markov.Dist, f flows.ID, hit bool) markov.Di
 // stationary distribution and the number of steps taken.
 func (m *CompactModel) SteadyState(tol float64, maxSteps int) (markov.Dist, int) {
 	d := m.InitialDist()
+	next := make(markov.Dist, len(d))
 	for s := 1; s <= maxSteps; s++ {
-		next := m.matrix.Apply(d)
+		m.frozen.ApplyInto(next, d)
 		var l1 float64
 		for i := range next {
 			l1 += math.Abs(next[i] - d[i])
 		}
-		d = next
+		d, next = next, d
 		if l1 < tol {
 			return d, s
 		}

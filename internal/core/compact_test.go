@@ -183,7 +183,7 @@ func TestInjectiveFeasible(t *testing.T) {
 }
 
 func TestSampleInjective(t *testing.T) {
-	rng := stats.NewRNG(1)
+	rng := &splitmix{s: 1}
 	u := make([]int, 3)
 	for i := 0; i < 200; i++ {
 		if !sampleInjective(rng, []int{4, 4, 4}, u) {

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"flowrecon/internal/telemetry"
+)
+
+// coreMetrics bundles the instruments the model layer reports into.
+// Instrumentation is opt-in via SetTelemetry; the nil default costs one
+// atomic pointer load per observation site.
+type coreMetrics struct {
+	// buildMs is the wall time of one compact-model build (histogram
+	// "model_build_ms").
+	buildMs *telemetry.Histogram
+	// evolveNs is the wall time of one Evolve call (histogram
+	// "evolve_ns").
+	evolveNs *telemetry.Histogram
+	// modelCacheHits/Misses count ModelCache lookups.
+	modelCacheHits   *telemetry.Counter
+	modelCacheMisses *telemetry.Counter
+	// usumMemoHits/Misses count u-sum memo lookups.
+	usumMemoHits   *telemetry.Counter
+	usumMemoMisses *telemetry.Counter
+	// buildWorkers is the worker count of the most recent parallel
+	// model build (gauge "model_build_workers").
+	buildWorkers *telemetry.Gauge
+}
+
+var coreMetricsPtr atomic.Pointer[coreMetrics]
+
+// evolveNsBuckets spans sub-microsecond sparse steps through multi-second
+// dense evolutions.
+func evolveNsBuckets() []float64 {
+	return []float64{
+		1e3, 5e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7, 1e8, 5e8, 1e9,
+	}
+}
+
+// SetTelemetry points the model layer's instrumentation at reg: the
+// model_build_ms and evolve_ns histograms, model-cache and u-sum memo
+// hit counters, and the model_build_workers gauge all land in reg's
+// /debug/vars-style snapshot. Passing nil disables instrumentation
+// (the default).
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		coreMetricsPtr.Store(nil)
+		return
+	}
+	coreMetricsPtr.Store(&coreMetrics{
+		buildMs:          reg.Histogram("model_build_ms", telemetry.MillisecondBuckets()),
+		evolveNs:         reg.Histogram("evolve_ns", evolveNsBuckets()),
+		modelCacheHits:   reg.Counter("model_cache_lookups", "result", "hit"),
+		modelCacheMisses: reg.Counter("model_cache_lookups", "result", "miss"),
+		usumMemoHits:     reg.Counter("usum_memo_lookups", "result", "hit"),
+		usumMemoMisses:   reg.Counter("usum_memo_lookups", "result", "miss"),
+		buildWorkers:     reg.Gauge("model_build_workers"),
+	})
+}
+
+func obsMemo(hit bool) {
+	m := coreMetricsPtr.Load()
+	if m == nil {
+		return
+	}
+	if hit {
+		m.usumMemoHits.Inc()
+	} else {
+		m.usumMemoMisses.Inc()
+	}
+}
+
+func obsModelCache(hit bool) {
+	m := coreMetricsPtr.Load()
+	if m == nil {
+		return
+	}
+	if hit {
+		m.modelCacheHits.Inc()
+	} else {
+		m.modelCacheMisses.Inc()
+	}
+}
+
+func obsBuild(ms float64, workers int) {
+	m := coreMetricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.buildMs.Observe(ms)
+	m.buildWorkers.Set(int64(workers))
+}
+
+func obsEvolve(ns float64) {
+	m := coreMetricsPtr.Load()
+	if m == nil {
+		return
+	}
+	m.evolveNs.Observe(ns)
+}
+
+// evolveInstrumented reports whether Evolve timing is being collected,
+// letting hot paths skip the clock reads entirely when it is not.
+func evolveInstrumented() bool {
+	m := coreMetricsPtr.Load()
+	return m != nil
+}

@@ -66,11 +66,67 @@ func outcomeKey(outcomes []bool) string {
 	return string(b)
 }
 
+// inPlaceProber is implemented by models providing allocation-free probe
+// kernels (CompactModel). Other models fall back to the allocating path.
+type inPlaceProber interface {
+	SplitByHitInto(d markov.Dist, f flows.ID, hit, miss markov.Dist)
+	ApplyProbeInto(dst, d markov.Dist, f flows.ID, hit bool)
+}
+
+func splitInto(m Model, d markov.Dist, f flows.ID, hit, miss markov.Dist) {
+	if ip, ok := m.(inPlaceProber); ok {
+		ip.SplitByHitInto(d, f, hit, miss)
+		return
+	}
+	h, ms := m.SplitByHit(d, f)
+	copy(hit, h)
+	copy(miss, ms)
+}
+
+func applyInto(m Model, dst, d markov.Dist, f flows.ID, hit bool) {
+	if ip, ok := m.(inPlaceProber); ok {
+		ip.ApplyProbeInto(dst, d, f, hit)
+		return
+	}
+	copy(dst, m.ApplyProbe(d, f, hit))
+}
+
+// seqLevel holds one tree depth's scratch distributions: the hit/miss
+// splits of both chains plus the post-probe buffers handed to the child.
+// The two sibling branches are walked sequentially, so the app buffers
+// are safely reused between them.
+type seqLevel struct {
+	hit, miss, app    markov.Dist
+	hit0, miss0, app0 markov.Dist
+}
+
+type seqArena struct{ levels []seqLevel }
+
+// arenaFor returns a per-call arena with at least depth levels sized for
+// the selector's chains, recycled through a pool so BestSequence's
+// candidate scans stop allocating per tree node.
+func (s *ProbeSelector) arenaFor(depth int) *seqArena {
+	a, _ := s.seqPool.Get().(*seqArena)
+	if a == nil {
+		a = &seqArena{}
+	}
+	n, n0 := len(s.dist), len(s.dist0)
+	for len(a.levels) < depth {
+		a.levels = append(a.levels, seqLevel{
+			hit: make(markov.Dist, n), miss: make(markov.Dist, n), app: make(markov.Dist, n),
+			hit0: make(markov.Dist, n0), miss0: make(markov.Dist, n0), app0: make(markov.Dist, n0),
+		})
+	}
+	return a
+}
+
 // EvaluateSequence computes the joint distribution of (X̂, Q_{f1..fm}) by
 // walking the outcome tree. Each probe conditions the state distribution
 // on its observed outcome and applies the probe's cache side effect (a
 // missing probe installs its covering rule; a hit refreshes it), exactly
-// the incremental adjustment §V-B prescribes.
+// the incremental adjustment §V-B prescribes. The walk runs over pooled
+// per-depth scratch buffers through the in-place model kernels — the
+// former implementation cloned four distributions per tree node.
 func (s *ProbeSelector) EvaluateSequence(fs []flows.ID) SequenceEval {
 	eval := SequenceEval{
 		Flows:            append([]flows.ID(nil), fs...),
@@ -78,6 +134,7 @@ func (s *ProbeSelector) EvaluateSequence(fs []flows.ID) SequenceEval {
 		PosteriorPresent: make(map[string]float64, 1<<uint(len(fs))),
 	}
 	var hCond float64
+	arena := s.arenaFor(len(fs))
 
 	var walk func(depth int, key string, d, d0 markov.Dist)
 	walk = func(depth int, key string, d, d0 markov.Dist) {
@@ -95,12 +152,18 @@ func (s *ProbeSelector) EvaluateSequence(fs []flows.ID) SequenceEval {
 			return
 		}
 		f := fs[depth]
-		hit, miss := s.model.SplitByHit(d, f)
-		hit0, miss0 := s.model0.SplitByHit(d0, f)
-		walk(depth+1, key+"0", s.model.ApplyProbe(miss, f, false), s.model0.ApplyProbe(miss0, f, false))
-		walk(depth+1, key+"1", s.model.ApplyProbe(hit, f, true), s.model0.ApplyProbe(hit0, f, true))
+		lv := &arena.levels[depth]
+		splitInto(s.model, d, f, lv.hit, lv.miss)
+		splitInto(s.model0, d0, f, lv.hit0, lv.miss0)
+		applyInto(s.model, lv.app, lv.miss, f, false)
+		applyInto(s.model0, lv.app0, lv.miss0, f, false)
+		walk(depth+1, key+"0", lv.app, lv.app0)
+		applyInto(s.model, lv.app, lv.hit, f, true)
+		applyInto(s.model0, lv.app0, lv.hit0, f, true)
+		walk(depth+1, key+"1", lv.app, lv.app0)
 	}
-	walk(0, "", s.dist.Clone(), s.dist0.Clone())
+	walk(0, "", s.dist, s.dist0)
+	s.seqPool.Put(arena)
 
 	eval.Gain = s.PriorEntropy() - hCond
 	if eval.Gain < 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/markov"
@@ -23,6 +24,9 @@ type ProbeSelector struct {
 
 	dist  markov.Dist // state distribution at T, unconditional
 	dist0 markov.Dist // state distribution at T given X̂ = 0
+
+	// seqPool recycles EvaluateSequence scratch arenas (see multiprobe.go).
+	seqPool sync.Pool
 }
 
 // NewProbeSelector evolves both chains T steps from the empty cache and
@@ -43,23 +47,41 @@ func NewProbeSelector(model, model0 Model, target flows.ID, steps int) (*ProbeSe
 		steps:   steps,
 		pAbsent: math.Exp(-cfg.Rates[target] * cfg.Delta * float64(steps)),
 	}
-	s.dist = model.Evolve(model.InitialDist(), steps)
-	s.dist0 = model0.Evolve(model0.InitialDist(), steps)
+	s.dist = evolveFresh(model, model.InitialDist(), steps)
+	s.dist0 = evolveFresh(model0, model0.InitialDist(), steps)
 	return s, nil
+}
+
+// inPlaceEvolver is implemented by models with allocation-free evolve
+// kernels (CompactModel, BasicModel).
+type inPlaceEvolver interface {
+	EvolveInPlace(d markov.Dist, steps int)
+}
+
+// evolveFresh advances d, which the caller owns and will not reuse,
+// preferring the in-place kernel when the model has one.
+func evolveFresh(m Model, d markov.Dist, steps int) markov.Dist {
+	if ip, ok := m.(inPlaceEvolver); ok {
+		ip.EvolveInPlace(d, steps)
+		return d
+	}
+	return m.Evolve(d, steps)
 }
 
 // NewCompactSelector builds the compact model for cfg and its
 // target-conditioned twin, then assembles a selector — the paper's
-// end-to-end attacker setup. steps is T = ⌈window/Δ⌉.
+// end-to-end attacker setup. steps is T = ⌈window/Δ⌉. Both chains come
+// from the DefaultModelCache, so repeated selectors over one
+// configuration (experiment trials, window sweeps) rebuild nothing.
 func NewCompactSelector(cfg Config, target flows.ID, steps int, params USumParams) (*ProbeSelector, error) {
 	if int(target) < 0 || int(target) >= len(cfg.Rates) {
 		return nil, fmt.Errorf("core: target flow %d outside universe of %d flows", target, len(cfg.Rates))
 	}
-	m, err := NewCompactModel(cfg, params)
+	m, err := CachedCompactModel(cfg, params)
 	if err != nil {
 		return nil, err
 	}
-	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	m0, err := CachedCompactModel(cfg.withoutFlow(target), params)
 	if err != nil {
 		return nil, err
 	}
@@ -79,11 +101,11 @@ func NewSteadySelector(cfg Config, target flows.ID, steps int, params USumParams
 	if steps < 1 {
 		return nil, fmt.Errorf("core: probe window %d steps < 1", steps)
 	}
-	m, err := NewCompactModel(cfg, params)
+	m, err := CachedCompactModel(cfg, params)
 	if err != nil {
 		return nil, err
 	}
-	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	m0, err := CachedCompactModel(cfg.withoutFlow(target), params)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +130,7 @@ func NewSelectorWithModel(m *CompactModel, cfg Config, target flows.ID, steps in
 	if int(target) < 0 || int(target) >= len(cfg.Rates) {
 		return nil, fmt.Errorf("core: target flow %d outside universe of %d flows", target, len(cfg.Rates))
 	}
-	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	m0, err := CachedCompactModel(cfg.withoutFlow(target), params)
 	if err != nil {
 		return nil, err
 	}
@@ -194,11 +216,7 @@ func (s *ProbeSelector) Evaluate(f flows.ID) ProbeEval {
 		e.PostPresentGivenHit = math.NaN()
 	}
 
-	joint := [][]float64{
-		{e.Joint[0][0], e.Joint[0][1]},
-		{e.Joint[1][0], e.Joint[1][1]},
-	}
-	e.Gain = s.PriorEntropy() - stats.ConditionalEntropyBits(joint)
+	e.Gain = s.PriorEntropy() - stats.ConditionalEntropyBits2x2(e.Joint)
 	if e.Gain < 0 {
 		e.Gain = 0 // numerical noise; information gain is non-negative
 	}

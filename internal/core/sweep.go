@@ -29,11 +29,11 @@ func GainVsWindow(cfg Config, target flows.ID, stepsList []int, params USumParam
 	if int(target) < 0 || int(target) >= len(cfg.Rates) {
 		return nil, fmt.Errorf("core: target flow %d outside universe", target)
 	}
-	m, err := NewCompactModel(cfg, params)
+	m, err := CachedCompactModel(cfg, params)
 	if err != nil {
 		return nil, err
 	}
-	m0, err := NewCompactModel(cfg.withoutFlow(target), params)
+	m0, err := CachedCompactModel(cfg.withoutFlow(target), params)
 	if err != nil {
 		return nil, err
 	}
@@ -44,11 +44,14 @@ func GainVsWindow(cfg Config, target flows.ID, stepsList []int, params USumParam
 	}
 
 	out := make([]WindowPoint, 0, len(windows))
+	// One pair of working distributions is evolved in place across the
+	// whole sweep; each window's selector borrows (never retains) them,
+	// so the per-window Clone pair of the former implementation is gone.
 	d, d0 := m.InitialDist(), m0.InitialDist()
 	prev := 0
 	for _, steps := range windows {
-		d = m.Evolve(d, steps-prev)
-		d0 = m0.Evolve(d0, steps-prev)
+		m.EvolveInPlace(d, steps-prev)
+		m0.EvolveInPlace(d0, steps-prev)
 		prev = steps
 		sel := &ProbeSelector{
 			model:   m,
@@ -56,8 +59,8 @@ func GainVsWindow(cfg Config, target flows.ID, stepsList []int, params USumParam
 			target:  target,
 			steps:   steps,
 			pAbsent: absenceAt(cfg, target, steps),
-			dist:    d.Clone(),
-			dist0:   d0.Clone(),
+			dist:    d,
+			dist0:   d0,
 		}
 		best, ok := sel.Best(sel.AllFlows())
 		if !ok {

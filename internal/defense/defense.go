@@ -8,6 +8,7 @@ package defense
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"flowrecon/internal/core"
 	"flowrecon/internal/flows"
@@ -38,33 +39,82 @@ type Profile struct {
 // quantity a defender wants small everywhere. steps is the attack window
 // T in model steps.
 func MeasureLeakage(cfg core.Config, steps int, params core.USumParams) (*Profile, error) {
+	return MeasureLeakageWorkers(cfg, steps, params, 1)
+}
+
+// MeasureLeakageWorkers is MeasureLeakage with the per-target selector
+// evaluations fanned over workers goroutines. Targets are independent
+// (the unconditional chain is shared read-only; each target builds only
+// its conditioned twin through the model cache), and the profile is
+// assembled in flow order, so every worker count returns the same
+// profile.
+func MeasureLeakageWorkers(cfg core.Config, steps int, params core.USumParams, workers int) (*Profile, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	model, err := core.NewCompactModel(cfg, params)
+	model, err := core.CachedCompactModel(cfg, params)
 	if err != nil {
 		return nil, err
 	}
 	covered := cfg.Rules.CoveredFlows()
-	prof := &Profile{}
+	var targets []flows.ID
 	for f := 0; f < len(cfg.Rates); f++ {
-		if !covered.Contains(flows.ID(f)) {
-			continue
+		if covered.Contains(flows.ID(f)) {
+			targets = append(targets, flows.ID(f))
 		}
-		sel, err := core.NewSelectorWithModel(model, cfg, flows.ID(f), steps, params)
+	}
+	perFlow := make([]*FlowLeakage, len(targets))
+	errs := make([]error, len(targets))
+	measure := func(i int) {
+		sel, err := core.NewSelectorWithModel(model, cfg, targets[i], steps, params)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
 		best, ok := sel.Best(sel.AllFlows())
 		if !ok {
-			continue
+			return
 		}
-		prof.PerFlow = append(prof.PerFlow, FlowLeakage{
-			Target:       flows.ID(f),
+		perFlow[i] = &FlowLeakage{
+			Target:       targets[i],
 			BestProbe:    best.Flow,
 			Gain:         best.Gain,
 			PriorEntropy: sel.PriorEntropy(),
-		})
+		}
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers <= 1 {
+		for i := range targets {
+			measure(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					measure(i)
+				}
+			}()
+		}
+		for i := range targets {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	prof := &Profile{}
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		if perFlow[i] != nil {
+			prof.PerFlow = append(prof.PerFlow, *perFlow[i])
+		}
 	}
 	for _, fl := range prof.PerFlow {
 		if fl.Gain > prof.MaxGain {

@@ -171,3 +171,29 @@ func TestMeasureLeakageRejectsBadConfig(t *testing.T) {
 		t.Fatal("bad config accepted")
 	}
 }
+
+// TestMeasureLeakageWorkersIdentical: the parallel profiler must return
+// exactly the serial profile — targets are independent and assembled in
+// flow order.
+func TestMeasureLeakageWorkersIdentical(t *testing.T) {
+	cfg := fig2cConfig(t)
+	serial, err := MeasureLeakageWorkers(cfg, 40, core.DefaultUSumParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := MeasureLeakageWorkers(cfg, 40, core.DefaultUSumParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.PerFlow) != len(parallel.PerFlow) {
+		t.Fatalf("profile lengths differ: %d vs %d", len(serial.PerFlow), len(parallel.PerFlow))
+	}
+	for i := range serial.PerFlow {
+		if serial.PerFlow[i] != parallel.PerFlow[i] {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, serial.PerFlow[i], parallel.PerFlow[i])
+		}
+	}
+	if serial.MaxGain != parallel.MaxGain || serial.MeanGain != parallel.MeanGain {
+		t.Fatalf("aggregates differ: (%v,%v) vs (%v,%v)", serial.MaxGain, serial.MeanGain, parallel.MaxGain, parallel.MeanGain)
+	}
+}

@@ -25,6 +25,10 @@ type Fig6Options struct {
 	// (trial counters, probe hit/miss delay histograms, per-attacker
 	// confusion-matrix counters) cumulatively across all configurations.
 	Telemetry *telemetry.Registry
+	// Parallelism is the per-configuration trial-runner worker count
+	// (see TrialOptions.Parallelism). Results are identical at every
+	// level.
+	Parallelism int
 }
 
 // DefaultFig6Options returns a laptop-scale version of the paper's run.
@@ -103,7 +107,9 @@ func RunFig6(opts Fig6Options) (*Fig6Result, error) {
 			&core.NaiveAttacker{TargetFlow: nc.Target},
 			model,
 		}
-		results, _, err := RunTrialsInstrumented(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), PoissonSource, opts.Telemetry, false)
+		results, _, err := RunTrialsOpts(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), TrialOptions{
+			Registry: opts.Telemetry, Parallelism: opts.Parallelism,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -21,6 +21,10 @@ type Fig7Options struct {
 	// Telemetry, when non-nil, receives the run's experiment metrics
 	// cumulatively across all configurations (see Fig6Options.Telemetry).
 	Telemetry *telemetry.Registry
+	// Parallelism is the per-configuration trial-runner worker count
+	// (see TrialOptions.Parallelism). Results are identical at every
+	// level.
+	Parallelism int
 }
 
 // DefaultFig7Options returns a laptop-scale version of the paper's run.
@@ -81,7 +85,9 @@ func RunFig7(opts Fig7Options) (*Fig7Result, error) {
 			restricted,
 			&core.RandomAttacker{PPresent: 1 - nc.PAbsent()},
 		}
-		results, _, err := RunTrialsInstrumented(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), PoissonSource, opts.Telemetry, false)
+		results, _, err := RunTrialsOpts(nc, attackers, opts.TrialsPerConfig, meas, rng.Fork(), TrialOptions{
+			Registry: opts.Telemetry, Parallelism: opts.Parallelism,
+		})
 		if err != nil {
 			return nil, err
 		}

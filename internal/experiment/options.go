@@ -1,15 +1,19 @@
 package experiment
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"flowrecon/internal/core"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
 	"flowrecon/internal/trialrec"
+	"flowrecon/internal/workload"
 )
 
 // TrialOptions configures the fully-observable trial loop. The zero value
 // reproduces RunTrials exactly: Poisson traffic, no telemetry, no
-// recording, no spans.
+// recording, no spans, serial execution.
 type TrialOptions struct {
 	// Source generates each trial's traffic window (PoissonSource when
 	// nil).
@@ -17,25 +21,153 @@ type TrialOptions struct {
 	// Registry receives the experiment metrics; nil disables them.
 	Registry *telemetry.Registry
 	// PerTrial, with a Registry, returns a cumulative registry snapshot
-	// per trial.
+	// per trial. Snapshots are order-sensitive, so PerTrial forces serial
+	// execution regardless of Parallelism.
 	PerTrial bool
 	// Recorder streams the forensic trial recording (traffic window,
 	// per-attacker probes/outcomes/verdicts/belief steps, spans). Nil
 	// disables recording at zero per-probe cost.
 	Recorder *trialrec.Recorder
 	// Spans collects the causal span tree of each trial. When nil and a
-	// Recorder is set, an internal recorder is used so recordings always
-	// carry spans. When both are set, spans are drained into the
-	// recording each trial rather than accumulating here.
+	// Recorder is set, an internal deterministic recorder is used so
+	// recordings always carry spans and stay byte-reproducible. When both
+	// are set, spans are drained into the recording each trial rather
+	// than accumulating here.
 	Spans *telemetry.SpanRecorder
+	// Parallelism is the number of worker goroutines running trials
+	// concurrently; values ≤ 1 run serially. Every trial draws all of its
+	// randomness (traffic, probe noise, random verdicts) from a per-trial
+	// RNG forked from the root rng in trial order, and results and
+	// recordings are assembled in trial order, so every parallelism level
+	// produces identical AttackerResults and byte-identical recordings.
+	Parallelism int
+}
+
+// trialEnv is the per-run invariant state shared by every trial.
+type trialEnv struct {
+	nc        *NetworkConfig
+	attackers []core.Attacker
+	names     []string
+	meas      Measurement
+	source    TraceSource
+	reg       *telemetry.Registry
+	tm        trialMetrics
+	horizon   float64
+	observing bool // collect spans (and belief/probe forensics)
+	recording bool // also keep arrivals + attacker trials for the recorder
+	noWall    bool // zero wall-clock in trial spans (deterministic output)
+}
+
+// trialOut is everything one trial produces, in a form that can be
+// assembled into results/recordings strictly in trial order regardless of
+// completion order.
+type trialOut struct {
+	truth    bool
+	verdicts []bool
+	arrivals []workload.Arrival       // recording only
+	atts     []trialrec.AttackerTrial // recording only
+	spans    []telemetry.Span         // observing only; IDs/traces local to the trial
+	err      error
+}
+
+// runTrial executes one complete trial: generate the traffic window,
+// replay it per attacker, probe, and decide. Every random draw — the
+// traffic window, probe classification noise, random verdicts — comes
+// from rng (the trial's own stream), and all spans go to a trial-local
+// recorder, so trials are independent and safe to run concurrently.
+func (env *trialEnv) runTrial(rng *stats.RNG) trialOut {
+	var out trialOut
+	trace, err := env.source(env.nc.Rates, env.horizon, rng)
+	if err != nil {
+		out.err = err
+		return out
+	}
+	out.truth = trace.OccurredWithin(env.nc.Target, env.horizon, env.horizon)
+	if out.truth {
+		env.tm.truthTrue.Inc()
+	} else {
+		env.tm.truthFalse.Inc()
+	}
+
+	var spans *telemetry.SpanRecorder
+	var traceID int64
+	var trialSpan telemetry.SpanID
+	if env.observing {
+		spans = telemetry.NewSpanRecorder(0)
+		if env.noWall {
+			spans.SetWallClock(nil)
+		}
+		traceID = spans.NewTrace()
+		trialSpan = spans.Start(traceID, 0, "trial", "experiment", 0)
+		if out.truth {
+			spans.Annotate(trialSpan, int(env.nc.Target), -1, "truth=present")
+		} else {
+			spans.Annotate(trialSpan, int(env.nc.Target), -1, "truth=absent")
+		}
+	}
+	if env.recording {
+		out.arrivals = trace.Arrivals()
+		out.atts = make([]trialrec.AttackerTrial, 0, len(env.attackers))
+	}
+
+	out.verdicts = make([]bool, len(env.attackers))
+	for i, a := range env.attackers {
+		var obs *probeObserver
+		var attSpan telemetry.SpanID
+		if env.observing {
+			attSpan = spans.Start(traceID, trialSpan, "attacker", env.names[i], 0)
+			obs = &probeObserver{spans: spans, trace: traceID, parent: attSpan}
+			if bp, ok := a.(core.BeliefProvider); ok {
+				obs.tracker = bp.Selector().NewBeliefTracker()
+			}
+		}
+		replaySpan := spans.Start(traceID, attSpan, "replay", "experiment", 0)
+		tbl, err := replayTrace(env.nc, trace, env.reg)
+		spans.End(replaySpan, env.horizon)
+		if err != nil {
+			out.err = err
+			return out
+		}
+		var outcomes []bool
+		if seq, ok := a.(SequentialAttacker); ok {
+			outcomes = probeSequential(env.nc, tbl, seq, env.horizon, env.meas, rng, &env.tm, obs)
+		} else {
+			outcomes = probeTable(env.nc, tbl, a.Probes(), env.horizon, env.meas, rng, &env.tm, obs)
+		}
+		verdict := a.Decide(outcomes, rng)
+		out.verdicts[i] = verdict
+		if env.observing {
+			decSpan := spans.Start(traceID, attSpan, "decision", env.names[i], env.horizon)
+			spans.Annotate(decSpan, -1, -1, decisionDetail(verdict, out.truth))
+			spans.End(decSpan, env.horizon)
+			spans.End(attSpan, env.horizon)
+			if env.recording {
+				out.atts = append(out.atts, trialrec.AttackerTrial{
+					Name:     env.names[i],
+					Probes:   obs.probes,
+					Outcomes: outcomes,
+					Verdict:  verdict,
+					Belief:   obs.belief,
+				})
+			}
+		}
+	}
+	env.tm.trials.Inc()
+	if env.observing {
+		spans.End(trialSpan, env.horizon)
+		out.spans = spans.Drain()
+	}
+	return out
 }
 
 // RunTrialsOpts is the trial loop with every observability layer
-// optional: telemetry instruments, per-trial snapshots, causal spans, and
-// the deterministic trial recording. The probing and scoring sequence —
-// and therefore every RNG draw — is identical across all option
-// combinations, which is what makes recordings replayable: re-running
-// the same seeds with or without observers yields the same outcomes.
+// optional: telemetry instruments, per-trial snapshots, causal spans, the
+// deterministic trial recording, and a parallel scheduler. The probing
+// and scoring sequence — and therefore every RNG draw — is identical
+// across all option combinations: trial t always runs on the t-th fork of
+// rng, whether trials execute serially or on a worker pool, and whether
+// or not observers are attached. That is what makes recordings
+// replayable and parallel runs byte-identical to serial ones.
 func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, meas Measurement, rng *stats.RNG, opts TrialOptions) ([]AttackerResult, []TrialRecord, error) {
 	source := opts.Source
 	if source == nil {
@@ -43,102 +175,114 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 	}
 	reg := opts.Registry
 	rec := opts.Recorder
-	spans := opts.Spans
-	if spans == nil && rec.Enabled() {
-		spans = telemetry.NewSpanRecorder(0)
+	spansOut := opts.Spans
+	if spansOut == nil && rec.Enabled() {
+		spansOut = telemetry.NewSpanRecorder(0)
+		spansOut.SetWallClock(nil) // recordings must be pure functions of the seeds
 	}
-	observing := rec.Enabled() || spans != nil
 
-	tm := newTrialMetrics(reg)
+	env := &trialEnv{
+		nc:        nc,
+		attackers: attackers,
+		names:     make([]string, len(attackers)),
+		meas:      meas,
+		source:    source,
+		reg:       reg,
+		tm:        newTrialMetrics(reg),
+		horizon:   float64(nc.Params.Steps()) * nc.Params.Delta,
+		observing: rec.Enabled() || spansOut != nil,
+		recording: rec.Enabled(),
+		noWall:    opts.Spans == nil,
+	}
 	verdicts := make([][4]*telemetry.Counter, len(attackers))
 	results := make([]AttackerResult, len(attackers))
 	for i, a := range attackers {
+		env.names[i] = a.Name()
 		results[i].Name = a.Name()
 		verdicts[i] = verdictCounters(reg, a.Name())
 	}
-	var records []TrialRecord
-	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
-	for t := 0; t < trials; t++ {
-		trace, err := source(nc.Rates, horizon, rng.Fork())
-		if err != nil {
-			return nil, nil, err
+
+	// assemble folds trial t's output into the aggregate results and the
+	// recording. It must be called in trial order.
+	assemble := func(t int, out trialOut) error {
+		if out.err != nil {
+			return out.err
 		}
-		truth := trace.OccurredWithin(nc.Target, horizon, horizon)
-		if truth {
-			tm.truthTrue.Inc()
-		} else {
-			tm.truthFalse.Inc()
+		for i := range attackers {
+			score(&results[i], out.verdicts[i], out.truth)
+			countVerdict(verdicts[i], out.verdicts[i], out.truth)
 		}
-		var traceID int64
-		var trialSpan telemetry.SpanID
-		if observing {
-			traceID = spans.NewTrace()
-			trialSpan = spans.Start(traceID, 0, "trial", "experiment", 0)
-			if truth {
-				spans.Annotate(trialSpan, int(nc.Target), -1, "truth=present")
-			} else {
-				spans.Annotate(trialSpan, int(nc.Target), -1, "truth=absent")
-			}
+		if env.observing {
+			spansOut.Import(out.spans)
 			if rec.Enabled() {
-				rec.BeginTrial(t, truth, trace.Arrivals())
-			}
-		}
-		for i, a := range attackers {
-			var obs *probeObserver
-			var attSpan telemetry.SpanID
-			if observing {
-				attSpan = spans.Start(traceID, trialSpan, "attacker", results[i].Name, 0)
-				obs = &probeObserver{spans: spans, trace: traceID, parent: attSpan}
-				if bp, ok := a.(core.BeliefProvider); ok {
-					obs.tracker = bp.Selector().NewBeliefTracker()
+				rec.BeginTrial(t, out.truth, out.arrivals)
+				for _, at := range out.atts {
+					rec.Attacker(at)
+				}
+				rec.Spans(spansOut.Drain())
+				if err := rec.EndTrial(); err != nil {
+					return err
 				}
 			}
-			replaySpan := spans.Start(traceID, attSpan, "replay", "experiment", 0)
-			tbl, err := replayTrace(nc, trace, reg)
-			spans.End(replaySpan, horizon)
-			if err != nil {
+		}
+		return nil
+	}
+
+	workers := opts.Parallelism
+	if workers > trials {
+		workers = trials
+	}
+	if opts.PerTrial && reg != nil {
+		workers = 1 // cumulative snapshots are order-sensitive
+	}
+	if workers <= 1 {
+		var records []TrialRecord
+		for t := 0; t < trials; t++ {
+			out := env.runTrial(rng.Fork())
+			if err := assemble(t, out); err != nil {
 				return nil, nil, err
 			}
-			var outcomes []bool
-			if seq, ok := a.(SequentialAttacker); ok {
-				outcomes = probeSequential(nc, tbl, seq, horizon, meas, rng, &tm, obs)
-			} else {
-				outcomes = probeTable(nc, tbl, a.Probes(), horizon, meas, rng, &tm, obs)
-			}
-			verdict := a.Decide(outcomes, rng)
-			score(&results[i], verdict, truth)
-			countVerdict(verdicts[i], verdict, truth)
-			if observing {
-				decSpan := spans.Start(traceID, attSpan, "decision", results[i].Name, horizon)
-				spans.Annotate(decSpan, -1, -1, decisionDetail(verdict, truth))
-				spans.End(decSpan, horizon)
-				spans.End(attSpan, horizon)
-				if rec.Enabled() {
-					rec.Attacker(trialrec.AttackerTrial{
-						Name:     results[i].Name,
-						Probes:   obs.probes,
-						Outcomes: outcomes,
-						Verdict:  verdict,
-						Belief:   obs.belief,
-					})
-				}
+			if opts.PerTrial && reg != nil {
+				records = append(records, TrialRecord{Trial: t, Truth: out.truth, Telemetry: reg.Snapshot()})
 			}
 		}
-		tm.trials.Inc()
-		if observing {
-			spans.End(trialSpan, horizon)
-			if rec.Enabled() {
-				rec.Spans(spans.Drain())
-				if err := rec.EndTrial(); err != nil {
-					return nil, nil, err
+		return results, records, nil
+	}
+
+	// Parallel path: derive the per-trial seeds up front with exactly the
+	// draw sequence the serial loop's rng.Fork() calls would consume, fan
+	// the trials over the pool, then assemble in trial order.
+	seeds := make([]int64, trials)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
+	}
+	outs := make([]trialOut, trials)
+	busy := reg.Gauge("experiment_trial_workers_busy")
+	reg.Gauge("experiment_trial_workers").Set(int64(workers))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= trials {
+					return
 				}
+				busy.Add(1)
+				outs[t] = env.runTrial(stats.NewRNG(seeds[t]))
+				busy.Add(-1)
 			}
-		}
-		if opts.PerTrial && reg != nil {
-			records = append(records, TrialRecord{Trial: t, Truth: truth, Telemetry: reg.Snapshot()})
+		}()
+	}
+	wg.Wait()
+	for t := range outs {
+		if err := assemble(t, outs[t]); err != nil {
+			return nil, nil, err
 		}
 	}
-	return results, records, nil
+	return results, nil, nil
 }
 
 func decisionDetail(verdict, truth bool) string {

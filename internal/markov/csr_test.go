@@ -1,0 +1,216 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomChain builds a random row-stochastic Sparse with out-degree up
+// to deg, plus a random initial distribution with small support.
+func randomChain(t *testing.T, n, deg, supp int, seed int64) (*Sparse, Dist) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	m := NewSparse(n)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(deg)
+		for j := 0; j < k; j++ {
+			m.Add(i, r.Intn(n), r.Float64())
+		}
+	}
+	m.NormalizeRows()
+	d := make(Dist, n)
+	for j := 0; j < supp; j++ {
+		d[r.Intn(n)] += r.Float64()
+	}
+	d.Normalize()
+	return m, d
+}
+
+func distsEqualBits(a, b Dist) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCSRApplyMatchesSparseBitwise(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		m, d := randomChain(t, 257, 9, 6, seed)
+		c := m.Freeze()
+		if c.NNZ() != m.NNZ() {
+			t.Fatalf("seed %d: NNZ mismatch: csr %d sparse %d", seed, c.NNZ(), m.NNZ())
+		}
+		want := m.Apply(d)
+		got := c.Apply(d)
+		if !distsEqualBits(want, got) {
+			t.Fatalf("seed %d: CSR.Apply differs from Sparse.Apply", seed)
+		}
+		dst := make(Dist, c.Size())
+		c.ApplyInto(dst, d)
+		if !distsEqualBits(want, dst) {
+			t.Fatalf("seed %d: ApplyInto differs from Sparse.Apply", seed)
+		}
+	}
+}
+
+func TestCSRParallelApplyBitIdentical(t *testing.T) {
+	old := ParallelNNZThreshold
+	ParallelNNZThreshold = 1 // force the sharded path
+	defer func() { ParallelNNZThreshold = old }()
+
+	m, d := randomChain(t, 501, 11, 20, 42)
+	c := m.Freeze()
+	want := m.Apply(d)
+	for _, w := range []int{1, 2, 3, 7, 16, 64, 501, 1000} {
+		c.SetWorkers(w)
+		got := make(Dist, c.Size())
+		c.ApplyInto(got, d)
+		if !distsEqualBits(want, got) {
+			t.Fatalf("workers=%d: parallel gather differs from reference", w)
+		}
+	}
+}
+
+func TestCSREvolveInPlaceBitIdentical(t *testing.T) {
+	for _, steps := range []int{0, 1, 2, 17, 300} {
+		m, d := randomChain(t, 311, 7, 3, int64(steps)+9)
+		c := m.Freeze()
+		want := m.Evolve(d, steps)
+		ws := NewWorkspace(c.Size())
+		got := d.Clone()
+		c.EvolveInPlace(ws, got, steps)
+		if !distsEqualBits(want, got) {
+			t.Fatalf("steps=%d: EvolveInPlace differs from Sparse.Evolve", steps)
+		}
+		// Workspace reuse: a second run from the same input must agree,
+		// proving the zero-buffer invariant was restored.
+		got2 := d.Clone()
+		c.EvolveInPlace(ws, got2, steps)
+		if !distsEqualBits(want, got2) {
+			t.Fatalf("steps=%d: workspace reuse broke determinism", steps)
+		}
+		if conv := c.Evolve(d, steps); !distsEqualBits(want, conv) {
+			t.Fatalf("steps=%d: CSR.Evolve convenience path differs", steps)
+		}
+	}
+}
+
+func TestCSREvolveDenseCutover(t *testing.T) {
+	// A strongly-connected dense-ish chain spreads mass everywhere, so
+	// the workspace must cross into dense mode and still agree bitwise.
+	m, d := randomChain(t, 97, 24, 1, 7)
+	c := m.Freeze()
+	want := m.Evolve(d, 40)
+	ws := NewWorkspace(c.Size())
+	got := d.Clone()
+	c.EvolveInPlace(ws, got, 40)
+	if ws.DenseSteps() == 0 {
+		t.Fatalf("expected dense cutover on a dense chain")
+	}
+	if !distsEqualBits(want, got) {
+		t.Fatalf("dense-mode evolve differs from reference")
+	}
+	// And the workspace must still be clean for a sparse follow-up.
+	m2, d2 := randomChain(t, 97, 3, 2, 8)
+	c2 := m2.Freeze()
+	want2 := m2.Evolve(d2, 25)
+	got2 := d2.Clone()
+	c2.EvolveInPlace(ws, got2, 25)
+	if !distsEqualBits(want2, got2) {
+		t.Fatalf("workspace dirty after dense-mode run")
+	}
+}
+
+func TestCSREvolveInPlaceZeroAlloc(t *testing.T) {
+	m, d := randomChain(t, 400, 6, 4, 11)
+	c := m.Freeze()
+	ws := NewWorkspace(c.Size())
+	buf := d.Clone()
+	c.EvolveInPlace(ws, buf, 50) // warm the support slices
+	copy(buf, d)
+	allocs := testing.AllocsPerRun(10, func() {
+		copy(buf, d)
+		c.EvolveInPlace(ws, buf, 50)
+	})
+	if allocs > 0 {
+		t.Fatalf("EvolveInPlace allocated %.1f objects/run, want 0", allocs)
+	}
+}
+
+func TestSparseAddIndexedDuplicates(t *testing.T) {
+	// Dense-row build: many duplicate destinations must still coalesce
+	// exactly as the linear-scan implementation did.
+	n := 64
+	m := NewSparse(n)
+	ref := make([]float64, n)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 4000; i++ {
+		to := r.Intn(n)
+		p := r.Float64()
+		m.Add(0, to, p)
+		ref[to] += p
+	}
+	tos, ps := m.Row(0)
+	seen := map[int]bool{}
+	for i, to := range tos {
+		if seen[to] {
+			t.Fatalf("duplicate destination %d survived Add", to)
+		}
+		seen[to] = true
+		if math.Abs(ps[i]-ref[to]) > 1e-12 {
+			t.Fatalf("dest %d: got %v want %v", to, ps[i], ref[to])
+		}
+	}
+	for to, want := range ref {
+		if want != 0 && !seen[to] {
+			t.Fatalf("destination %d missing", to)
+		}
+	}
+}
+
+func TestFreezeCompactsDuplicateEntries(t *testing.T) {
+	// Freeze must sort rows by destination and keep stochasticity.
+	m := NewSparse(5)
+	m.Add(0, 3, 0.25)
+	m.Add(0, 1, 0.5)
+	m.Add(0, 3, 0.25)
+	m.Add(2, 4, 1)
+	c := m.Freeze()
+	if c.NNZ() != 3 {
+		t.Fatalf("NNZ = %d, want 3", c.NNZ())
+	}
+	d := PointDist(5, 0)
+	out := c.Apply(d)
+	if out[1] != 0.5 || out[3] != 0.5 {
+		t.Fatalf("Apply after compact: got %v", out)
+	}
+}
+
+func BenchmarkCSREvolveInPlace(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := 2510
+	m := NewSparse(n)
+	for i := 0; i < n; i++ {
+		k := 1 + r.Intn(15)
+		for j := 0; j < k; j++ {
+			m.Add(i, r.Intn(n), r.Float64())
+		}
+	}
+	m.NormalizeRows()
+	c := m.Freeze()
+	d := PointDist(n, 0)
+	ws := NewWorkspace(n)
+	buf := d.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, d)
+		c.EvolveInPlace(ws, buf, 100)
+	}
+}

@@ -70,7 +70,17 @@ type edge struct {
 type Sparse struct {
 	n    int
 	rows [][]edge
+	// idx[from] maps destination → position in rows[from]. Built lazily
+	// once a row grows past addIndexThreshold so that Add stays O(1)
+	// amortized instead of the former O(row) duplicate scan (which made
+	// dense-row construction quadratic).
+	idx []map[int]int
 }
+
+// addIndexThreshold is the row length above which Add switches from a
+// short linear scan (cache-friendly for the typical few-entry row) to a
+// per-row destination index.
+const addIndexThreshold = 12
 
 // NewSparse returns an n×n zero matrix.
 func NewSparse(n int) *Sparse {
@@ -86,6 +96,16 @@ func (m *Sparse) Add(from, to int, p float64) {
 		return
 	}
 	row := m.rows[from]
+	if m.idx != nil && m.idx[from] != nil {
+		ix := m.idx[from]
+		if i, ok := ix[to]; ok {
+			row[i].p += p
+			return
+		}
+		ix[to] = len(row)
+		m.rows[from] = append(row, edge{to: to, p: p})
+		return
+	}
 	for i := range row {
 		if row[i].to == to {
 			row[i].p += p
@@ -93,6 +113,21 @@ func (m *Sparse) Add(from, to int, p float64) {
 		}
 	}
 	m.rows[from] = append(row, edge{to: to, p: p})
+	if len(row)+1 > addIndexThreshold {
+		m.buildRowIndex(from)
+	}
+}
+
+// buildRowIndex promotes a row to indexed duplicate detection.
+func (m *Sparse) buildRowIndex(from int) {
+	if m.idx == nil {
+		m.idx = make([]map[int]int, m.n)
+	}
+	ix := make(map[int]int, 2*len(m.rows[from]))
+	for i, e := range m.rows[from] {
+		ix[e.to] = i
+	}
+	m.idx[from] = ix
 }
 
 // Row returns the (to, p) pairs of a row as parallel slices.

@@ -54,3 +54,28 @@ func ConditionalEntropyBits(joint [][]float64) float64 {
 	}
 	return h
 }
+
+// ConditionalEntropyBits2x2 is ConditionalEntropyBits specialized to the
+// binary joint [x][q] used by single-probe evaluation. It performs the
+// identical floating-point operations in the identical order as the
+// generic function (marginalize over rows first, then accumulate cells
+// row-major), so results are bit-for-bit equal — it only avoids the
+// slice-of-slice allocation on the probe-selection hot path.
+func ConditionalEntropyBits2x2(joint [2][2]float64) float64 {
+	qm0 := joint[0][0] + joint[1][0]
+	qm1 := joint[0][1] + joint[1][1]
+	var h float64
+	if joint[0][0] > 0 && qm0 > 0 {
+		h -= joint[0][0] * math.Log2(joint[0][0]/qm0)
+	}
+	if joint[0][1] > 0 && qm1 > 0 {
+		h -= joint[0][1] * math.Log2(joint[0][1]/qm1)
+	}
+	if joint[1][0] > 0 && qm0 > 0 {
+		h -= joint[1][0] * math.Log2(joint[1][0]/qm0)
+	}
+	if joint[1][1] > 0 && qm1 > 0 {
+		h -= joint[1][1] * math.Log2(joint[1][1]/qm1)
+	}
+	return h
+}

@@ -52,6 +52,7 @@ type SpanRecorder struct {
 	spans     []Span
 	index     map[SpanID]int // id → position in spans
 	cap       int            // max retained spans (excess Starts are dropped)
+	clock     func() int64   // wall-clock source for WallNs; nil = don't stamp
 }
 
 // NewSpanRecorder returns a recorder retaining at most cap spans
@@ -60,7 +61,24 @@ func NewSpanRecorder(cap int) *SpanRecorder {
 	if cap <= 0 {
 		cap = 1 << 16
 	}
-	return &SpanRecorder{index: make(map[SpanID]int), cap: cap}
+	return &SpanRecorder{
+		index: make(map[SpanID]int),
+		cap:   cap,
+		clock: func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetWallClock replaces the wall-clock source stamped into each span's
+// WallNs. A nil clock disables wall stamping entirely (WallNs stays 0 and
+// is omitted from JSON), which makes the recorder's output a pure function
+// of its inputs — the property the deterministic trial recordings rely on.
+func (r *SpanRecorder) SetWallClock(clock func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = clock
+	r.mu.Unlock()
 }
 
 // NewTrace allocates a fresh correlation ID (0 on a nil recorder).
@@ -90,14 +108,57 @@ func (r *SpanRecorder) Start(trace int64, parent SpanID, name, node string, at f
 	r.nextID++
 	id := SpanID(r.nextID)
 	r.index[id] = len(r.spans)
+	var wall int64
+	if r.clock != nil {
+		wall = r.clock()
+	}
 	r.spans = append(r.spans, Span{
 		Trace: trace, ID: id, Parent: parent,
 		Name: name, Node: node,
 		Flow: -1, Rule: -1,
 		Start: at, End: at,
-		WallNs: time.Now().UnixNano(),
+		WallNs: wall,
 	})
 	return id
+}
+
+// Import merges spans produced by another recorder (typically a fresh
+// per-trial recorder whose IDs and traces start at 1) into this one,
+// remapping IDs, parents, and trace numbers past this recorder's
+// allocation counters so the merged stream is exactly what a single
+// shared recorder would have produced. This is the in-order assembly
+// primitive of the parallel trial runner: each worker records into its
+// own recorder, and the collector imports them in trial order.
+func (r *SpanRecorder) Import(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	idOff, traceOff := r.nextID, r.nextTrace
+	var maxID, maxTrace int64
+	for _, s := range spans {
+		if int64(s.ID) > maxID {
+			maxID = int64(s.ID)
+		}
+		if s.Trace > maxTrace {
+			maxTrace = s.Trace
+		}
+		s.ID += SpanID(idOff)
+		if s.Parent != 0 {
+			s.Parent += SpanID(idOff)
+		}
+		if s.Trace != 0 {
+			s.Trace += traceOff
+		}
+		if len(r.spans) >= r.cap {
+			continue
+		}
+		r.index[s.ID] = len(r.spans)
+		r.spans = append(r.spans, s)
+	}
+	r.nextID += maxID
+	r.nextTrace += maxTrace
 }
 
 // End closes a span at time at. Unknown (or zero) IDs are ignored.

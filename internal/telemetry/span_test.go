@@ -262,3 +262,75 @@ func TestHistogramQuantileDegenerate(t *testing.T) {
 		}
 	}
 }
+
+func TestSpanRecorderSetWallClock(t *testing.T) {
+	r := NewSpanRecorder(16)
+	r.SetWallClock(func() int64 { return 42 })
+	id := r.Start(r.NewTrace(), 0, "a", "n", 0)
+	if got := r.Spans()[0].WallNs; got != 42 {
+		t.Fatalf("WallNs = %d, want 42", got)
+	}
+	r.End(id, 1)
+
+	r.SetWallClock(nil)
+	r.Start(1, 0, "b", "n", 0)
+	spans := r.Spans()
+	if spans[1].WallNs != 0 {
+		t.Fatalf("nil clock stamped WallNs = %d, want 0", spans[1].WallNs)
+	}
+}
+
+// TestSpanRecorderImport verifies the parallel-assembly merge: importing
+// two per-trial recorders' spans in order must reproduce exactly the ID
+// and trace sequence a single shared recorder would have allocated.
+func TestSpanRecorderImport(t *testing.T) {
+	// Shared recorder: two "trials" recorded back to back.
+	shared := NewSpanRecorder(0)
+	shared.SetWallClock(nil)
+	recordTrial := func(r *SpanRecorder) {
+		tr := r.NewTrace()
+		root := r.Start(tr, 0, "trial", "n", 0)
+		child := r.Start(tr, root, "probe", "n", 1)
+		r.End(child, 2)
+		r.End(root, 3)
+	}
+	recordTrial(shared)
+	recordTrial(shared)
+	want := shared.Spans()
+
+	// Per-trial recorders merged via Import.
+	merged := NewSpanRecorder(0)
+	merged.SetWallClock(nil)
+	for i := 0; i < 2; i++ {
+		local := NewSpanRecorder(0)
+		local.SetWallClock(nil)
+		recordTrial(local)
+		merged.Import(local.Drain())
+	}
+	got := merged.Spans()
+
+	if len(got) != len(want) {
+		t.Fatalf("span counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("span %d differs:\n shared %+v\n merged %+v", i, want[i], got[i])
+		}
+	}
+	// Counters must stay monotone past the import so later Starts don't
+	// collide with imported IDs.
+	next := merged.Start(merged.NewTrace(), 0, "after", "n", 0)
+	if int64(next) != int64(len(want))+1 {
+		t.Fatalf("post-import Start allocated ID %d, want %d", next, len(want)+1)
+	}
+}
+
+func TestSpanRecorderImportNilAndEmpty(t *testing.T) {
+	var nilRec *SpanRecorder
+	nilRec.Import([]Span{{ID: 1}}) // must not panic
+	r := NewSpanRecorder(4)
+	r.Import(nil)
+	if r.Len() != 0 {
+		t.Fatalf("empty import retained %d spans", r.Len())
+	}
+}
