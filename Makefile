@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-compare check
+.PHONY: all build fmt-check vet test race bench bench-compare check fuzz-smoke cover-gate
 
 all: check build
 
@@ -38,6 +38,25 @@ bench:
 ## by more than 15% ns/op. CI runs this as the perf gate.
 bench-compare:
 	$(GO) run ./cmd/benchjson -compare BENCH_PR2.json BENCH_PR3.json -max-regress 15
+
+## fuzz-smoke runs each openflow codec fuzz target for 10 s — long enough
+## to shake out parser panics on truncated/oversized frames, short enough
+## for CI. The seed corpora live in internal/openflow/testdata/fuzz/.
+fuzz-smoke:
+	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
+	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzParsePacket -fuzztime 10s
+
+## cover-gate enforces statement-coverage floors on the packages whose
+## failure modes are wire-facing: the OpenFlow codec and the
+## fault-injection layer must each stay at or above 70%.
+cover-gate:
+	@for pkg in internal/openflow internal/faults; do \
+		pct="$$($(GO) test -cover ./$$pkg/ | awk '{for (i=1;i<=NF;i++) if ($$i ~ /^[0-9.]+%$$/) {sub(/%/,"",$$i); print $$i}}')"; \
+		if [ -z "$$pct" ]; then echo "cover-gate: no coverage figure for $$pkg"; exit 1; fi; \
+		ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \
+		if [ "$$ok" != 1 ]; then echo "cover-gate: $$pkg coverage $$pct% < 70%"; exit 1; fi; \
+		echo "cover-gate: $$pkg $$pct% >= 70%"; \
+	done
 
 ## check is the pre-merge gate: formatting, vet, and the full test suite
 ## under the race detector.

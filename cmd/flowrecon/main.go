@@ -17,6 +17,7 @@ import (
 
 	"flowrecon/internal/core"
 	"flowrecon/internal/experiment"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
 	"flowrecon/internal/trialrec"
@@ -41,6 +42,10 @@ func run(args []string) error {
 		telOut  = fs.String("telemetry-out", "", "write final + per-trial telemetry snapshots as JSON to this file")
 		recOut  = fs.String("record", "", "write the deterministic trial recording (JSONL) to this file; replay with cmd/inspect -replay")
 		par     = fs.Int("parallelism", 1, "trial-runner worker goroutines; results and recordings are identical at every level")
+
+		faultSeed   = fs.Int64("fault-seed", 0, "seed for injected probe faults (chaos runs)")
+		faultLoss   = fs.Float64("fault-loss", 0, "probability each probe is lost (no observation)")
+		faultJitter = fs.Float64("fault-jitter", 0, "mean added probe delay, ms (exponential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +69,13 @@ func run(args []string) error {
 		Trials:      *trials,
 		Probes:      *probes,
 		Measurement: experiment.DefaultMeasurement(),
+	}
+	if *faultLoss > 0 || *faultJitter > 0 {
+		spec.Faults = &faults.Profile{Seed: *faultSeed, LossProb: *faultLoss, JitterMeanMs: *faultJitter}
+		if err := spec.Faults.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection armed: %+v\n", *spec.Faults)
 	}
 	fmt.Printf("sampling a network configuration (|Rules|=%d, n=%d, %d flows, Δ=%.3fs, T=%d steps)…\n",
 		params.NumRules, params.CacheSize, params.NumFlows, params.Delta, params.Steps())
@@ -131,9 +143,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	opts := experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec, Parallelism: *par}
+	if spec.Faults != nil {
+		opts.Faults = *spec.Faults
+	}
 	results, records, err := experiment.RunTrialsOpts(
-		nc, attackers, *trials, spec.Measurement, stats.NewRNG(spec.TrialSeed),
-		experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec, Parallelism: *par})
+		nc, attackers, *trials, spec.Measurement, stats.NewRNG(spec.TrialSeed), opts)
 	if err != nil {
 		rec.Close()
 		return err

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	ofcontroller -listen 127.0.0.1:6633 -seed 1 -processing 3.9ms
+//
+// Fault injection (chaos testing the control channel, all seeded and
+// reproducible):
+//
+//	ofcontroller -fault-seed 7 -fault-loss 0.02 -fault-jitter 0.5 \
+//	             -fault-stall-prob 0.01 -fault-stall 50
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"syscall"
 	"time"
 
+	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/openflow"
 	"flowrecon/internal/rules"
@@ -38,8 +45,24 @@ func run(args []string) error {
 		processing = fs.Duration("processing", 3900*time.Microsecond, "simulated controller compute time per PACKET_IN")
 		step       = fs.Float64("step", 0.1, "model step Δ in seconds (scales rule timeouts)")
 		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9091)")
+
+		faultSeed      = fs.Int64("fault-seed", 0, "seed for injected faults (derives every fault stream)")
+		faultLoss      = fs.Float64("fault-loss", 0, "probability of dropping each sent control message")
+		faultJitter    = fs.Float64("fault-jitter", 0, "mean added delay per sent message, ms (exponential)")
+		faultReset     = fs.Float64("fault-reset", 0, "probability of resetting a connection per write")
+		faultStallProb = fs.Float64("fault-stall-prob", 0, "probability of stalling a PACKET_IN decision")
+		faultStall     = fs.Float64("fault-stall", 0, "stall duration when one fires, ms")
+		faultSlow      = fs.Float64("fault-slow", 0, "processing-delay multiplier (>1 slows the controller)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof := faults.Profile{
+		Seed: *faultSeed, LossProb: *faultLoss, JitterMeanMs: *faultJitter,
+		ResetProb: *faultReset, StallProb: *faultStallProb, StallMs: *faultStall,
+		SlowFactor: *faultSlow,
+	}
+	if err := prof.Validate(); err != nil {
 		return err
 	}
 	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 16)
@@ -50,7 +73,11 @@ func run(args []string) error {
 	ctl := openflow.NewController(policy, universe, openflow.ControllerOptions{
 		ProcessingDelay: *processing,
 		StepSeconds:     *step,
+		Faults:          prof,
 	})
+	if prof.Enabled() {
+		fmt.Printf("fault injection armed: %+v\n", prof)
+	}
 	if *telAddr != "" {
 		reg := telemetry.NewRegistry(4096)
 		ctl.SetTelemetry(reg)

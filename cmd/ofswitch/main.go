@@ -5,14 +5,25 @@
 // Usage:
 //
 //	ofswitch -controller 127.0.0.1:6633 -seed 1 -probes 10
+//
+// Chaos knobs (all seeded, reproducible): inject faults on the switch's
+// side of the control channel and arm self-healing so a flaky channel
+// degrades the attack instead of wedging it:
+//
+//	ofswitch -fault-seed 7 -fault-loss 0.02 -fault-jitter 0.5 \
+//	         -reconnect-retries 10 -probe-timeout 50ms -probe-retries 3
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/openflow"
 	"flowrecon/internal/rules"
@@ -38,8 +49,23 @@ func run(args []string) error {
 		gap        = fs.Duration("gap", 200*time.Millisecond, "delay between probes")
 		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9090)")
 		hold       = fs.Duration("hold", 0, "keep running (and serving telemetry) this long after the last probe")
+
+		faultSeed    = fs.Int64("fault-seed", 0, "seed for injected faults on this side of the channel")
+		faultLoss    = fs.Float64("fault-loss", 0, "probability of dropping each sent control message")
+		faultJitter  = fs.Float64("fault-jitter", 0, "mean added delay per sent message, ms (exponential)")
+		faultReset   = fs.Float64("fault-reset", 0, "probability of resetting the connection per write")
+		reconnects   = fs.Int("reconnect-retries", 0, "redial attempts after a lost connection (0 = die on disconnect)")
+		probeTimeout = fs.Duration("probe-timeout", 0, "per-probe reply timeout (0 = wait forever)")
+		probeRetries = fs.Int("probe-retries", 0, "PACKET_IN retransmits before declaring a probe lost")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prof := faults.Profile{
+		Seed: *faultSeed, LossProb: *faultLoss,
+		JitterMeanMs: *faultJitter, ResetProb: *faultReset,
+	}
+	if err := prof.Validate(); err != nil {
 		return err
 	}
 	var reg *telemetry.Registry
@@ -64,11 +90,36 @@ func run(args []string) error {
 	if reg != nil {
 		sw.SetTelemetry(reg)
 	}
-	if err := sw.Connect(*controller); err != nil {
+	// The dialer wraps each redialed transport with its own derived fault
+	// stream (sub = connection ordinal); with no fault knobs set WrapConn
+	// is a passthrough.
+	var ordinal atomic.Int64
+	dialer := func() (*openflow.Conn, error) {
+		raw, err := net.DialTimeout("tcp", *controller, openflow.DefaultDialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		return openflow.NewConn(faults.WrapConn(raw, prof.Stream(ordinal.Add(1)))), nil
+	}
+	if *reconnects > 0 {
+		sw.SetReconnect(openflow.ReconnectPolicy{
+			MaxRetries: *reconnects,
+			Seed:       *faultSeed,
+		}, dialer)
+	}
+	conn, err := dialer()
+	if err != nil {
+		return err
+	}
+	if err := sw.Start(conn); err != nil {
 		return err
 	}
 	defer sw.Close()
 	fmt.Printf("switch connected to %s; injecting %d probes\n", *controller, *probes)
+	if prof.Enabled() || *reconnects > 0 {
+		fmt.Printf("chaos armed: faults=%+v reconnects=%d probe-timeout=%v retries=%d\n",
+			prof, *reconnects, *probeTimeout, *probeRetries)
+	}
 
 	covered := policy.CoveredFlows()
 	var tuple flows.FiveTuple
@@ -79,15 +130,21 @@ func run(args []string) error {
 		}
 	}
 	for i := 0; i < *probes; i++ {
-		res, err := sw.Inject(tuple)
-		if err != nil {
+		res, err := sw.InjectTimeout(tuple, *probeTimeout, *probeRetries)
+		switch {
+		case err == nil:
+			verdict := "MISS (rule installed via controller)"
+			if res.Hit {
+				verdict = "HIT  (rule already cached)"
+			}
+			fmt.Printf("probe %2d: %-38s delay=%v\n", i+1, verdict, res.Delay)
+		case errors.Is(err, openflow.ErrProbeTimeout) || errors.Is(err, openflow.ErrDisconnected):
+			// Explicit loss: no observation, keep probing (the attacker's
+			// no-observation case).
+			fmt.Printf("probe %2d: LOST (%v)\n", i+1, err)
+		default:
 			return err
 		}
-		verdict := "MISS (rule installed via controller)"
-		if res.Hit {
-			verdict = "HIT  (rule already cached)"
-		}
-		fmt.Printf("probe %2d: %-38s delay=%v\n", i+1, verdict, res.Delay)
 		time.Sleep(*gap)
 	}
 	fmt.Printf("cached rules at exit: %v\n", sw.CachedRules())

@@ -1,0 +1,227 @@
+// Package conftest is the statistical conformance harness: it checks
+// that the implemented switch (continuous-time flowtable.Table) and the
+// two Markov models (BasicModel exact, CompactModel approximate) agree
+// with each other within documented statistical budgets, and that the
+// attack's accuracy degrades gracefully — not catastrophically — when
+// the channel gets lossy.
+//
+// The harness compares distributions over the shared observable of all
+// three artifacts: the cached-rule bitmask ("which rules are in the
+// table right now"). Two comparison tools are provided:
+//
+//   - ChiSquareGoF: a chi-square goodness-of-fit between empirical bin
+//     counts and model probabilities, with small-expectation bins pooled
+//     (Cochran's rule) and the p-value from the Wilson–Hilferty cube-root
+//     normal approximation. Conformance tests assert p ≥ a documented
+//     floor (PFloor): the null hypothesis "the switch behaves like the
+//     model" must not be rejected at overwhelming confidence. The floor
+//     is deliberately loose (1e-4, not 0.05) because the discrete-time
+//     chain is an approximation of the continuous-time switch — the
+//     paper's own Δ-step idealization — so a small systematic bias is
+//     expected and tolerated; what the harness must catch is structural
+//     divergence (wrong eviction order, broken timeouts, mis-seeded
+//     faults), which drives p to ~0.
+//
+//   - TVD: total variation distance between two distributions, for the
+//     CompactModel-vs-BasicModel budget (the §IV-B approximation trades
+//     exactness for state-space compression; CompactTVDBudget documents
+//     how much disagreement that trade is allowed to cost on the
+//     cached-rule observable).
+//
+// Every sample in the harness is drawn from seeded stats.RNG streams, so
+// a failing run reproduces exactly.
+package conftest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"flowrecon/internal/markov"
+)
+
+// Documented conformance thresholds. Tests reference these constants so
+// the budgets live in one place.
+const (
+	// PFloor is the minimum chi-square p-value at which empirical switch
+	// occupancy is accepted as conforming to a model. See the package
+	// comment for why it is far below the conventional 0.05.
+	PFloor = 1e-4
+	// MinExpected is Cochran's minimum expected count per chi-square
+	// bin; sparser bins are pooled before the statistic is computed.
+	MinExpected = 5.0
+	// CompactTVDBudget bounds the total variation distance between the
+	// compact and basic models' cached-rule-mask distributions at every
+	// checked horizon. The compact model's state merging (§IV-B) loses
+	// clock detail, not rule identity, so the masks should stay close.
+	CompactTVDBudget = 0.12
+)
+
+// GoF is the result of a chi-square goodness-of-fit test.
+type GoF struct {
+	// Stat is the chi-square statistic over the pooled bins.
+	Stat float64
+	// DoF is the degrees of freedom (pooled bins − 1).
+	DoF int
+	// P is the upper-tail p-value (Wilson–Hilferty approximation).
+	P float64
+	// Bins is the number of bins after pooling; Pooled counts how many
+	// raw bins were merged into the pool.
+	Bins, Pooled int
+	// N is the total observation count.
+	N int
+}
+
+// ChiSquareGoF tests observed bin counts against expected bin
+// probabilities. expected is normalized internally; bins whose expected
+// count falls below minExpected (MinExpected when ≤ 0) are pooled into
+// one residual bin per Cochran's rule. Returns an error for structural
+// misuse (mismatched lengths, no observations, degenerate binning) —
+// statistical rejection is expressed through the p-value, not the error.
+func ChiSquareGoF(observed []int, expected []float64, minExpected float64) (GoF, error) {
+	if len(observed) != len(expected) {
+		return GoF{}, fmt.Errorf("conftest: %d observed bins vs %d expected", len(observed), len(expected))
+	}
+	if minExpected <= 0 {
+		minExpected = MinExpected
+	}
+	n := 0
+	for _, o := range observed {
+		if o < 0 {
+			return GoF{}, fmt.Errorf("conftest: negative count %d", o)
+		}
+		n += o
+	}
+	if n == 0 {
+		return GoF{}, fmt.Errorf("conftest: no observations")
+	}
+	var totalP float64
+	for _, p := range expected {
+		if p < 0 || math.IsNaN(p) {
+			return GoF{}, fmt.Errorf("conftest: bad expected probability %v", p)
+		}
+		totalP += p
+	}
+	if totalP <= 0 {
+		return GoF{}, fmt.Errorf("conftest: expected distribution has no mass")
+	}
+
+	var stat float64
+	bins, pooled := 0, 0
+	poolObs, poolExp := 0.0, 0.0
+	for i, o := range observed {
+		e := expected[i] / totalP * float64(n)
+		if e < minExpected {
+			poolObs += float64(o)
+			poolExp += e
+			pooled++
+			continue
+		}
+		d := float64(o) - e
+		stat += d * d / e
+		bins++
+	}
+	if pooled > 0 {
+		if poolExp <= 0 {
+			if poolObs > 0 {
+				// Mass observed where the model allows none: certain
+				// rejection, not a harness error.
+				return GoF{Stat: math.Inf(1), DoF: bins, P: 0, Bins: bins + 1, Pooled: pooled, N: n}, nil
+			}
+		} else {
+			d := poolObs - poolExp
+			stat += d * d / poolExp
+			bins++
+		}
+	}
+	if bins < 2 {
+		return GoF{}, fmt.Errorf("conftest: only %d usable bins after pooling (need ≥ 2)", bins)
+	}
+	dof := bins - 1
+	return GoF{Stat: stat, DoF: dof, P: ChiSquareP(stat, dof), Bins: bins, Pooled: pooled, N: n}, nil
+}
+
+// ChiSquareP returns the upper-tail probability P(X ≥ stat) for a
+// chi-square variable with dof degrees of freedom, via the
+// Wilson–Hilferty cube-root normal approximation — accurate to a few
+// percent for dof ≥ 3, which is ample for pass/fail against PFloor.
+func ChiSquareP(stat float64, dof int) float64 {
+	if dof <= 0 {
+		return math.NaN()
+	}
+	if stat <= 0 {
+		return 1
+	}
+	k := float64(dof)
+	v := 2.0 / (9.0 * k)
+	z := (math.Cbrt(stat/k) - (1 - v)) / math.Sqrt(v)
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}
+
+// TVD returns the total variation distance ½·Σ|a_i − b_i| between two
+// distributions given over the same index set. Inputs are used as-is
+// (callers normalize); missing mass therefore shows up as distance.
+func TVD(a, b []float64) float64 {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		var av, bv float64
+		if i < len(a) {
+			av = a[i]
+		}
+		if i < len(b) {
+			bv = b[i]
+		}
+		sum += math.Abs(av - bv)
+	}
+	return sum / 2
+}
+
+// MaskModel is the projection surface shared by core.BasicModel and
+// core.CompactModel: a state space whose every state exposes the bitmask
+// of cached rules.
+type MaskModel interface {
+	NumStates() int
+	StateMask(i int) uint64
+}
+
+// ProjectMasks folds a state distribution onto cached-rule bitmasks —
+// the observable an outside observer (or the switch's own table) can
+// see. The result maps mask → probability.
+func ProjectMasks(m MaskModel, d markov.Dist) map[uint64]float64 {
+	out := make(map[uint64]float64)
+	for i, p := range d {
+		if p != 0 {
+			out[m.StateMask(i)] += p
+		}
+	}
+	return out
+}
+
+// AlignMasks renders two mask distributions over a shared, sorted index
+// (the union of their supports), ready for TVD or chi-square binning.
+// The returned masks slice gives the bin identities.
+func AlignMasks(a, b map[uint64]float64) (masks []uint64, av, bv []float64) {
+	seen := make(map[uint64]bool, len(a)+len(b))
+	for m := range a {
+		seen[m] = true
+	}
+	for m := range b {
+		seen[m] = true
+	}
+	masks = make([]uint64, 0, len(seen))
+	for m := range seen {
+		masks = append(masks, m)
+	}
+	sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+	av = make([]float64, len(masks))
+	bv = make([]float64, len(masks))
+	for i, m := range masks {
+		av[i] = a[m]
+		bv[i] = b[m]
+	}
+	return masks, av, bv
+}

@@ -1,0 +1,152 @@
+package conftest
+
+import (
+	"math"
+	"testing"
+
+	"flowrecon/internal/stats"
+)
+
+// TestChiSquarePKnownValues: the Wilson–Hilferty approximation lands
+// within a few percent of textbook chi-square tail values.
+func TestChiSquarePKnownValues(t *testing.T) {
+	cases := []struct {
+		stat float64
+		dof  int
+		want float64
+	}{
+		{3.841, 1, 0.05},
+		{5.991, 2, 0.05},
+		{7.815, 3, 0.05},
+		{11.070, 5, 0.05},
+		{18.307, 10, 0.05},
+		{23.209, 10, 0.01},
+		{9.342, 10, 0.5},
+	}
+	for _, c := range cases {
+		got := ChiSquareP(c.stat, c.dof)
+		if math.Abs(got-c.want) > 0.012 {
+			t.Errorf("P(χ²_%d ≥ %.3f) = %.4f, want ≈ %.3f", c.dof, c.stat, got, c.want)
+		}
+	}
+	if p := ChiSquareP(0, 4); p != 1 {
+		t.Errorf("zero statistic should give p=1, got %v", p)
+	}
+	if !math.IsNaN(ChiSquareP(1, 0)) {
+		t.Error("dof 0 should give NaN")
+	}
+}
+
+// TestChiSquareGoFAcceptsOwnDistribution: samples drawn from the stated
+// distribution pass with a healthy p-value; samples from a visibly
+// different one are crushed below PFloor.
+func TestChiSquareGoFAcceptsOwnDistribution(t *testing.T) {
+	exp := []float64{0.4, 0.3, 0.2, 0.1}
+	rng := stats.NewRNG(7)
+	draw := func(p []float64) int {
+		u := rng.Float64()
+		acc := 0.0
+		for i, q := range p {
+			acc += q
+			if u < acc {
+				return i
+			}
+		}
+		return len(p) - 1
+	}
+	const n = 5000
+	obs := make([]int, len(exp))
+	for i := 0; i < n; i++ {
+		obs[draw(exp)]++
+	}
+	res, err := ChiSquareGoF(obs, exp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P < 0.01 {
+		t.Fatalf("correct distribution rejected: %+v", res)
+	}
+	if res.N != n || res.DoF != 3 {
+		t.Fatalf("bookkeeping wrong: %+v", res)
+	}
+
+	// Same counts against a wrong model: decisive rejection.
+	wrong := []float64{0.1, 0.2, 0.3, 0.4}
+	res, err = ChiSquareGoF(obs, wrong, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P > PFloor {
+		t.Fatalf("wrong distribution accepted: %+v", res)
+	}
+}
+
+// TestChiSquareGoFPooling: bins with tiny expectation are pooled, and
+// observations in model-impossible bins reject outright.
+func TestChiSquareGoFPooling(t *testing.T) {
+	obs := []int{50, 45, 3, 2}
+	exp := []float64{0.5, 0.45, 0.025, 0.025} // tail bins expect 2.5 each < 5
+	res, err := ChiSquareGoF(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pooled != 2 || res.Bins != 3 {
+		t.Fatalf("pooling wrong: %+v", res)
+	}
+
+	// Observation where the model has zero mass → p = 0.
+	obs = []int{50, 50, 7}
+	exp = []float64{0.5, 0.5, 0}
+	res, err = ChiSquareGoF(obs, exp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 0 {
+		t.Fatalf("impossible observation not rejected: %+v", res)
+	}
+
+	// Structural misuse is an error, not a p-value.
+	if _, err := ChiSquareGoF([]int{1}, []float64{1, 0}, 0); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := ChiSquareGoF([]int{0, 0}, []float64{0.5, 0.5}, 0); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+	if _, err := ChiSquareGoF([]int{5, 5}, []float64{0.5, 0.5}, 100); err == nil {
+		t.Fatal("degenerate pooling accepted")
+	}
+}
+
+// TestTVD: basic properties on known inputs.
+func TestTVD(t *testing.T) {
+	if d := TVD([]float64{0.5, 0.5}, []float64{0.5, 0.5}); d != 0 {
+		t.Fatalf("identical dists: %v", d)
+	}
+	if d := TVD([]float64{1, 0}, []float64{0, 1}); d != 1 {
+		t.Fatalf("disjoint dists: %v", d)
+	}
+	if d := TVD([]float64{0.8, 0.2}, []float64{0.6, 0.4}); math.Abs(d-0.2) > 1e-12 {
+		t.Fatalf("want 0.2, got %v", d)
+	}
+	// Ragged lengths: missing entries read as zero mass.
+	if d := TVD([]float64{1}, []float64{0.5, 0.5}); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("ragged: %v", d)
+	}
+}
+
+// TestAlignMasks: union support, sorted, zero-filled.
+func TestAlignMasks(t *testing.T) {
+	a := map[uint64]float64{0b01: 0.7, 0b10: 0.3}
+	b := map[uint64]float64{0b10: 0.4, 0b11: 0.6}
+	masks, av, bv := AlignMasks(a, b)
+	if len(masks) != 3 || masks[0] != 0b01 || masks[1] != 0b10 || masks[2] != 0b11 {
+		t.Fatalf("masks = %v", masks)
+	}
+	if av[2] != 0 || bv[0] != 0 {
+		t.Fatalf("zero fill wrong: %v %v", av, bv)
+	}
+	// |0.7−0| + |0.3−0.4| + |0−0.6| = 1.4, halved.
+	if math.Abs(TVD(av, bv)-0.7) > 1e-12 {
+		t.Fatalf("aligned TVD = %v", TVD(av, bv))
+	}
+}

@@ -21,6 +21,19 @@ type Attacker interface {
 	Decide(outcomes []bool, rng *stats.RNG) bool
 }
 
+// LossTolerant is implemented by attackers that can classify a trial in
+// which some probes were lost (dropped by the network or timed out).
+// lost[i] true means probe i produced no observation at all — outcomes[i]
+// is meaningless for that index and must be ignored. A lost probe is an
+// explicit "no observation", not a miss: a threshold classifier that
+// cannot distinguish the two should fall back to Decide with the lost
+// probes classified as misses, which is what the trial runner does for
+// attackers that do not implement this interface.
+type LossTolerant interface {
+	// DecideWithLoss converts partially observed outcomes into a verdict.
+	DecideWithLoss(outcomes, lost []bool, rng *stats.RNG) bool
+}
+
 // NaiveAttacker is the paper's baseline: probe the target flow itself and
 // report the query result Q_f̂.
 type NaiveAttacker struct {
@@ -69,6 +82,7 @@ type ModelAttacker struct {
 var (
 	_ Attacker       = (*ModelAttacker)(nil)
 	_ BeliefProvider = (*ModelAttacker)(nil)
+	_ LossTolerant   = (*ModelAttacker)(nil)
 )
 
 // NewModelAttacker plans numProbes probes from candidates using sel.
@@ -144,6 +158,49 @@ func (a *ModelAttacker) Decide(outcomes []bool, _ *stats.RNG) bool {
 	default:
 		return outcomes[0]
 	}
+}
+
+// DecideWithLoss implements LossTolerant: lost probes contribute no
+// observation. The verdict comes from replaying the observed prefix
+// through a fresh belief tracker — Observe for delivered probes,
+// ObserveLost for dropped ones — and thresholding the resulting
+// posterior P(X̂=1 | delivered observations) at ½. With nothing
+// delivered the verdict falls back to the prior; in DecideByQuery mode a
+// delivered first probe still decides by its raw outcome (the §VI-B
+// behaviour), and only when the first probe is lost does the attacker
+// fall back to the posterior over whatever else arrived.
+func (a *ModelAttacker) DecideWithLoss(outcomes, lost []bool, rng *stats.RNG) bool {
+	anyLost := false
+	for i := range outcomes {
+		if i < len(lost) && lost[i] {
+			anyLost = true
+			break
+		}
+	}
+	if !anyLost {
+		return a.Decide(outcomes, rng)
+	}
+	if a.mode == DecideByQuery && len(outcomes) > 0 && !lost[0] {
+		return outcomes[0]
+	}
+	probes := a.eval.Flows
+	t := a.sel.NewBeliefTracker()
+	delivered := 0
+	for i, out := range outcomes {
+		if i >= len(probes) {
+			break
+		}
+		if i < len(lost) && lost[i] {
+			t.ObserveLost(probes[i])
+			continue
+		}
+		t.Observe(probes[i], out)
+		delivered++
+	}
+	if delivered == 0 {
+		return a.prior > 0.5
+	}
+	return t.Prior() > 0.5
 }
 
 // RandomAttacker is the §VI-B baseline that makes no probes and guesses

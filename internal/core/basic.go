@@ -273,6 +273,13 @@ func mergeTransitions(in []markov.Transition[string]) []markov.Transition[string
 // NumStates returns the size of the reachable state space.
 func (m *BasicModel) NumStates() int { return len(m.res.States) }
 
+// StateMask returns the cached-rule bitmask of state i (rules at their
+// expiry boundary count as already evicted, matching HitProbability).
+// Together with CompactModel.StateMask it lets conformance checks project
+// both chains onto the same observable — which rules are cached — and
+// compare them to each other and to empirical table occupancy.
+func (m *BasicModel) StateMask(i int) uint64 { return m.ruleMask[i] }
+
 // Matrix returns the transition matrix (for benchmarks and diagnostics).
 func (m *BasicModel) Matrix() *markov.Sparse { return m.res.Matrix }
 

@@ -35,6 +35,11 @@ type BeliefStep struct {
 	Probe flows.ID `json:"probe"`
 	// Hit is the classified outcome Q_f the attacker observed.
 	Hit bool `json:"hit"`
+	// Lost marks a probe that produced no observation at all (dropped by
+	// the network or timed out): Hit is meaningless, the posterior is
+	// unchanged, and GainBits is zero. Absent from records of fault-free
+	// runs.
+	Lost bool `json:"lost,omitempty"`
 	// Prior is P(X̂ = 1 | outcomes before this probe).
 	Prior float64 `json:"prior"`
 	// Posterior is P(X̂ = 1 | outcomes including this probe).
@@ -119,6 +124,29 @@ func (t *BeliefTracker) Observe(f flows.ID, hit bool) BeliefStep {
 		GainBits:    stats.BinaryEntropy(prior) - stats.BinaryEntropy(posterior),
 		EntropyBits: stats.BinaryEntropy(posterior),
 		PathProb:    pq,
+		TopStates:   TopStates(t.d, BeliefTrackerTopK),
+	}
+	t.steps = append(t.steps, step)
+	return step
+}
+
+// ObserveLost folds a lost probe into the belief state: the probe was
+// sent but no reply ever came back, so the attacker learned nothing.
+// The posterior is unchanged, the realized gain is zero, and — because
+// a dropped probe never reaches the switch's flow table — no cache side
+// effect is applied to the conditioned state distributions. The step is
+// still recorded (with Lost set) so recordings show where the trial's
+// observations have holes.
+func (t *BeliefTracker) ObserveLost(f flows.ID) BeliefStep {
+	step := BeliefStep{
+		Index:       len(t.steps),
+		Probe:       f,
+		Lost:        true,
+		Prior:       t.post,
+		Posterior:   t.post,
+		GainBits:    0,
+		EntropyBits: stats.BinaryEntropy(t.post),
+		PathProb:    t.d.Sum(),
 		TopStates:   TopStates(t.d, BeliefTrackerTopK),
 	}
 	t.steps = append(t.steps, step)

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"flowrecon/internal/stats"
+)
+
+// TestObserveLostIsNoObservation: a lost probe leaves the belief state
+// untouched — same posterior, zero gain, no cache side effect — while
+// still being recorded as a step.
+func TestObserveLostIsNoObservation(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+
+	withLoss := sel.NewBeliefTracker()
+	clean := sel.NewBeliefTracker()
+
+	step := withLoss.ObserveLost(1)
+	if !step.Lost {
+		t.Fatal("lost step not marked Lost")
+	}
+	if step.Prior != step.Posterior {
+		t.Fatalf("lost probe moved the posterior: %v -> %v", step.Prior, step.Posterior)
+	}
+	if step.GainBits != 0 {
+		t.Fatalf("lost probe realized gain %v, want 0", step.GainBits)
+	}
+	if withLoss.Prior() != clean.Prior() {
+		t.Fatalf("tracker posterior changed: %v vs %v", withLoss.Prior(), clean.Prior())
+	}
+
+	// A real observation after the loss must match a tracker that never
+	// saw the lost probe: dropped probes apply no cache side effect.
+	sLoss := withLoss.Observe(2, true)
+	sClean := clean.Observe(2, true)
+	if math.Abs(sLoss.Posterior-sClean.Posterior) > 1e-12 {
+		t.Fatalf("lost probe perturbed later inference: %v vs %v", sLoss.Posterior, sClean.Posterior)
+	}
+	if math.Abs(sLoss.PathProb-sClean.PathProb) > 1e-12 {
+		t.Fatalf("lost probe perturbed path prob: %v vs %v", sLoss.PathProb, sClean.PathProb)
+	}
+	if got := len(withLoss.Steps()); got != 2 {
+		t.Fatalf("steps = %d, want 2 (lost step is still recorded)", got)
+	}
+}
+
+// TestBeliefStepLostFieldOmitted: fault-free recordings stay byte-stable —
+// the lost marker only appears on lost steps.
+func TestBeliefStepLostFieldOmitted(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	tr := sel.NewBeliefTracker()
+
+	delivered, err := json.Marshal(tr.Observe(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(delivered), `"lost"`) {
+		t.Fatalf("delivered step serialized a lost field: %s", delivered)
+	}
+	lost, err := json.Marshal(tr.ObserveLost(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(lost), `"lost":true`) {
+		t.Fatalf("lost step missing lost marker: %s", lost)
+	}
+}
+
+// TestDecideWithLossMatchesDecideWhenNothingLost: with an all-false loss
+// mask the loss-tolerant path must agree with plain Decide on every
+// outcome vector.
+func TestDecideWithLossMatchesDecideWhenNothingLost(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	rng := stats.NewRNG(1)
+	for _, mode := range []DecisionMode{DecideByQuery, DecideByPosterior} {
+		a, err := NewModelAttacker(sel, sel.AllFlows(), 2, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, outcomes := range [][]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+			want := a.Decide(outcomes, rng)
+			got := a.DecideWithLoss(outcomes, []bool{false, false}, rng)
+			if got != want {
+				t.Fatalf("mode %v outcomes %v: DecideWithLoss %v, Decide %v", mode, outcomes, got, want)
+			}
+		}
+	}
+}
+
+// TestDecideWithLossPartialLoss: losing one probe of two yields the
+// posterior conditioned on only the delivered observation — identical to
+// a belief-tracker replay that skips the lost index.
+func TestDecideWithLossPartialLoss(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	a, err := NewModelAttacker(sel, sel.AllFlows(), 2, DecideByPosterior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := a.Probes()
+	rng := stats.NewRNG(1)
+	for _, second := range []bool{false, true} {
+		tr := sel.NewBeliefTracker()
+		tr.ObserveLost(probes[0])
+		tr.Observe(probes[1], second)
+		want := tr.Prior() > 0.5
+		got := a.DecideWithLoss([]bool{false, second}, []bool{true, false}, rng)
+		if got != want {
+			t.Fatalf("second=%v: verdict %v, tracker replay wants %v (posterior %v)", second, got, want, tr.Prior())
+		}
+	}
+}
+
+// TestDecideWithLossAllLost: when every probe is lost the attacker falls
+// back to its prior, deterministically.
+func TestDecideWithLossAllLost(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	a, err := NewModelAttacker(sel, sel.AllFlows(), 2, DecideByPosterior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	want := 1-sel.PAbsent() > 0.5
+	if got := a.DecideWithLoss([]bool{true, true}, []bool{true, true}, rng); got != want {
+		t.Fatalf("all-lost verdict %v, want prior-based %v", got, want)
+	}
+	// Stale outcome bits under the lost mask must not leak into the verdict.
+	if got := a.DecideWithLoss([]bool{false, false}, []bool{true, true}, rng); got != want {
+		t.Fatalf("all-lost verdict depends on masked outcome bits")
+	}
+}
+
+// TestDecideWithLossQueryMode: DecideByQuery keeps its raw-first-outcome
+// behaviour when the first probe was delivered, and falls back to the
+// surviving observations when it was lost.
+func TestDecideWithLossQueryMode(t *testing.T) {
+	cfg := fig2cConfig(t)
+	sel := newSelector(t, cfg, 0, 40)
+	a, err := NewModelAttacker(sel, sel.AllFlows(), 2, DecideByQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := a.Probes()
+	rng := stats.NewRNG(1)
+
+	// First probe delivered: verdict is its raw outcome, regardless of
+	// what happened to the rest of the sequence.
+	if got := a.DecideWithLoss([]bool{true, false}, []bool{false, true}, rng); !got {
+		t.Fatal("delivered first hit must decide true in query mode")
+	}
+	if got := a.DecideWithLoss([]bool{false, true}, []bool{false, true}, rng); got {
+		t.Fatal("delivered first miss must decide false in query mode")
+	}
+
+	// First probe lost: fall back to the posterior over probe 2 alone.
+	for _, second := range []bool{false, true} {
+		tr := sel.NewBeliefTracker()
+		tr.ObserveLost(probes[0])
+		tr.Observe(probes[1], second)
+		want := tr.Prior() > 0.5
+		if got := a.DecideWithLoss([]bool{false, second}, []bool{true, false}, rng); got != want {
+			t.Fatalf("lost-first query mode second=%v: verdict %v, want %v", second, got, want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
 	"flowrecon/internal/trialrec"
@@ -34,6 +35,18 @@ type TrialOptions struct {
 	// are set, spans are drained into the recording each trial rather
 	// than accumulating here.
 	Spans *telemetry.SpanRecorder
+	// Faults injects probe-level faults into the trial loop: each probe
+	// is independently lost with probability LossProb (it never reaches
+	// the table — no install side effect, no observation) and a delivered
+	// probe's observed delay is inflated by exponential jitter with mean
+	// JitterMeanMs (which can push a hit past the classifier threshold).
+	// Transport-level knobs (resets, stalls, slowdown) have no meaning at
+	// this abstraction and are ignored. All fault randomness comes from
+	// streams derived from Faults.Seed and the trial index — never from
+	// the trial RNG — so the zero profile leaves every draw, verdict and
+	// recording byte-identical to a fault-free run, and a faulty run is
+	// reproducible from (TrialSeed, Faults) alone at any parallelism.
+	Faults faults.Profile
 	// Parallelism is the number of worker goroutines running trials
 	// concurrently; values ≤ 1 run serially. Every trial draws all of its
 	// randomness (traffic, probe noise, random verdicts) from a per-trial
@@ -52,6 +65,7 @@ type trialEnv struct {
 	source    TraceSource
 	reg       *telemetry.Registry
 	tm        trialMetrics
+	faults    faults.Profile
 	horizon   float64
 	observing bool // collect spans (and belief/probe forensics)
 	recording bool // also keep arrivals + attacker trials for the recorder
@@ -73,10 +87,14 @@ type trialOut struct {
 // runTrial executes one complete trial: generate the traffic window,
 // replay it per attacker, probe, and decide. Every random draw — the
 // traffic window, probe classification noise, random verdicts — comes
-// from rng (the trial's own stream), and all spans go to a trial-local
-// recorder, so trials are independent and safe to run concurrently.
-func (env *trialEnv) runTrial(rng *stats.RNG) trialOut {
+// from rng (the trial's own stream), and fault draws come from a stream
+// derived from (Faults.Seed, trial index) alone, so trials are
+// independent, safe to run concurrently, and identical at every
+// parallelism level.
+func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 	var out trialOut
+	flt := env.faults.Stream(int64(trial))
+	flt.SetTelemetry(env.reg, "experiment")
 	trace, err := env.source(env.nc.Rates, env.horizon, rng)
 	if err != nil {
 		out.err = err
@@ -128,13 +146,20 @@ func (env *trialEnv) runTrial(rng *stats.RNG) trialOut {
 			out.err = err
 			return out
 		}
-		var outcomes []bool
+		var outcomes, lost []bool
 		if seq, ok := a.(SequentialAttacker); ok {
-			outcomes = probeSequential(env.nc, tbl, seq, env.horizon, env.meas, rng, &env.tm, obs)
+			outcomes, lost = probeSequential(env.nc, tbl, seq, env.horizon, env.meas, rng, flt, &env.tm, obs)
 		} else {
-			outcomes = probeTable(env.nc, tbl, a.Probes(), env.horizon, env.meas, rng, &env.tm, obs)
+			outcomes, lost = probeTable(env.nc, tbl, a.Probes(), env.horizon, env.meas, rng, flt, &env.tm, obs)
 		}
-		verdict := a.Decide(outcomes, rng)
+		var verdict bool
+		if lt, ok := a.(core.LossTolerant); ok && anyLost(lost) {
+			verdict = lt.DecideWithLoss(outcomes, lost, rng)
+		} else {
+			// Lost probes fall back to their miss classification for
+			// attackers that cannot represent "no observation".
+			verdict = a.Decide(outcomes, rng)
+		}
 		out.verdicts[i] = verdict
 		if env.observing {
 			decSpan := spans.Start(traceID, attSpan, "decision", env.names[i], env.horizon)
@@ -146,6 +171,7 @@ func (env *trialEnv) runTrial(rng *stats.RNG) trialOut {
 					Name:     env.names[i],
 					Probes:   obs.probes,
 					Outcomes: outcomes,
+					Lost:     lost,
 					Verdict:  verdict,
 					Belief:   obs.belief,
 				})
@@ -189,6 +215,7 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		source:    source,
 		reg:       reg,
 		tm:        newTrialMetrics(reg),
+		faults:    opts.Faults,
 		horizon:   float64(nc.Params.Steps()) * nc.Params.Delta,
 		observing: rec.Enabled() || spansOut != nil,
 		recording: rec.Enabled(),
@@ -238,7 +265,7 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 	if workers <= 1 {
 		var records []TrialRecord
 		for t := 0; t < trials; t++ {
-			out := env.runTrial(rng.Fork())
+			out := env.runTrial(t, rng.Fork())
 			if err := assemble(t, out); err != nil {
 				return nil, nil, err
 			}
@@ -271,7 +298,7 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 					return
 				}
 				busy.Add(1)
-				outs[t] = env.runTrial(stats.NewRNG(seeds[t]))
+				outs[t] = env.runTrial(t, stats.NewRNG(seeds[t]))
 				busy.Add(-1)
 			}
 		}()
@@ -283,6 +310,17 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		}
 	}
 	return results, nil, nil
+}
+
+// anyLost reports whether the loss mask marks any probe lost (nil — the
+// fault-free case — never does).
+func anyLost(lost []bool) bool {
+	for _, l := range lost {
+		if l {
+			return true
+		}
+	}
+	return false
 }
 
 func decisionDetail(verdict, truth bool) string {

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
 	"flowrecon/internal/trialrec"
@@ -34,6 +35,13 @@ type RecordingSpec struct {
 	Probes int `json:"probes"`
 	// Measurement is the timing classifier.
 	Measurement Measurement `json:"measurement"`
+	// Faults, when non-nil, is the fault-injection profile of the run
+	// (probe loss and delay jitter; see TrialOptions.Faults). It is part
+	// of the spec — and therefore the config hash — so a chaos run
+	// replays with its faults, fault for fault. Nil (omitted from the
+	// JSON) keeps fault-free specs, hashes and recordings byte-identical
+	// to recordings made before fault injection existed.
+	Faults *faults.Profile `json:"faults,omitempty"`
 }
 
 // Validate checks the spec.
@@ -43,6 +51,11 @@ func (s RecordingSpec) Validate() error {
 	}
 	if s.Trials < 1 || s.Probes < 1 {
 		return fmt.Errorf("experiment: recording needs ≥ 1 trial and ≥ 1 probe (got %d, %d)", s.Trials, s.Probes)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -122,10 +135,14 @@ func RecordTo(w io.Writer, spec RecordingSpec, reg *telemetry.Registry) ([]Attac
 	if err != nil {
 		return nil, nil, err
 	}
-	results, _, err := RunTrialsOpts(nc, attackers, spec.Trials, spec.Measurement, stats.NewRNG(spec.TrialSeed), TrialOptions{
+	opts := TrialOptions{
 		Registry: reg,
 		Recorder: rec,
-	})
+	}
+	if spec.Faults != nil {
+		opts.Faults = *spec.Faults
+	}
+	results, _, err := RunTrialsOpts(nc, attackers, spec.Trials, spec.Measurement, stats.NewRNG(spec.TrialSeed), opts)
 	if err != nil {
 		rec.Close()
 		return nil, nil, err

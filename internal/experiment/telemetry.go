@@ -22,6 +22,7 @@ type trialMetrics struct {
 	trials     *telemetry.Counter
 	probeHits  *telemetry.Counter
 	probeMiss  *telemetry.Counter
+	probeLost  *telemetry.Counter
 	hitMs      *telemetry.Histogram
 	missMs     *telemetry.Histogram
 	truthTrue  *telemetry.Counter
@@ -35,6 +36,7 @@ func newTrialMetrics(reg *telemetry.Registry) trialMetrics {
 		trials:     reg.Counter("experiment_trials_total"),
 		probeHits:  reg.Counter("experiment_probes_total", "result", "hit"),
 		probeMiss:  reg.Counter("experiment_probes_total", "result", "miss"),
+		probeLost:  reg.Counter("experiment_probes_total", "result", "lost"),
 		hitMs:      reg.Histogram("experiment_probe_delay_ms", telemetry.MillisecondBuckets(), "result", "hit"),
 		missMs:     reg.Histogram("experiment_probe_delay_ms", telemetry.MillisecondBuckets(), "result", "miss"),
 		truthTrue:  reg.Counter("experiment_truth_total", "present", "true"),
@@ -80,6 +82,14 @@ func (tm *trialMetrics) observeProbe(hit bool, ms float64) {
 		tm.probeMiss.Inc()
 		tm.missMs.Observe(ms)
 	}
+}
+
+// observeProbeLost counts a probe that never produced an observation.
+func (tm *trialMetrics) observeProbeLost() {
+	if tm == nil {
+		return
+	}
+	tm.probeLost.Inc()
 }
 
 // RunTrialsInstrumented is the fully-observable trial loop behind

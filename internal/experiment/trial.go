@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/stats"
@@ -159,6 +160,22 @@ func (o *probeObserver) observe(f flows.ID, hit, classified bool, ms, at float64
 	}
 }
 
+// observeLost records a probe that produced no observation: the span is
+// annotated as lost and the belief tracker (if any) folds in an explicit
+// no-observation step.
+func (o *probeObserver) observeLost(f flows.ID, at float64) {
+	if o == nil {
+		return
+	}
+	o.probes = append(o.probes, f)
+	id := o.spans.Start(o.trace, o.parent, "probe", "experiment", at)
+	o.spans.Annotate(id, int(f), -1, "lost")
+	o.spans.End(id, at)
+	if o.tracker != nil {
+		o.belief = append(o.belief, o.tracker.ObserveLost(f))
+	}
+}
+
 func probeDetail(hit, classified bool, ms float64) string {
 	return fmt.Sprintf("truth=%s classified=%s delay=%.3fms", hitStr(hit), hitStr(classified), ms)
 }
@@ -170,16 +187,20 @@ func hitStr(hit bool) string {
 	return "miss"
 }
 
-// probeSequential drives a sequential attacker against the table.
-func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics, obs *probeObserver) []bool {
-	var outcomes []bool
+// probeSequential drives a sequential attacker against the table. A lost
+// probe is presented to the attacker as a miss (sequential planning has
+// no "no observation" branch) but still flagged in the lost mask.
+func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver) (outcomes, lost []bool) {
 	for {
 		f, ok := a.NextProbe(outcomes)
 		if !ok {
-			return outcomes
+			return outcomes, lost
 		}
-		step := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, tm, obs)
+		step, stepLost := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, flt, tm, obs)
 		outcomes = append(outcomes, step[0])
+		if stepLost != nil { // non-nil exactly when faults are enabled
+			lost = append(lost, stepLost[0])
+		}
 	}
 }
 
@@ -209,9 +230,25 @@ func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Regist
 // hit refreshes it), and classifies each observation through the timing
 // channel. The drawn delay of every probe feeds the experiment histograms
 // via tm (nil-safe instruments).
-func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, tm *trialMetrics, obs *probeObserver) []bool {
-	outcomes := make([]bool, len(probes))
+//
+// With a fault stream attached, each probe may be lost before reaching
+// the table (no lookup, no install, no classifier draw — outcomes[i]
+// reads miss and lost[i] is set) and delivered probes suffer jitter on
+// the observed delay, which can push a hit past the classifier
+// threshold. lost is non-nil exactly when flt is non-nil, so fault-free
+// runs consume identical RNG draws and serialize identically.
+func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver) (outcomes, lost []bool) {
+	outcomes = make([]bool, len(probes))
+	if flt != nil {
+		lost = make([]bool, len(probes))
+	}
 	for i, f := range probes {
+		if flt != nil && flt.Drop() {
+			lost[i] = true
+			tm.observeProbeLost()
+			obs.observeLost(f, at)
+			continue
+		}
 		_, hit := tbl.Lookup(f, at)
 		if !hit {
 			if j, covered := nc.Rules.HighestCovering(f); covered {
@@ -219,11 +256,17 @@ func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at f
 			}
 		}
 		verdict, ms := meas.ClassifyMs(hit, rng)
+		if flt != nil {
+			if j := flt.JitterMs(); j > 0 {
+				ms += j
+				verdict = ms < meas.ThresholdMs
+			}
+		}
 		tm.observeProbe(hit, ms)
 		obs.observe(f, hit, verdict, ms, at)
 		outcomes[i] = verdict
 	}
-	return outcomes
+	return outcomes, lost
 }
 
 func score(r *AttackerResult, verdict, truth bool) {

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjectedReset is returned by Conn.Write when the stream decides to
+// tear the connection down. The underlying transport is closed, so the
+// peer observes a hard disconnect too.
+var ErrInjectedReset = fmt.Errorf("faults: injected connection reset")
+
+// Conn wraps a net.Conn and injects faults on the write path. The
+// repository's OpenFlow framing writes exactly one encoded message per
+// Write call (openflow.Conn.SendXID), so dropping a whole Write models
+// losing one message cleanly without corrupting the byte stream —
+// which is what a lossy control channel does to a datagram but a raw
+// TCP byte-stream cannot express otherwise.
+//
+// Draw order per Write is fixed: Reset, Drop, Jitter, Reorder. Reads
+// pass through untouched (the peer's writer injects that direction).
+type Conn struct {
+	net.Conn
+	s      *Stream
+	closed atomic.Bool
+}
+
+// WrapConn attaches a fault stream to a connection. A nil stream returns
+// the connection unchanged (zero overhead when faults are off).
+func WrapConn(c net.Conn, s *Stream) net.Conn {
+	if s == nil {
+		return c
+	}
+	return &Conn{Conn: c, s: s}
+}
+
+// Write applies the fault schedule to one framed message.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, ErrInjectedReset
+	}
+	if c.s.Reset() {
+		c.closed.Store(true)
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if c.s.Drop() {
+		// Swallow the message: report success so the writer moves on,
+		// exactly as a lossy network acknowledges nothing.
+		return len(b), nil
+	}
+	delay := c.s.JitterMs() + c.s.ReorderMs()
+	if delay > 0 {
+		time.Sleep(time.Duration(delay * float64(time.Millisecond)))
+	}
+	return c.Conn.Write(b)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries its
+// own independent fault stream (substream = accept index), keeping runs
+// reproducible regardless of accept timing.
+type Listener struct {
+	net.Listener
+	p    Profile
+	next atomic.Int64
+}
+
+// WrapListener attaches a fault profile to a listener. A disabled
+// profile returns the listener unchanged.
+func WrapListener(l net.Listener, p Profile) net.Listener {
+	if !p.Enabled() {
+		return l
+	}
+	return &Listener{Listener: l, p: p}
+}
+
+// Accept wraps the next connection with a derived fault stream.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	sub := l.next.Add(1) - 1
+	return WrapConn(c, l.p.Stream(sub)), nil
+}

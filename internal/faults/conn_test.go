@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected net.Pipe pair with the client side
+// fault-wrapped.
+func pipePair(t *testing.T, s *Stream) (net.Conn, net.Conn) {
+	t.Helper()
+	client, server := net.Pipe()
+	return WrapConn(client, s), server
+}
+
+func TestWrapConnNilStreamPassthrough(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	wrapped := WrapConn(client, nil)
+	if wrapped != client {
+		t.Fatal("nil stream must return the connection unchanged")
+	}
+}
+
+func TestConnDeliversWhenQuiet(t *testing.T) {
+	p := Profile{Seed: 1, JitterMeanMs: 0.01} // enabled but harmless
+	client, server := pipePair(t, p.Stream(0))
+	defer client.Close()
+	defer server.Close()
+	msg := []byte("hello over a faulty link")
+	go func() {
+		client.Write(msg)
+	}()
+	got := make([]byte, len(msg))
+	server.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(server, got); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("payload corrupted: %q", got)
+	}
+}
+
+func TestConnDropSwallowsWholeWrite(t *testing.T) {
+	p := Profile{Seed: 1, LossProb: 1}
+	client, server := pipePair(t, p.Stream(0))
+	defer client.Close()
+	defer server.Close()
+	n, err := client.Write([]byte("this message is lost"))
+	if err != nil {
+		t.Fatalf("dropped write must report success, got %v", err)
+	}
+	if n != 20 {
+		t.Fatalf("dropped write must report full length, got %d", n)
+	}
+	// Nothing must arrive.
+	server.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err == nil {
+		t.Fatal("dropped message arrived at the peer")
+	}
+}
+
+func TestConnInjectedReset(t *testing.T) {
+	p := Profile{Seed: 1, ResetProb: 1}
+	client, server := pipePair(t, p.Stream(0))
+	defer server.Close()
+	if _, err := client.Write([]byte("x")); err != ErrInjectedReset {
+		t.Fatalf("want ErrInjectedReset, got %v", err)
+	}
+	// The underlying transport is closed: the peer sees EOF...
+	server.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := server.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer still readable after injected reset")
+	}
+	// ...and further writes keep failing.
+	if _, err := client.Write([]byte("y")); err != ErrInjectedReset {
+		t.Fatalf("post-reset write: want ErrInjectedReset, got %v", err)
+	}
+}
+
+func TestListenerPerConnectionStreams(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	p := Profile{Seed: 4, LossProb: 1}
+	fl := WrapListener(ln, p)
+	defer fl.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := fl.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		if _, ok := c.(*Conn); !ok {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		// All writes drop at LossProb 1.
+		if _, err := c.Write([]byte("dropped")); err != nil {
+			done <- err
+			return
+		}
+		done <- nil
+	}()
+
+	peer, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer peer.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("accept side: %v", err)
+	}
+	peer.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, err := peer.Read(make([]byte, 1)); err == nil {
+		t.Fatal("message delivered despite LossProb 1")
+	}
+}
+
+func TestWrapListenerDisabledPassthrough(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	if got := WrapListener(ln, Profile{}); got != ln {
+		t.Fatal("disabled profile must return the listener unchanged")
+	}
+}

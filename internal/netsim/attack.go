@@ -30,11 +30,17 @@ func ReplayTrace(n *Network, setup EvaluationSetup, trace *workload.Trace, offse
 
 // ProbeResult is the attacker's view of one probe.
 type ProbeResult struct {
-	// RTTms is the observed round-trip time in milliseconds.
+	// RTTms is the observed round-trip time in milliseconds (NaN when
+	// the probe was lost).
 	RTTms float64
 	// Hit is the attacker's classification: RTT below the threshold
 	// means a covering rule was cached (§III-A).
 	Hit bool
+	// Lost reports that no reply arrived before the probe deadline — the
+	// probe or its reply was dropped by an injected fault. A lost probe
+	// carries no timing observation: threshold attackers treat it as a
+	// miss, model attackers as an explicit no-observation step.
+	Lost bool
 }
 
 // Prober issues forged-source probes from the attacker host. The paper's
@@ -71,6 +77,12 @@ func (p *Prober) Probe(f flows.ID, at float64) (ProbeResult, error) {
 		p.net.sim.RunUntil(math.Min(deadline, p.net.sim.Now()+0.01))
 	}
 	if !echo.Delivered {
+		if p.net.FaultsEnabled() {
+			// Under fault injection an undelivered probe is an expected
+			// outcome, not a wedged simulation: classify it as lost and
+			// let the attacker make its no-observation update.
+			return ProbeResult{RTTms: math.NaN(), Lost: true}, nil
+		}
 		return ProbeResult{}, fmt.Errorf("netsim: probe reply not delivered by %v", deadline)
 	}
 	rtt := echo.RTT * 1e3

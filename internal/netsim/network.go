@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"flowrecon/internal/controller"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/rules"
@@ -108,8 +109,24 @@ type Network struct {
 	PacketIns int
 
 	reg *telemetry.Registry
-	tm  netMetrics // resolved instruments (zero = disabled)
+	tm  netMetrics     // resolved instruments (zero = disabled)
+	flt *faults.Stream // fault injection (nil = clean fabric)
 }
+
+// SetFaults attaches a fault-injection stream to the fabric: packets are
+// dropped on the link into each switch with LossProb, per-hop forwarding
+// picks up jitter/reorder latency, replies can be lost too, and the
+// controller path suffers stalls and slowdown. A disabled profile
+// restores the clean fabric. All injections run in virtual time and draw
+// only from the profile's own seeded streams, so the fabric's RNG
+// sequence — and therefore every fault-free simulation — is untouched.
+func (n *Network) SetFaults(p faults.Profile) {
+	n.flt = p.Stream(0)
+	n.flt.SetTelemetry(n.reg, "netsim")
+}
+
+// FaultsEnabled reports whether fault injection is active.
+func (n *Network) FaultsEnabled() bool { return n.flt != nil }
 
 // netMetrics are the fabric's telemetry instruments.
 type netMetrics struct {
@@ -137,6 +154,7 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry) {
 	for name, sw := range n.switches {
 		sw.Table.SetTelemetry(reg, name)
 	}
+	n.flt.SetTelemetry(reg, "netsim") // no-op when faults are off
 }
 
 // trace emits one per-node virtual-time event.
@@ -328,6 +346,22 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 	hop := n.tm.spans.Start(res.Trace, parent, "hop", sw.Name, now)
 	n.tm.spans.Annotate(hop, int(fid), -1, "")
 
+	if n.flt != nil {
+		// Loss on the link into this switch: the packet vanishes before
+		// the lookup, so a dropped probe leaves no flow-table side effect
+		// at the switch it never reached.
+		if n.flt.Drop() {
+			n.trace("fault.drop", sw.Name, fid, 0)
+			n.tm.spans.Annotate(hop, -1, -1, "dropped")
+			n.tm.spans.End(hop, now)
+			n.tm.spans.End(parent, now)
+			return
+		}
+		// Delivered packets pick up jitter (and, when selected, the
+		// reorder penalty that lets later traffic overtake this packet).
+		delay += (n.flt.JitterMs() + n.flt.ReorderMs()) / 1e3
+	}
+
 	if sw.Reactive && !n.ctrl.App.Options().Proactive {
 		hit := false
 		if known {
@@ -360,8 +394,15 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 				// no policy rule; only the processing delay applies.
 				decision = controller.Decision{Delay: n.ctrl.App.Options().ProcessingDelay}
 			}
-			decEnd := now + setup + decision.Delay.Seconds()
-			delay += setup + decision.Delay.Seconds()
+			decDelay := decision.Delay.Seconds()
+			if n.flt != nil {
+				// Controller faults: occasional stalls plus a uniform
+				// slowdown factor on the decision latency.
+				setup += n.flt.StallMs() / 1e3
+				decDelay = n.flt.SlowMs(decDelay*1e3) / 1e3
+			}
+			decEnd := now + setup + decDelay
+			delay += setup + decDelay
 			n.tm.spans.Annotate(dec, int(fid), -1, "")
 			if decision.Install {
 				sw.Table.Install(decision.RuleID, now)
@@ -394,6 +435,17 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 	}
 	replyDelay += n.lat.HostLink // back to the source host
 	last := path[len(path)-1]
+	if n.flt != nil {
+		if n.flt.Drop() {
+			// The reply is lost on the way back: the echo was processed
+			// (rules installed and all) but the sender observes nothing.
+			n.trace("fault.drop", last, fid, 0)
+			n.tm.spans.Annotate(parent, -1, -1, "reply dropped")
+			n.tm.spans.End(parent, n.sim.Now())
+			return
+		}
+		replyDelay += n.flt.JitterMs() / 1e3
+	}
 	n.sim.After(replyDelay, func() {
 		res.RTT = n.sim.Now() - res.SentAt
 		res.Delivered = true

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"flowrecon/internal/controller"
+	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/telemetry"
@@ -23,6 +24,11 @@ type ControllerOptions struct {
 	// StepSeconds converts rule timeouts (in model steps) to the seconds
 	// carried in FLOW_MOD. Defaults to 1s per step.
 	StepSeconds float64
+	// Faults injects controller-side chaos: stalls and slowdown on the
+	// decision path (per the profile's StallProb/StallMs/SlowFactor),
+	// plus loss/jitter/resets on every accepted switch connection when
+	// the controller listens. Zero profile = clean controller.
+	Faults faults.Profile
 }
 
 // Controller is a reactive OpenFlow controller: on PACKET_IN it installs
@@ -45,17 +51,20 @@ type Controller struct {
 	reg *telemetry.Registry
 	tm  ctlMetrics // resolved instruments (zero = disabled)
 
+	flt *faults.Stream // controller-side stall/slowdown injection (nil = clean)
+
 	connMu sync.Mutex
 	conns  map[*Conn]struct{}
 }
 
 // ctlMetrics are the TCP controller's telemetry instruments.
 type ctlMetrics struct {
-	connections  *telemetry.Counter
-	flowRemovals *telemetry.Counter
-	serviceTime  *telemetry.Histogram // packet-in → flow-mod/packet-out, seconds
-	tracer       *telemetry.Tracer
-	spans        *telemetry.SpanRecorder // wall-clock causal spans
+	connections   *telemetry.Counter
+	flowRemovals  *telemetry.Counter
+	packetInDupes *telemetry.Counter   // retransmitted PACKET_INs answered from the dedup cache
+	serviceTime   *telemetry.Histogram // packet-in → flow-mod/packet-out, seconds
+	tracer        *telemetry.Tracer
+	spans         *telemetry.SpanRecorder // wall-clock causal spans
 }
 
 // SetTelemetry attaches the controller (its shared application plus every
@@ -67,12 +76,14 @@ func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
 		c.app.SetTelemetry(reg)
 	}
 	c.tm = ctlMetrics{
-		connections:  reg.Counter("controller_connections_total"),
-		flowRemovals: reg.Counter("controller_flow_removals_total"),
-		serviceTime:  reg.Histogram("controller_packet_in_service_seconds", nil),
-		tracer:       reg.Tracer(),
-		spans:        reg.Spans(),
+		connections:   reg.Counter("controller_connections_total"),
+		flowRemovals:  reg.Counter("controller_flow_removals_total"),
+		packetInDupes: reg.Counter("controller_packet_in_dupes_total"),
+		serviceTime:   reg.Histogram("controller_packet_in_service_seconds", nil),
+		tracer:        reg.Tracer(),
+		spans:         reg.Spans(),
 	}
+	c.flt.SetTelemetry(reg, "controller")
 }
 
 // NewController builds a controller over the shared policy.
@@ -84,7 +95,11 @@ func NewController(rs *rules.Set, universe *flows.Universe, opts ControllerOptio
 	if rs != nil {
 		app = controller.New(rs, controller.Options{ProcessingDelay: opts.ProcessingDelay})
 	}
-	return &Controller{app: app, universe: universe, opts: opts, start: time.Now(), conns: make(map[*Conn]struct{})}
+	return &Controller{
+		app: app, universe: universe, opts: opts, start: time.Now(),
+		conns: make(map[*Conn]struct{}),
+		flt:   opts.Faults.Stream(-1), // controller substream; conns use 0,1,...
+	}
 }
 
 // now returns seconds since the controller's span epoch.
@@ -108,7 +123,9 @@ func (c *Controller) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("controller listen: %w", err)
 	}
-	c.ln = ln
+	// Fault-wrap the listener so every accepted switch connection carries
+	// its own seeded loss/jitter/reset stream (no-op for a clean profile).
+	c.ln = faults.WrapListener(ln, c.opts.Faults)
 	c.wg.Add(1)
 	go c.acceptLoop()
 	return ln.Addr().String(), nil
@@ -169,6 +186,11 @@ func (c *Controller) ServeConn(conn *Conn) {
 	if _, err := conn.Send(&FeaturesRequest{}); err != nil {
 		return
 	}
+	// dedup remembers recently answered PACKET_IN buffer ids so a
+	// retransmitted probe (the switch's InjectTimeout resend after a lost
+	// message) is answered from cache instead of re-running the
+	// application — at most one rule install per buffered packet.
+	dedup := newDedupCache(256)
 	for {
 		msg, h, err := conn.Recv()
 		if err != nil {
@@ -176,10 +198,21 @@ func (c *Controller) ServeConn(conn *Conn) {
 		}
 		switch m := msg.(type) {
 		case *PacketIn:
+			if reply, dup := dedup.lookup(m.BufferID); dup {
+				c.tm.packetInDupes.Inc()
+				if reply != nil {
+					if _, err := conn.Send(reply); err != nil {
+						return
+					}
+				}
+				continue
+			}
 			begin := time.Now()
-			if err := c.handlePacketIn(conn, m); err != nil {
+			reply, err := c.handlePacketIn(conn, m)
+			if err != nil {
 				return
 			}
+			dedup.store(m.BufferID, reply)
 			c.tm.serviceTime.Observe(time.Since(begin).Seconds())
 		case *EchoRequest:
 			if err := conn.SendXID(&EchoReply{Data: m.Data}, h.XID); err != nil {
@@ -211,13 +244,51 @@ func (c *Controller) traceRemoved(m *FlowRemoved) {
 	c.tm.tracer.Emit(e)
 }
 
+// dedupCache is a bounded FIFO memory of answered PACKET_IN buffer ids
+// and the replies they got, serving controller-side retransmit dedup.
+// Buffer ids from one switch are monotonically increasing and never
+// reused, so a hit can only be a genuine retransmission.
+type dedupCache struct {
+	cap   int
+	order []uint32
+	seen  map[uint32]Message
+}
+
+func newDedupCache(cap int) *dedupCache {
+	return &dedupCache{cap: cap, seen: make(map[uint32]Message, cap)}
+}
+
+func (d *dedupCache) lookup(buf uint32) (Message, bool) {
+	m, ok := d.seen[buf]
+	return m, ok
+}
+
+func (d *dedupCache) store(buf uint32, reply Message) {
+	if _, ok := d.seen[buf]; ok {
+		return
+	}
+	if len(d.order) >= d.cap {
+		oldest := d.order[0]
+		d.order = d.order[1:]
+		delete(d.seen, oldest)
+	}
+	d.order = append(d.order, buf)
+	d.seen[buf] = reply
+}
+
 // handlePacketIn implements the reactive rule setup of Figure 1 (steps
 // b–e): ask the controller application for a decision, install the chosen
-// rule with its timeouts, and release the buffered packet.
-func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
+// rule with its timeouts, and release the buffered packet. It returns
+// the reply it sent so ServeConn can answer retransmissions from cache.
+func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 	tuple, err := DecodeTuple(m.Data)
 	if err != nil {
-		return conn.SendXID(&ErrorMsg{ErrType: 1, Code: 0}, 0)
+		return nil, conn.SendXID(&ErrorMsg{ErrType: 1, Code: 0}, 0)
+	}
+	// Injected controller chaos: an occasional hard stall before any
+	// processing, modelling a busy or GC-pausing control plane.
+	if st := c.flt.StallMs(); st > 0 {
+		time.Sleep(time.Duration(st * float64(time.Millisecond)))
 	}
 	fid, known := c.universe.Lookup(tuple)
 	// The decision span echoes the switch's buffer id, correlating this
@@ -231,8 +302,13 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 	}
 	if known {
 		decision := c.app.OnPacketIn(fid)
-		if decision.Delay > 0 {
-			time.Sleep(decision.Delay)
+		delay := decision.Delay
+		if c.flt != nil {
+			// Slowdown scales the decision latency (SlowFactor × delay).
+			delay = time.Duration(c.flt.SlowMs(float64(delay)/float64(time.Millisecond)) * float64(time.Millisecond))
+		}
+		if delay > 0 {
+			time.Sleep(delay)
 		}
 		if decision.Install {
 			r := c.app.Policy().Rule(decision.RuleID)
@@ -260,13 +336,14 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 				c.tm.spans.Annotate(dec, -1, decision.RuleID, "")
 				c.tm.spans.End(dec, end)
 			}
-			return err
+			return fm, err
 		}
 	} else if c.opts.ProcessingDelay > 0 {
 		time.Sleep(c.opts.ProcessingDelay)
 	}
 	// No covering rule: flood via the pre-installed default (release only).
-	_, err = conn.Send(&PacketOut{BufferID: m.BufferID, InPort: m.InPort, Data: m.Data})
+	pout := &PacketOut{BufferID: m.BufferID, InPort: m.InPort, Data: m.Data}
+	_, err = conn.Send(pout)
 	if c.tm.spans != nil {
 		end := c.now()
 		po := c.tm.spans.Start(decTrace, dec, "packet_out", "controller", end)
@@ -274,7 +351,7 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) error {
 		c.tm.spans.End(po, end)
 		c.tm.spans.End(dec, end)
 	}
-	return err
+	return pout, err
 }
 
 func timeoutSeconds(steps int, stepSeconds float64) uint16 {

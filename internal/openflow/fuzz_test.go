@@ -1,0 +1,157 @@
+package openflow
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+
+	"flowrecon/internal/flows"
+)
+
+// byteStream adapts a byte slice into the io.ReadWriteCloser a Conn
+// expects, so the fuzzer can feed arbitrary wire bytes through the real
+// framing path (header read, length check, body read).
+type byteStream struct {
+	r *bytes.Reader
+	w bytes.Buffer
+}
+
+func newByteStream(b []byte) *byteStream          { return &byteStream{r: bytes.NewReader(b)} }
+func (s *byteStream) Read(p []byte) (int, error)  { return s.r.Read(p) }
+func (s *byteStream) Write(p []byte) (int, error) { return s.w.Write(p) }
+func (s *byteStream) Close() error                { return nil }
+
+// fuzzSeedMessages is one well-formed instance of every message type the
+// codec implements — the corpus the mutator starts from.
+func fuzzSeedMessages() []Message {
+	return []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("ping")},
+		&EchoReply{Data: []byte("pong")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 0x42, NumBuffers: 256, NumTables: 1, Capabilities: 0x87, Actions: 0xFFF},
+		&PacketIn{BufferID: 7, TotalLen: 16, InPort: 1, Reason: ReasonNoMatch, Data: EncodeTuple(flows.FiveTuple{Src: 0x0A000101, Dst: 0x0A000102, SrcPort: 1234, DstPort: 80, Proto: 6})},
+		&FlowMod{Match: MatchForTuple(flows.FiveTuple{Src: 1, Dst: 2, SrcPort: 3, DstPort: 4, Proto: 17}), Cookie: 5, Command: FlowModAdd, IdleTimeout: 10, Priority: 100},
+		&FlowRemoved{Match: Match{NwSrc: 9}, Cookie: 2, Priority: 50, Reason: RemovedIdleTimeout, DurationSec: 12, IdleTimeout: 10, PacketCount: 3, ByteCount: 180},
+		&PacketOut{BufferID: 0xFFFFFFFF, InPort: 2, Data: []byte{1, 2, 3}},
+		&ErrorMsg{ErrType: 1, Code: 2, Data: []byte("bad")},
+	}
+}
+
+// FuzzReadMessage drives arbitrary bytes through Conn.Recv — the exact
+// code path a malicious or corrupted peer reaches over TCP. The property
+// under test: the reader never panics, and any message it accepts
+// round-trips (Encode → Decode reproduces the same message), so a decoded
+// message can always be re-serialized for logging or forwarding.
+func FuzzReadMessage(f *testing.F) {
+	for i, m := range fuzzSeedMessages() {
+		wire, err := Encode(m, uint32(i+1))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	// Adversarial seeds: truncated header, length below HeaderLen, length
+	// beyond the stream, wrong version, unknown type.
+	f.Add([]byte{0x01, 0x00})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x03, 0x00, 0x00, 0x00, 0x01})
+	f.Add([]byte{0x01, 0x02, 0xFF, 0xFF, 0x00, 0x00, 0x00, 0x01})
+	f.Add([]byte{0x04, 0x00, 0x00, 0x08, 0x00, 0x00, 0x00, 0x01})
+	f.Add([]byte{0x01, 0x63, 0x00, 0x08, 0x00, 0x00, 0x00, 0x01})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(newByteStream(data))
+		msg, h, err := c.Recv()
+		if err != nil {
+			return // rejection is fine; panics and hangs are the bugs
+		}
+		if msg == nil {
+			t.Fatal("nil message with nil error")
+		}
+		if h.Length < HeaderLen || int(h.Length) > len(data) {
+			t.Fatalf("accepted header length %d outside [8, %d]", h.Length, len(data))
+		}
+		wire, err := Encode(msg, h.XID)
+		if err != nil {
+			t.Fatalf("decoded message does not re-encode: %v", err)
+		}
+		again, h2, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("re-encoded message does not decode: %v", err)
+		}
+		if h2.Type != h.Type || h2.XID != h.XID {
+			t.Fatalf("header drift: %v/%d → %v/%d", h.Type, h.XID, h2.Type, h2.XID)
+		}
+		if !reflect.DeepEqual(msg, again) {
+			t.Fatalf("round-trip drift:\n first %#v\nsecond %#v", msg, again)
+		}
+	})
+}
+
+// FuzzParsePacket drives arbitrary bytes through DecodeTuple, the parser
+// for probe-packet payloads carried inside PACKET_IN/PACKET_OUT. Accepted
+// tuples must survive an EncodeTuple → DecodeTuple round trip.
+func FuzzParsePacket(f *testing.F) {
+	f.Add(EncodeTuple(flows.FiveTuple{Src: 0x0A000101, Dst: 0x0A000102, SrcPort: 1234, DstPort: 80, Proto: 6}))
+	f.Add(EncodeTuple(flows.FiveTuple{}))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	f.Add(bytes.Repeat([]byte{0xFF}, 32))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tup, err := DecodeTuple(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeTuple(EncodeTuple(tup))
+		if err != nil {
+			t.Fatalf("re-encoded tuple does not decode: %v", err)
+		}
+		if again != tup {
+			t.Fatalf("round-trip drift: %+v → %+v", tup, again)
+		}
+	})
+}
+
+// TestFuzzSeedsDecode keeps the seed corpus honest under plain `go test`:
+// every well-formed seed must decode to a DeepEqual copy of the message
+// that produced it, and Conn.Recv over a stream carrying two seeds
+// back-to-back must frame them correctly.
+func TestFuzzSeedsDecode(t *testing.T) {
+	seeds := fuzzSeedMessages()
+	var stream []byte
+	for i, m := range seeds {
+		wire, err := Encode(m, uint32(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, h, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("seed %d (%v): %v", i, m.Type(), err)
+		}
+		if h.XID != uint32(i+1) || !reflect.DeepEqual(m, got) {
+			t.Fatalf("seed %d (%v) round-trip drift: %#v vs %#v", i, m.Type(), m, got)
+		}
+		stream = append(stream, wire...)
+	}
+	c := NewConn(newByteStream(stream))
+	for i, m := range seeds {
+		got, h, err := c.Recv()
+		if err != nil {
+			t.Fatalf("framing seed %d: %v", i, err)
+		}
+		if h.Type != m.Type() || !reflect.DeepEqual(m, got) {
+			t.Fatalf("framing seed %d: got %v", i, h.Type)
+		}
+	}
+	if _, _, err := c.Recv(); err == nil {
+		t.Fatal("read past end of stream succeeded")
+	} else if !bytes.Contains([]byte(err.Error()), []byte("read header")) {
+		// EOF surfaces through the header read; anything else means the
+		// framing consumed the wrong number of bytes somewhere upstream.
+		t.Fatalf("stream desync: %v", err)
+	}
+}
+
+var _ io.ReadWriteCloser = (*byteStream)(nil)

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
 	"flowrecon/internal/rules"
+	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
 )
 
@@ -20,14 +22,25 @@ type Switch struct {
 	dpid     uint64
 	rules    *rules.Set
 	universe *flows.Universe
-	conn     *Conn
 	start    time.Time
+
+	connMu sync.Mutex // guards the conn pointer across reconnects
+	conn   *Conn
 
 	mu          sync.Mutex
 	table       *flowtable.Table
 	pending     map[uint32]chan bool     // buffer id → "rule installed?"
 	pendingEcho map[uint32]chan struct{} // echo xid → reply arrival
 	nextBuf     uint32
+
+	// Reconnection state (see ReconnectPolicy). dialer re-establishes the
+	// control channel; nil disables reconnection (the pre-existing
+	// fail-fast behavior).
+	pol     ReconnectPolicy
+	dialer  func() (*Conn, error)
+	backoff *stats.RNG // jitter stream, seeded for reproducible schedules
+	closed  atomic.Bool
+	stop    chan struct{}
 
 	reg *telemetry.Registry
 	tm  switchMetrics // resolved instruments (zero = disabled)
@@ -38,14 +51,17 @@ type Switch struct {
 
 // switchMetrics are the switch agent's telemetry instruments.
 type switchMetrics struct {
-	injects   *telemetry.Counter
-	hits      *telemetry.Counter
-	misses    *telemetry.Counter
-	hitDelay  *telemetry.Histogram // seconds; effectively the hot-path cost
-	missDelay *telemetry.Histogram // seconds; one controller round trip
-	echoRTT   *telemetry.Histogram // seconds; control-channel echo RTT
-	tracer    *telemetry.Tracer
-	spans     *telemetry.SpanRecorder // wall-clock causal spans
+	injects       *telemetry.Counter
+	hits          *telemetry.Counter
+	misses        *telemetry.Counter
+	hitDelay      *telemetry.Histogram // seconds; effectively the hot-path cost
+	missDelay     *telemetry.Histogram // seconds; one controller round trip
+	echoRTT       *telemetry.Histogram // seconds; control-channel echo RTT
+	reconnects    *telemetry.Counter   // successful control-channel re-establishments
+	probeRetries  *telemetry.Counter   // PACKET_IN retransmissions
+	probeTimeouts *telemetry.Counter   // probes abandoned after all retries
+	tracer        *telemetry.Tracer
+	spans         *telemetry.SpanRecorder // wall-clock causal spans
 }
 
 // SetTelemetry attaches the switch (its flow table, its connection once
@@ -57,17 +73,20 @@ func (s *Switch) SetTelemetry(reg *telemetry.Registry) {
 	s.reg = reg
 	s.table.SetTelemetry(reg, "switch")
 	s.tm = switchMetrics{
-		injects:   reg.Counter("switch_injects_total"),
-		hits:      reg.Counter("switch_inject_results_total", "result", "hit"),
-		misses:    reg.Counter("switch_inject_results_total", "result", "miss"),
-		hitDelay:  reg.Histogram("switch_inject_delay_seconds", nil, "result", "hit"),
-		missDelay: reg.Histogram("switch_inject_delay_seconds", nil, "result", "miss"),
-		echoRTT:   reg.Histogram("openflow_echo_rtt_seconds", nil),
-		tracer:    reg.Tracer(),
-		spans:     reg.Spans(),
+		injects:       reg.Counter("switch_injects_total"),
+		hits:          reg.Counter("switch_inject_results_total", "result", "hit"),
+		misses:        reg.Counter("switch_inject_results_total", "result", "miss"),
+		hitDelay:      reg.Histogram("switch_inject_delay_seconds", nil, "result", "hit"),
+		missDelay:     reg.Histogram("switch_inject_delay_seconds", nil, "result", "miss"),
+		echoRTT:       reg.Histogram("openflow_echo_rtt_seconds", nil),
+		reconnects:    reg.Counter("switch_reconnects_total"),
+		probeRetries:  reg.Counter("switch_probe_retries_total"),
+		probeTimeouts: reg.Counter("switch_probe_timeouts_total"),
+		tracer:        reg.Tracer(),
+		spans:         reg.Spans(),
 	}
-	if s.conn != nil {
-		s.conn.SetTelemetry(reg, "switch")
+	if c := s.currentConn(); c != nil {
+		c.SetTelemetry(reg, "switch")
 	}
 }
 
@@ -99,6 +118,7 @@ func NewSwitch(dpid uint64, rs *rules.Set, universe *flows.Universe, capacity in
 		pendingEcho: make(map[uint32]chan struct{}),
 		start:       time.Now(),
 		done:        make(chan struct{}),
+		stop:        make(chan struct{}),
 	}
 	// Report expirations and evictions to the controller, as OpenFlow's
 	// OFPFF_SEND_FLOW_REM does.
@@ -106,9 +126,25 @@ func NewSwitch(dpid uint64, rs *rules.Set, universe *flows.Universe, capacity in
 	return s, nil
 }
 
+// currentConn returns the live control-channel connection (nil before
+// Start). Reconnection swaps the pointer, so writers must fetch it per
+// operation rather than caching it.
+func (s *Switch) currentConn() *Conn {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.conn
+}
+
+func (s *Switch) setConn(c *Conn) {
+	s.connMu.Lock()
+	s.conn = c
+	s.connMu.Unlock()
+}
+
 // notifyRemoved sends a FLOW_REMOVED for a rule leaving the table.
 func (s *Switch) notifyRemoved(ruleID int, reason flowtable.EvictionReason, now float64) {
-	if s.conn == nil {
+	conn := s.currentConn()
+	if conn == nil {
 		return
 	}
 	r := s.rules.Rule(ruleID)
@@ -126,7 +162,128 @@ func (s *Switch) notifyRemoved(ruleID int, reason flowtable.EvictionReason, now 
 		msg.Reason = RemovedIdleTimeout
 	}
 	// Best effort: a failed notification surfaces via the receive loop.
-	_, _ = s.conn.Send(msg)
+	_, _ = conn.Send(msg)
+}
+
+// ReconnectPolicy arms the switch's control-channel self-healing: when
+// the connection to the controller dies (or an injected fault resets
+// it), the receive loop redials with capped exponential backoff and
+// jittered retry instead of failing the daemon. The zero value disables
+// reconnection, preserving the original fail-fast behavior.
+type ReconnectPolicy struct {
+	// MaxRetries bounds redial attempts per outage (0 = no reconnect).
+	MaxRetries int
+	// BaseDelay is the first backoff delay (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterFrac spreads each delay uniformly by ±frac (default 0.2) so
+	// a fleet of switches does not redial in lockstep.
+	JitterFrac float64
+	// Seed drives the jitter stream; equal seeds give identical backoff
+	// schedules, keeping chaos tests reproducible.
+	Seed int64
+	// HandshakeTimeout bounds the HELLO exchange on each redial
+	// (default DefaultHandshakeTimeout). A lossy channel can eat a HELLO;
+	// the bound turns that into one more failed attempt instead of a
+	// wedged reconnect loop.
+	HandshakeTimeout time.Duration
+}
+
+func (p ReconnectPolicy) enabled() bool { return p.MaxRetries > 0 }
+
+func (p ReconnectPolicy) withDefaults() ReconnectPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.JitterFrac <= 0 {
+		p.JitterFrac = 0.2
+	}
+	if p.HandshakeTimeout <= 0 {
+		p.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	return p
+}
+
+// SetReconnect arms reconnection with the given policy and dialer (the
+// function that re-establishes the raw control channel). Call before
+// Start/Connect.
+func (s *Switch) SetReconnect(pol ReconnectPolicy, dialer func() (*Conn, error)) {
+	s.pol = pol.withDefaults()
+	s.dialer = dialer
+	s.backoff = stats.NewRNG(pol.Seed)
+}
+
+// ErrClosed is returned when an operation races with Close.
+var ErrClosed = errors.New("openflow: switch closed")
+
+// ConnectWithRetry dials the controller like Connect but arms the
+// reconnect policy, retrying both the initial connect and any later
+// outage with capped exponential backoff.
+func (s *Switch) ConnectWithRetry(addr string, pol ReconnectPolicy) error {
+	s.SetReconnect(pol, func() (*Conn, error) { return DialTimeout(addr, DefaultDialTimeout) })
+	conn, err := s.dialer()
+	if err != nil {
+		conn, err = s.redial(false)
+		if err != nil {
+			return err
+		}
+		return s.startConn(conn)
+	}
+	return s.Start(conn)
+}
+
+// redial re-establishes the control channel under the reconnect policy:
+// sleep (with jitter), dial, handshake; double the delay on failure up
+// to the cap. countReconnect marks successful attempts in the
+// switch_reconnects_total series (false during the initial connect).
+func (s *Switch) redial(countReconnect bool) (*Conn, error) {
+	delay := s.pol.BaseDelay
+	var lastErr error
+	for attempt := 0; attempt < s.pol.MaxRetries; attempt++ {
+		d := delay
+		if s.backoff != nil {
+			d = time.Duration(float64(d) * (1 + s.pol.JitterFrac*(2*s.backoff.Float64()-1)))
+		}
+		select {
+		case <-time.After(d):
+		case <-s.stop:
+			return nil, ErrClosed
+		}
+		conn, err := s.dialer()
+		if err == nil {
+			if s.reg != nil {
+				conn.SetTelemetry(s.reg, "switch")
+			}
+			if herr := conn.HandshakeTimeout(s.pol.HandshakeTimeout); herr == nil {
+				if countReconnect {
+					s.tm.reconnects.Inc()
+				}
+				return conn, nil
+			} else {
+				lastErr = herr
+				conn.Close()
+			}
+		} else {
+			lastErr = err
+		}
+		delay *= 2
+		if delay > s.pol.MaxDelay {
+			delay = s.pol.MaxDelay
+		}
+	}
+	return nil, fmt.Errorf("switch reconnect: %d attempts exhausted: %w", s.pol.MaxRetries, lastErr)
+}
+
+// startConn installs an already-handshaken connection and starts the
+// receive loop (the tail of ConnectWithRetry's retry path).
+func (s *Switch) startConn(conn *Conn) error {
+	s.setConn(conn)
+	go s.recvLoop()
+	return nil
 }
 
 // Connect dials the controller (bounded by DefaultHandshakeTimeout),
@@ -143,7 +300,7 @@ func (s *Switch) Connect(addr string) error {
 // Start runs the switch over an established connection (used directly in
 // tests with a pipe transport).
 func (s *Switch) Start(conn *Conn) error {
-	s.conn = conn
+	s.setConn(conn)
 	if s.reg != nil {
 		conn.SetTelemetry(s.reg, "switch")
 	}
@@ -155,12 +312,17 @@ func (s *Switch) Start(conn *Conn) error {
 	return nil
 }
 
-// Close tears down the connection and waits for the receive loop to exit.
+// Close tears down the connection, cancels any in-flight reconnect
+// backoff, and waits for the receive loop to exit.
 func (s *Switch) Close() error {
-	if s.conn == nil {
+	conn := s.currentConn()
+	if conn == nil {
 		return nil
 	}
-	err := s.conn.Close()
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.stop)
+	}
+	err := conn.Close()
 	<-s.done
 	return err
 }
@@ -178,28 +340,38 @@ func (s *Switch) Err() error {
 
 func (s *Switch) now() float64 { return time.Since(s.start).Seconds() }
 
-// recvLoop services controller-to-switch messages.
+// recvLoop services controller-to-switch messages. When a reconnect
+// policy is armed, a dead connection fails the in-flight waiters (they
+// see an explicit loss, never a hang) and the loop redials with backoff
+// instead of exiting.
 func (s *Switch) recvLoop() {
 	defer close(s.done)
 	for {
-		msg, h, err := s.conn.Recv()
+		conn := s.currentConn()
+		msg, h, err := conn.Recv()
 		if err != nil {
-			s.err = err
 			s.failPending()
-			return
+			if s.closed.Load() || !s.pol.enabled() || s.dialer == nil {
+				s.err = err
+				return
+			}
+			conn.Close()
+			next, rerr := s.redial(true)
+			if rerr != nil {
+				s.err = rerr
+				return
+			}
+			s.setConn(next)
+			continue
 		}
+		// A failed send means the connection is broken; the next Recv
+		// surfaces it, so handler errors just cycle the loop.
 		switch m := msg.(type) {
 		case *FeaturesRequest:
 			reply := &FeaturesReply{DatapathID: s.dpid, NumBuffers: 256, NumTables: 1}
-			if err := s.conn.SendXID(reply, h.XID); err != nil {
-				s.err = err
-				return
-			}
+			_ = conn.SendXID(reply, h.XID)
 		case *EchoRequest:
-			if err := s.conn.SendXID(&EchoReply{Data: m.Data}, h.XID); err != nil {
-				s.err = err
-				return
-			}
+			_ = conn.SendXID(&EchoReply{Data: m.Data}, h.XID)
 		case *FlowMod:
 			s.handleFlowMod(m)
 		case *PacketOut:
@@ -258,6 +430,14 @@ func (s *Switch) releaseEcho(xid uint32) {
 	}
 }
 
+// abandon discards a pending buffer without completing the waiter (the
+// waiter itself timed out and is walking away).
+func (s *Switch) abandon(bufferID uint32) {
+	s.mu.Lock()
+	delete(s.pending, bufferID)
+	s.mu.Unlock()
+}
+
 // failPending unblocks all waiters when the connection dies.
 func (s *Switch) failPending() {
 	s.mu.Lock()
@@ -284,13 +464,14 @@ func (s *Switch) Echo(timeout time.Duration) (time.Duration, error) {
 	if timeout <= 0 {
 		timeout = DefaultHandshakeTimeout
 	}
-	xid := s.conn.XID()
+	conn := s.currentConn()
+	xid := conn.XID()
 	ch := make(chan struct{})
 	s.mu.Lock()
 	s.pendingEcho[xid] = ch
 	s.mu.Unlock()
 	begin := time.Now()
-	if err := s.conn.SendXID(&EchoRequest{}, xid); err != nil {
+	if err := conn.SendXID(&EchoRequest{}, xid); err != nil {
 		s.releaseEcho(xid)
 		return 0, err
 	}
@@ -324,10 +505,26 @@ type InjectResult struct {
 // fails mid-request.
 var ErrDisconnected = errors.New("openflow: controller connection lost")
 
+// ErrProbeTimeout is returned by InjectTimeout when no controller
+// response arrives within the deadline after all retransmissions — the
+// TCP substrate's "lost probe" signal. Attackers classify it as an
+// explicit no-observation instead of wedging the trial.
+var ErrProbeTimeout = errors.New("openflow: probe timed out")
+
 // Inject offers a packet to the switch, blocking through the controller
 // round trip on a miss, and reports whether it hit plus the delay the
 // packet suffered — the quantity the paper's attacker measures.
 func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
+	return s.InjectTimeout(t, 0, 0)
+}
+
+// InjectTimeout is Inject with a per-wait deadline and PACKET_IN
+// retransmission: when the controller response does not arrive within
+// timeout, the same buffered PACKET_IN (same buffer id, so the
+// controller can dedup the retransmit) is resent up to retries times
+// before the probe is abandoned with ErrProbeTimeout. timeout ≤ 0 waits
+// forever (the original Inject behavior).
+func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries int) (InjectResult, error) {
 	fid, known := s.universe.Lookup(t)
 	begin := time.Now()
 	s.tm.injects.Inc()
@@ -373,12 +570,43 @@ func (s *Switch) Inject(t flows.FiveTuple) (InjectResult, error) {
 		s.tm.spans.Annotate(pinSpan, int(fid), -1, fmt.Sprintf("buffer=%d", buf))
 	}
 	pin := &PacketIn{BufferID: buf, TotalLen: uint16(tupleLen), Reason: ReasonNoMatch, Data: EncodeTuple(t)}
-	if _, err := s.conn.Send(pin); err != nil {
+	if _, err := s.currentConn().Send(pin); err != nil && timeout <= 0 {
+		// No-deadline path: a send failure is terminal. Under a deadline
+		// the retransmit loop below gets its chance (faults can drop the
+		// first send and deliver a retry).
 		s.release(buf, false)
 		<-ch
 		return InjectResult{}, err
 	}
-	installed, ok := <-ch
+	var installed, ok bool
+	if timeout <= 0 {
+		installed, ok = <-ch
+	} else {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		attempts := 0
+	wait:
+		for {
+			select {
+			case installed, ok = <-ch:
+				break wait
+			case <-timer.C:
+				if attempts >= retries {
+					s.abandon(buf)
+					s.tm.probeTimeouts.Inc()
+					s.traceProbe("probe.lost", -1, timeout)
+					return InjectResult{}, ErrProbeTimeout
+				}
+				attempts++
+				s.tm.probeRetries.Inc()
+				// Retransmit with the identical buffer id; the
+				// controller's dedup cache answers duplicates without
+				// re-running the application.
+				_, _ = s.currentConn().Send(pin)
+				timer.Reset(timeout)
+			}
+		}
+	}
 	if !ok {
 		return InjectResult{}, ErrDisconnected
 	}

@@ -96,8 +96,13 @@ func diffAttacker(trial int, a, b AttackerTrial, add func(int, string, int, stri
 		if a.Probes[p] != b.Probes[p] {
 			add(trial, name, p, "probe flow", fmt.Sprint(a.Probes[p]), fmt.Sprint(b.Probes[p]))
 		}
+		if la, lb := lostAt(a.Lost, p), lostAt(b.Lost, p); la != lb {
+			add(trial, name, p, "lost", fmt.Sprint(la), fmt.Sprint(lb))
+		}
 		if p < len(a.Outcomes) && p < len(b.Outcomes) && a.Outcomes[p] != b.Outcomes[p] {
-			add(trial, name, p, "outcome", outcomeStr(a.Outcomes[p]), outcomeStr(b.Outcomes[p]))
+			if !lostAt(a.Lost, p) || !lostAt(b.Lost, p) {
+				add(trial, name, p, "outcome", outcomeStr(a.Outcomes[p]), outcomeStr(b.Outcomes[p]))
+			}
 		}
 		if p < len(a.Belief) && p < len(b.Belief) {
 			if pa, pb := a.Belief[p].Posterior, b.Belief[p].Posterior; math.Abs(pa-pb) > 1e-12 {
@@ -108,6 +113,12 @@ func diffAttacker(trial int, a, b AttackerTrial, add func(int, string, int, stri
 	if a.Verdict != b.Verdict {
 		add(trial, name, -1, "verdict", fmt.Sprint(a.Verdict), fmt.Sprint(b.Verdict))
 	}
+}
+
+// lostAt reports whether probe p was lost; indexes past the mask (or a
+// nil mask, the fault-free case) read as delivered.
+func lostAt(lost []bool, p int) bool {
+	return p < len(lost) && lost[p]
 }
 
 func sameArrivals(a, b []workload.Arrival) bool {

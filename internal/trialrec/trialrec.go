@@ -59,6 +59,11 @@ type AttackerTrial struct {
 	// Outcomes are the classified timing observations, Outcomes[i] for
 	// Probes[i].
 	Outcomes []bool `json:"outcomes"`
+	// Lost marks probes that produced no observation (dropped by an
+	// injected fault); Outcomes[i] is meaningless where Lost[i] is true.
+	// Nil — and absent from the JSON — on fault-free runs, keeping those
+	// recordings byte-identical to pre-fault versions.
+	Lost []bool `json:"lost,omitempty"`
 	// Verdict is the attacker's decision: true = "target occurred".
 	Verdict bool `json:"verdict"`
 	// Belief is the per-probe posterior trajectory (empty for attackers
