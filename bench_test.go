@@ -18,6 +18,7 @@ import (
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
+	"flowrecon/internal/netsim"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
@@ -539,6 +540,150 @@ func BenchmarkTrialLoopParallel(b *testing.B) {
 
 func workerLabel(n int) string {
 	return "workers=" + strconv.Itoa(n)
+}
+
+// --- Substrate benchmarks (ISSUE 5) ---
+
+// churnRules builds a large rule set over a 1024-flow universe: one
+// exact-match rule per flow at high priority (so 1024 distinct rules are
+// installable and a capacity-512 table genuinely churns) plus 128
+// overlapping low-priority ternary wildcards, timeouts 1–10 s at
+// Δ = 50 ms. This is the regime the overflow-probing attacks of PAPERS.md
+// hammer: the table runs at capacity and every miss evicts.
+func churnRules(b *testing.B) *rules.Set {
+	b.Helper()
+	const nflows = 1024
+	rng := stats.NewRNG(7)
+	specs := make([]rules.Rule, 0, nflows+128)
+	for f := 0; f < nflows; f++ {
+		specs = append(specs, rules.Rule{
+			Name:     "exact",
+			Cover:    flows.SetOf(flows.ID(f)),
+			Priority: 1 + 128 + f,
+			Timeout:  20 * (1 + rng.Intn(10)), // 1..10 s at Δ = 50 ms
+		})
+	}
+	masks := rules.AllTernaryMasks(10)
+	rng.Shuffle(len(masks), func(i, j int) { masks[i], masks[j] = masks[j], masks[i] })
+	added := 0
+	for _, m := range masks {
+		if added == 128 {
+			break
+		}
+		cover := m.CoverOf(nflows)
+		if cover.Empty() {
+			continue
+		}
+		added++
+		specs = append(specs, rules.Rule{
+			Name:     m.String(),
+			Cover:    cover,
+			Priority: added,
+			Timeout:  20 * (1 + rng.Intn(10)),
+		})
+	}
+	rs, err := rules.NewSet(specs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rs
+}
+
+// BenchmarkTableChurn drives a capacity-512 flow table with Poisson
+// arrivals over 1024 flows: every op is a Lookup plus, on a miss, the
+// reactive Install of the covering rule (evicting at capacity). ns/op is
+// the per-arrival cost of the simulation substrate's switch model.
+func BenchmarkTableChurn(b *testing.B) {
+	rs := churnRules(b)
+	const nflows = 1024
+	// Pre-draw the arrival process so the timed loop measures only the
+	// table: exponential inter-arrivals at 2000 pkt/s over uniform flows.
+	rng := stats.NewRNG(11)
+	const window = 1 << 14
+	arrFlow := make([]flows.ID, window)
+	arrGap := make([]float64, window)
+	for i := range arrFlow {
+		arrFlow[i] = flows.ID(rng.Intn(nflows))
+		arrGap[i] = rng.Exp(2000)
+	}
+	tbl, err := flowtable.New(rs, 512, 0.05)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := 0.0
+	// Warm the table to capacity before timing.
+	for i := 0; i < window; i++ {
+		now += arrGap[i]
+		if _, hit := tbl.Lookup(arrFlow[i], now); !hit {
+			if j, ok := rs.HighestCovering(arrFlow[i]); ok {
+				tbl.Install(j, now)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & (window - 1)
+		now += arrGap[k]
+		f := arrFlow[k]
+		if _, hit := tbl.Lookup(f, now); !hit {
+			if j, ok := rs.HighestCovering(f); ok {
+				tbl.Install(j, now)
+			}
+		}
+	}
+	b.ReportMetric(float64(tbl.Len(now)), "occupancy")
+}
+
+// BenchmarkRuleMatch measures Set.MatchIn against a fixed cached set on
+// the large wildcard universe — the per-packet matching cost inside
+// Table.Lookup and the Markov models' transition builders.
+func BenchmarkRuleMatch(b *testing.B) {
+	rs := churnRules(b)
+	cached := make([]bool, rs.Len())
+	rng := stats.NewRNG(13)
+	for i := 0; i < 512; i++ {
+		cached[rng.Intn(rs.Len())] = true
+	}
+	pred := func(j int) bool { return cached[j] }
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if _, ok := rs.MatchIn(flows.ID(i&1023), pred); ok {
+			hits++
+		}
+	}
+	b.ReportMetric(100*float64(hits)/float64(b.N), "hit-%")
+}
+
+// BenchmarkSimScheduler measures the netsim event loop in steady state:
+// each iteration schedules four events at staggered future times and
+// drains them — the schedule/dispatch cycle every simulated packet pays
+// per hop. allocs/op is the headline number: the scheduler must not
+// allocate once warm.
+func BenchmarkSimScheduler(b *testing.B) {
+	s := netsim.NewSim()
+	n := 0
+	fn := func() { n++ }
+	// Warm the internal storage.
+	for i := 0; i < 1024; i++ {
+		s.After(float64(i)*1e-6, fn)
+	}
+	s.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := s.Now()
+		s.At(at+3e-6, fn)
+		s.At(at+1e-6, fn)
+		s.At(at+2e-6, fn)
+		s.At(at+1e-6, fn)
+		s.Run()
+	}
+	if n == 0 {
+		b.Fatal("no events ran")
+	}
 }
 
 // BenchmarkTelemetryOverhead compares the flow table's hot path

@@ -171,6 +171,28 @@ func runCompare(w io.Writer, oldPath, newPath string, maxRegress float64) (bool,
 	return ok, nil
 }
 
+// add inserts one parsed result, merging repeated runs of the same
+// benchmark (`go test -count N` emits one line per run) by keeping the
+// fastest one. The minimum ns/op sample is the least
+// scheduler/thermal-perturbed estimate of the code's true cost, so
+// recording the min across runs is what keeps the -compare regression
+// gate stable on noisy shared hosts. Runs without an ns/op metric keep
+// their first occurrence.
+func (r *Report) add(b Benchmark) {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name != b.Name {
+			continue
+		}
+		oldNs, oldOK := r.Benchmarks[i].Metrics["ns/op"]
+		newNs, newOK := b.Metrics["ns/op"]
+		if newOK && (!oldOK || newNs < oldNs) {
+			r.Benchmarks[i] = b
+		}
+		return
+	}
+	r.Benchmarks = append(r.Benchmarks, b)
+}
+
 // parse scans benchmark output: "goos:"/"goarch:"/"pkg:" headers and
 // "Benchmark<Name>-P  N  v1 u1  v2 u2 …" result lines; everything else
 // (PASS, ok, metric noise) is ignored.
@@ -190,7 +212,7 @@ func parse(r io.Reader) (*Report, error) {
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseResult(line)
 			if ok {
-				rep.Benchmarks = append(rep.Benchmarks, b)
+				rep.add(b)
 			}
 		}
 	}

@@ -49,6 +49,35 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseMergesRepeatedRuns covers `go test -count N` output: repeated
+// result lines for one benchmark must collapse to a single entry holding
+// the fastest run's metrics (min ns/op is the least-perturbed sample).
+func TestParseMergesRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkA-8 	 100	 300.0 ns/op	 48 B/op	 2 allocs/op
+BenchmarkA-8 	 120	 250.0 ns/op	 40 B/op	 1 allocs/op
+BenchmarkA-8 	 110	 275.0 ns/op	 44 B/op	 2 allocs/op
+BenchmarkB-8 	 10	 900.0 ns/op
+`
+	rep, err := parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2 (runs merged)", len(rep.Benchmarks))
+	}
+	a := rep.Benchmarks[0]
+	if a.Name != "A" || a.Metrics["ns/op"] != 250.0 {
+		t.Fatalf("merged A = %+v, want the fastest run (250 ns/op)", a)
+	}
+	if a.Metrics["allocs/op"] != 1 || a.Iters != 120 {
+		t.Fatalf("merged A must carry the whole fastest run, got %+v", a)
+	}
+	if rep.Benchmarks[1].Name != "B" {
+		t.Fatalf("second entry = %+v", rep.Benchmarks[1])
+	}
+}
+
 func TestParseRejectsEmpty(t *testing.T) {
 	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
 		t.Fatal("no benchmarks accepted")

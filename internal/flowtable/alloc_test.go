@@ -1,0 +1,82 @@
+package flowtable
+
+import (
+	"testing"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/testutil"
+)
+
+// TestTableLookupHitZeroAlloc gates the Lookup hit path: matching a
+// cached rule (including the idle-timer refresh bookkeeping) must not
+// allocate. The match predicate is built once at construction precisely
+// so this path stays closure-free.
+func TestTableLookupHitZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rs := testRules(t)
+	tbl, err := New(rs, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Install(0, 0)
+	// Repeated matches at one instant: the expiry does not move, so not
+	// even the expiry index is touched.
+	avg := testing.AllocsPerRun(500, func() {
+		if _, ok := tbl.Lookup(0, 1); !ok {
+			t.Fatal("lookup missed a cached rule")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Lookup hit at fixed time allocates %v allocs/run, want 0", avg)
+	}
+	// Advancing time: each hit refreshes the idle timer and pushes one
+	// expiry-index node. The index storage amortizes, so the ISSUE's
+	// budget of ≤ 1 alloc per hit holds with room to spare.
+	now := 1.0
+	avg = testing.AllocsPerRun(500, func() {
+		now += 0.25
+		if _, ok := tbl.Lookup(0, now); !ok {
+			t.Fatal("lookup missed a cached rule")
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("Lookup hit while advancing allocates %v allocs/run, want ≤ 1", avg)
+	}
+}
+
+// TestTableChurnSteadyStateAllocs gates the full miss→install→evict cycle
+// at capacity: after warmup the churn loop must run allocation-free on
+// average (slot storage is reused in place; the expiry index recycles as
+// stale nodes surface).
+func TestTableChurnSteadyStateAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	rs := testRules(t)
+	tbl, err := New(rs, 1, 1) // capacity 1: every other install evicts
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	op := func(f flows.ID) {
+		if _, hit := tbl.Lookup(f, now); !hit {
+			if j, ok := rs.HighestCovering(f); ok {
+				tbl.Install(j, now)
+			}
+		}
+	}
+	for i := 0; i < 64; i++ { // warm the index storage
+		now += 0.5
+		op(flows.ID(i % 3))
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		now += 0.5
+		op(0)
+		op(2)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state churn allocates %v allocs/run, want 0", avg)
+	}
+}

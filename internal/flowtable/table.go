@@ -13,8 +13,6 @@ package flowtable
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"flowrecon/internal/flows"
 	"flowrecon/internal/rules"
@@ -48,15 +46,61 @@ type Stats struct {
 	MatchesByRule []int64
 }
 
+// slot is the in-place storage of one rule's cache state. Rule IDs are
+// dense indices into the rule set, so slots live in a flat slice — no
+// per-entry heap allocation, no map hashing on the hot path, and Install
+// after eviction reuses the victim's storage (the entry "pool" is the
+// slice itself).
+type slot struct {
+	Entry
+	// expireAt is the absolute expiry time implied by the current timers,
+	// kept materialized so Lookup can detect refreshes that do not move
+	// the expiry (hard timeouts, repeated matches at one instant) without
+	// touching the heap.
+	expireAt float64
+	// stamp versions the slot's timers. Every heap node records the stamp
+	// it was pushed under; a node whose stamp no longer matches is stale
+	// (the idle timer was refreshed since) and is discarded lazily when it
+	// surfaces at the heap top.
+	stamp uint32
+	// present marks the slot as cached.
+	present bool
+}
+
+// expNode is one entry in the expiry-ordered index: the absolute expiry
+// time a rule had when the node was pushed, plus the slot stamp that
+// validates it.
+type expNode struct {
+	at    float64
+	id    int32
+	stamp uint32
+}
+
 // Table is a continuous-time flow table over a rule set. The zero value is
 // not usable; construct with New.
+//
+// The table keeps an expiry-ordered lazy min-heap over its entries, so
+// Lookup/Install/Remove pay O(log n) for expiry processing instead of
+// rescanning every entry, and expirations fire in deterministic
+// (expiry time, rule ID) order — never map-iteration order — which keeps
+// OnRemove callbacks, telemetry traces, and span forests reproducible.
 type Table struct {
 	rules    *rules.Set
 	capacity int
 	stepSec  float64 // seconds per model step (Δ); rule timeouts are in steps
-	entries  map[int]*Entry
-	stats    Stats
-	tm       tableMetrics // resolved telemetry instruments (zero = disabled)
+
+	slots   []slot    // indexed by rule ID; present marks cached entries
+	n       int       // number of cached entries
+	heap    []expNode // lazy min-heap ordered by (at, id)
+	timeout []float64 // per-rule timeout duration in seconds (Timeout·Δ)
+	hard    []bool    // per-rule hard-timeout flag
+
+	// cachedFn is the Lookup predicate over slots, built once so the hot
+	// path does not allocate a closure per call.
+	cachedFn func(ruleID int) bool
+
+	stats Stats
+	tm    tableMetrics // resolved telemetry instruments (zero = disabled)
 
 	// OnRemove, if non-nil, is called whenever a rule leaves the table.
 	OnRemove func(ruleID int, reason EvictionReason, now float64)
@@ -72,13 +116,23 @@ func New(rs *rules.Set, capacity int, stepSec float64) (*Table, error) {
 	if stepSec <= 0 {
 		return nil, fmt.Errorf("flowtable: step duration %v ≤ 0", stepSec)
 	}
-	return &Table{
+	t := &Table{
 		rules:    rs,
 		capacity: capacity,
 		stepSec:  stepSec,
-		entries:  make(map[int]*Entry, capacity),
+		slots:    make([]slot, rs.Len()),
+		heap:     make([]expNode, 0, capacity),
+		timeout:  make([]float64, rs.Len()),
+		hard:     make([]bool, rs.Len()),
 		stats:    Stats{MatchesByRule: make([]int64, rs.Len())},
-	}, nil
+	}
+	for id := 0; id < rs.Len(); id++ {
+		r := rs.Rule(id)
+		t.timeout[id] = float64(r.Timeout) * stepSec
+		t.hard[id] = r.Kind == rules.HardTimeout
+	}
+	t.cachedFn = func(ruleID int) bool { return t.slots[ruleID].present }
+	return t, nil
 }
 
 // Stats returns a copy of the activity counters.
@@ -96,61 +150,142 @@ func (t *Table) Capacity() int { return t.capacity }
 // of time now).
 func (t *Table) Len(now float64) int {
 	t.expire(now)
-	return len(t.entries)
+	return t.n
 }
 
 // Contains reports whether ruleID is cached as of now.
 func (t *Table) Contains(ruleID int, now float64) bool {
 	t.expire(now)
-	_, ok := t.entries[ruleID]
-	return ok
+	return t.slots[ruleID].present
 }
 
 // Cached returns the IDs of cached rules as of now, in ascending order.
 func (t *Table) Cached(now float64) []int {
 	t.expire(now)
-	out := make([]int, 0, len(t.entries))
-	for id := range t.entries {
-		out = append(out, id)
+	out := make([]int, 0, t.n)
+	for id := range t.slots {
+		if t.slots[id].present {
+			out = append(out, id)
+		}
 	}
-	sort.Ints(out)
 	return out
-}
-
-// expiry returns the absolute time at which e expires.
-func (t *Table) expiry(e *Entry) float64 {
-	r := t.rules.Rule(e.RuleID)
-	d := float64(r.Timeout) * t.stepSec
-	if r.Kind == rules.HardTimeout {
-		return e.InstalledAt + d
-	}
-	return e.LastMatch + d
 }
 
 // Remaining returns the remaining lifetime of ruleID at time now, or
 // (0, false) if it is not cached.
 func (t *Table) Remaining(ruleID int, now float64) (float64, bool) {
 	t.expire(now)
-	e, ok := t.entries[ruleID]
-	if !ok {
+	s := &t.slots[ruleID]
+	if !s.present {
 		return 0, false
 	}
-	return t.expiry(e) - now, true
+	return s.expireAt - now, true
 }
 
-// expire removes every entry whose lifetime ended at or before now.
-func (t *Table) expire(now float64) {
-	for id, e := range t.entries {
-		if t.expiry(e) <= now {
-			delete(t.entries, id)
-			t.stats.Expirations++
-			t.tm.expirations.Inc()
-			t.tm.occupancy.Set(int64(len(t.entries)))
-			t.traceRule("rule.expire", id, now)
-			if t.OnRemove != nil {
-				t.OnRemove(id, ReasonExpired, now)
-			}
+// --- expiry-ordered index ---
+
+// heapLess orders nodes by (expiry time, rule ID): the deterministic
+// expiry and eviction order.
+func heapLess(a, b expNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.id < b.id
+}
+
+// pushNode inserts a node into the heap.
+func (t *Table) pushNode(n expNode) {
+	t.heap = append(t.heap, n)
+	i := len(t.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !heapLess(t.heap[i], t.heap[parent]) {
+			break
 		}
+		t.heap[i], t.heap[parent] = t.heap[parent], t.heap[i]
+		i = parent
+	}
+}
+
+// popNode removes the heap minimum.
+func (t *Table) popNode() {
+	last := len(t.heap) - 1
+	t.heap[0] = t.heap[last]
+	t.heap = t.heap[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		min := l
+		if r := l + 1; r < last && heapLess(t.heap[r], t.heap[l]) {
+			min = r
+		}
+		if !heapLess(t.heap[min], t.heap[i]) {
+			break
+		}
+		t.heap[i], t.heap[min] = t.heap[min], t.heap[i]
+		i = min
+	}
+}
+
+// minLive discards stale heap nodes until the top is a live entry's
+// current expiry, returning false when the table is empty.
+func (t *Table) minLive() (expNode, bool) {
+	for len(t.heap) > 0 {
+		top := t.heap[0]
+		s := &t.slots[top.id]
+		if !s.present || s.stamp != top.stamp {
+			t.popNode() // stale: timer refreshed or entry removed since push
+			continue
+		}
+		return top, true
+	}
+	return expNode{}, false
+}
+
+// enqueue versions the slot's timers and pushes the matching heap node.
+// Invariant: every present slot has exactly one live heap node (stamp
+// match); all older nodes are stale and discarded lazily.
+func (t *Table) enqueue(id int, s *slot, at float64) {
+	s.expireAt = at
+	s.stamp++
+	t.pushNode(expNode{at: at, id: int32(id), stamp: s.stamp})
+}
+
+// refresh records a timer change on an already-present slot. When the
+// expiry does not move (repeated matches at one instant), the live node is
+// already correct and the heap is untouched.
+func (t *Table) refresh(id int, s *slot, at float64) {
+	if at == s.expireAt {
+		return
+	}
+	t.enqueue(id, s, at)
+}
+
+// expire removes every entry whose lifetime ended at or before now, in
+// deterministic (expiry time, rule ID) order.
+func (t *Table) expire(now float64) {
+	removed := false
+	for {
+		top, ok := t.minLive()
+		if !ok || top.at > now {
+			break
+		}
+		t.popNode()
+		t.slots[top.id].present = false
+		t.n--
+		removed = true
+		t.stats.Expirations++
+		t.tm.expirations.Inc()
+		t.traceRule("rule.expire", int(top.id), now)
+		if t.OnRemove != nil {
+			t.OnRemove(int(top.id), ReasonExpired, now)
+		}
+	}
+	if removed {
+		t.tm.occupancy.Set(int64(t.n))
 	}
 }
 
@@ -162,7 +297,7 @@ func (t *Table) Lookup(f flows.ID, now float64) (ruleID int, ok bool) {
 	t.expire(now)
 	t.stats.Lookups++
 	t.tm.lookups.Inc()
-	id, ok := t.rules.MatchIn(f, func(r int) bool { _, c := t.entries[r]; return c })
+	id, ok := t.rules.MatchIn(f, t.cachedFn)
 	if !ok {
 		t.stats.Misses++
 		t.tm.misses.Inc()
@@ -171,39 +306,54 @@ func (t *Table) Lookup(f flows.ID, now float64) (ruleID int, ok bool) {
 	t.stats.Hits++
 	t.tm.hits.Inc()
 	t.stats.MatchesByRule[id]++
-	t.entries[id].LastMatch = now
+	s := &t.slots[id]
+	s.LastMatch = now
+	if !t.hard[id] {
+		// An idle-timeout match restarts the countdown; hard timeouts are
+		// pinned to the install time and need no index update.
+		t.refresh(id, s, now+t.timeout[id])
+	}
 	return id, true
 }
 
 // Install caches ruleID at time now. If the table is full, the entry with
 // the smallest remaining lifetime is evicted first (shortest-time-remaining
-// policy). Installing an already-cached rule refreshes its timers.
+// policy, ties broken towards the smaller rule ID). Installing an
+// already-cached rule refreshes its timers.
 func (t *Table) Install(ruleID int, now float64) {
 	t.expire(now)
-	if e, ok := t.entries[ruleID]; ok {
-		e.InstalledAt = now
-		e.LastMatch = now
+	s := &t.slots[ruleID]
+	if s.present {
+		s.InstalledAt = now
+		s.LastMatch = now
+		t.refresh(ruleID, s, now+t.timeout[ruleID])
 		return
 	}
-	if len(t.entries) >= t.capacity {
-		victim, best := -1, math.Inf(1)
-		for id, e := range t.entries {
-			if rem := t.expiry(e) - now; rem < best || (rem == best && id < victim) {
-				victim, best = id, rem
+	if t.n >= t.capacity {
+		// Evict the entry with the smallest remaining lifetime. Remaining
+		// lifetime and absolute expiry order identically at fixed now, so
+		// the victim is exactly the live heap minimum — same (time, rule
+		// ID) order the deterministic expiry uses.
+		victim, ok := t.minLive()
+		if ok {
+			t.popNode()
+			t.slots[victim.id].present = false
+			t.n--
+			t.stats.Evictions++
+			t.tm.evictions.Inc()
+			t.traceRule("rule.evict", int(victim.id), now)
+			if t.OnRemove != nil {
+				t.OnRemove(int(victim.id), ReasonEvicted, now)
 			}
-		}
-		delete(t.entries, victim)
-		t.stats.Evictions++
-		t.tm.evictions.Inc()
-		t.traceRule("rule.evict", victim, now)
-		if t.OnRemove != nil {
-			t.OnRemove(victim, ReasonEvicted, now)
 		}
 	}
 	t.stats.Installs++
-	t.entries[ruleID] = &Entry{RuleID: ruleID, InstalledAt: now, LastMatch: now}
+	s.Entry = Entry{RuleID: ruleID, InstalledAt: now, LastMatch: now}
+	s.present = true
+	t.n++
+	t.enqueue(ruleID, s, now+t.timeout[ruleID])
 	t.tm.installs.Inc()
-	t.tm.occupancy.Set(int64(len(t.entries)))
+	t.tm.occupancy.Set(int64(t.n))
 	t.traceRule("rule.install", ruleID, now)
 }
 
@@ -211,11 +361,13 @@ func (t *Table) Install(ruleID int, now float64) {
 // flow removal). It reports whether the rule was cached.
 func (t *Table) Remove(ruleID int, now float64) bool {
 	t.expire(now)
-	if _, ok := t.entries[ruleID]; !ok {
+	s := &t.slots[ruleID]
+	if !s.present {
 		return false
 	}
-	delete(t.entries, ruleID)
-	t.tm.occupancy.Set(int64(len(t.entries)))
+	s.present = false // the queued heap node goes stale and is dropped lazily
+	t.n--
+	t.tm.occupancy.Set(int64(t.n))
 	t.traceRule("rule.remove", ruleID, now)
 	return true
 }

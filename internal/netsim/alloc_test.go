@@ -1,0 +1,84 @@
+package netsim
+
+import (
+	"testing"
+
+	"flowrecon/internal/testutil"
+)
+
+// TestSimSchedulerZeroAlloc is the zero-alloc gate on the event loop: once
+// the arena and heap are warm, a schedule→dispatch cycle must not touch
+// the garbage collector at all. Every simulated packet pays this cycle
+// per hop, so a single allocation here multiplies across the thousands of
+// Poisson-workload trials behind each figure.
+func TestSimSchedulerZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := NewSim()
+	n := 0
+	fn := func() { n++ }
+	// Warm the arena, free list, and heap storage.
+	for i := 0; i < 256; i++ {
+		s.After(float64(i)*1e-6, fn)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		at := s.Now()
+		s.At(at+2e-6, fn)
+		s.At(at+1e-6, fn)
+		s.At(at+3e-6, fn)
+		s.At(at+1e-6, fn)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state schedule/dispatch allocates %v allocs/run, want 0", avg)
+	}
+	if n == 0 {
+		t.Fatal("no events ran")
+	}
+}
+
+// TestSimNestedSchedulingZeroAlloc covers the dispatch-time reuse path: a
+// callback that schedules follow-up events must find recycled slots
+// rather than growing the arena.
+func TestSimNestedSchedulingZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	s := NewSim()
+	depth := 0
+	var chain func()
+	chain = func() {
+		if depth < 3 {
+			depth++
+			s.After(1e-6, chain)
+		}
+	}
+	s.After(1e-6, chain)
+	s.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		depth = 0
+		s.After(1e-6, chain)
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("nested schedule/dispatch allocates %v allocs/run, want 0", avg)
+	}
+}
+
+// TestSimPoolRecycles pins the pooling behaviour itself: after a drain,
+// the arena must not have grown beyond the peak queue depth.
+func TestSimPoolRecycles(t *testing.T) {
+	s := NewSim()
+	fn := func() {}
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 16; i++ {
+			s.After(float64(i)*1e-6, fn)
+		}
+		s.Run()
+	}
+	if got := len(s.nodes); got > 16 {
+		t.Fatalf("arena grew to %d slots for a peak queue depth of 16 — pool not recycling", got)
+	}
+}

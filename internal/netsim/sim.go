@@ -8,45 +8,34 @@
 package netsim
 
 import (
-	"container/heap"
-
 	"flowrecon/internal/telemetry"
 )
 
-// event is one scheduled simulator callback.
+// event is one scheduled simulator callback. Events live in a pooled
+// arena (Sim.nodes) and are addressed by index; free slots are chained
+// through next, so steady-state schedule/dispatch performs zero heap
+// allocations — the boxed container/heap of earlier revisions paid one
+// allocation plus an interface conversion per event.
 type event struct {
-	at  float64
-	seq int64
-	run func()
-}
-
-// eventHeap orders events by time, breaking ties by insertion order so
-// runs are fully deterministic.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	at   float64
+	seq  int64
+	run  func()
+	next int32 // free-list link while the slot is unused
 }
 
 // Sim is a discrete-event simulator with a virtual clock in seconds.
+//
+// The ready queue is a typed 4-ary index min-heap: heap holds arena
+// indices ordered by (time, insertion sequence), so sift operations move
+// 4-byte indices instead of event structs and the shallower tree halves
+// the comparison depth of a binary heap on the deep queues the fabric
+// builds up under load.
 type Sim struct {
-	now  float64
-	seq  int64
-	heap eventHeap
+	now   float64
+	seq   int64
+	nodes []event // pooled arena
+	free  int32   // head of the free-slot chain, -1 when empty
+	heap  []int32 // 4-ary min-heap of arena indices
 
 	events  *telemetry.Counter // processed events
 	pending *telemetry.Gauge   // queued events
@@ -54,7 +43,7 @@ type Sim struct {
 }
 
 // NewSim returns a simulator at time zero.
-func NewSim() *Sim { return &Sim{} }
+func NewSim() *Sim { return &Sim{free: -1} }
 
 // SetTelemetry attaches the simulator's event counter, queue-depth gauge,
 // and virtual-clock gauge (microseconds) to a registry. A nil registry
@@ -65,9 +54,15 @@ func (s *Sim) SetTelemetry(reg *telemetry.Registry) {
 	s.clock = reg.Gauge("netsim_virtual_time_us")
 }
 
-// observe records post-event simulator state.
-func (s *Sim) observe() {
-	s.events.Inc()
+// observe records simulator state after a drain loop. Telemetry is
+// batched per Run/RunUntil call rather than per event: the counters are
+// atomic, so per-event updates were three synchronized writes on the
+// hottest loop in the fabric.
+func (s *Sim) observe(n int) {
+	if n == 0 {
+		return
+	}
+	s.events.Add(int64(n))
 	s.pending.Set(int64(len(s.heap)))
 	s.clock.Set(int64(s.now * 1e6))
 }
@@ -75,13 +70,90 @@ func (s *Sim) observe() {
 // Now returns the current virtual time in seconds.
 func (s *Sim) Now() float64 { return s.now }
 
+// less orders queued events by (time, insertion sequence) so runs are
+// fully deterministic.
+func (s *Sim) less(a, b int32) bool {
+	ea, eb := &s.nodes[a], &s.nodes[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// alloc takes a slot from the free list, growing the arena only when the
+// pool is dry.
+func (s *Sim) alloc() int32 {
+	if s.free >= 0 {
+		i := s.free
+		s.free = s.nodes[i].next
+		return i
+	}
+	s.nodes = append(s.nodes, event{})
+	return int32(len(s.nodes) - 1)
+}
+
+// release returns a slot to the pool, dropping the closure reference so
+// captured state does not outlive the event.
+func (s *Sim) release(i int32) {
+	s.nodes[i].run = nil
+	s.nodes[i].next = s.free
+	s.free = i
+}
+
+// push inserts an arena index into the 4-ary heap.
+func (s *Sim) push(i int32) {
+	s.heap = append(s.heap, i)
+	c := len(s.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 4
+		if !s.less(s.heap[c], s.heap[p]) {
+			break
+		}
+		s.heap[c], s.heap[p] = s.heap[p], s.heap[c]
+		c = p
+	}
+}
+
+// pop removes and returns the heap minimum.
+func (s *Sim) pop() int32 {
+	top := s.heap[0]
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	p := 0
+	for {
+		first := 4*p + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if s.less(s.heap[c], s.heap[min]) {
+				min = c
+			}
+		}
+		if !s.less(s.heap[min], s.heap[p]) {
+			break
+		}
+		s.heap[p], s.heap[min] = s.heap[min], s.heap[p]
+		p = min
+	}
+	return top
+}
+
 // At schedules run at the absolute virtual time at (clamped to now).
 func (s *Sim) At(at float64, run func()) {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.heap, &event{at: at, seq: s.seq, run: run})
+	i := s.alloc()
+	s.nodes[i] = event{at: at, seq: s.seq, run: run, next: -1}
+	s.push(i)
 }
 
 // After schedules run delay seconds from now.
@@ -92,17 +164,26 @@ func (s *Sim) After(delay float64, run func()) {
 	s.At(s.now+delay, run)
 }
 
+// dispatch pops and runs the head event. The slot is recycled before the
+// callback executes so nested scheduling can reuse it immediately.
+func (s *Sim) dispatch() {
+	i := s.pop()
+	e := &s.nodes[i]
+	s.now = e.at
+	run := e.run
+	s.release(i)
+	run()
+}
+
 // Run drains the event queue, advancing the clock, and returns the number
 // of events processed.
 func (s *Sim) Run() int {
 	n := 0
 	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*event)
-		s.now = e.at
-		e.run()
-		s.observe()
+		s.dispatch()
 		n++
 	}
+	s.observe(n)
 	return n
 }
 
@@ -110,16 +191,14 @@ func (s *Sim) Run() int {
 // later events queued, and advances the clock to t.
 func (s *Sim) RunUntil(t float64) int {
 	n := 0
-	for len(s.heap) > 0 && s.heap[0].at <= t {
-		e := heap.Pop(&s.heap).(*event)
-		s.now = e.at
-		e.run()
-		s.observe()
+	for len(s.heap) > 0 && s.nodes[s.heap[0]].at <= t {
+		s.dispatch()
 		n++
 	}
 	if s.now < t {
 		s.now = t
 	}
+	s.observe(n)
 	return n
 }
 

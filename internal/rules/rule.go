@@ -78,6 +78,16 @@ var (
 type Set struct {
 	rules      []Rule
 	byPriority []int // rule IDs sorted by descending priority
+
+	// coverIndex[f] holds the IDs of every rule covering flow f in
+	// descending priority order — the precomputed match index. MatchIn,
+	// HighestCovering, and Covering probe it instead of scanning the full
+	// priority order, turning per-packet matching from O(|Rules|) bitset
+	// probes into O(candidates) for the looked-up flow. Flows outside the
+	// index range are covered by no rule. Built once in NewSet
+	// (O(Σ|cover|)); the Set is immutable afterwards, so the index never
+	// goes stale.
+	coverIndex [][]int32
 }
 
 // NewSet validates and assembles a rule set. Rules are re-assigned IDs
@@ -117,7 +127,27 @@ func NewSet(rs []Rule) (*Set, error) {
 		}
 		return ra.ID < rb.ID
 	})
+	out.buildCoverIndex()
 	return out, nil
+}
+
+// buildCoverIndex assembles the per-flow match index. Walking byPriority
+// outermost makes every candidate list come out priority-sorted for free.
+func (s *Set) buildCoverIndex() {
+	nf := 0
+	for i := range s.rules {
+		s.rules[i].Cover.ForEach(func(f flows.ID) {
+			if int(f)+1 > nf {
+				nf = int(f) + 1
+			}
+		})
+	}
+	s.coverIndex = make([][]int32, nf)
+	for _, id := range s.byPriority {
+		s.rules[id].Cover.ForEach(func(f flows.ID) {
+			s.coverIndex[f] = append(s.coverIndex[f], int32(id))
+		})
+	}
 }
 
 // Len returns the number of rules.
@@ -149,14 +179,21 @@ func (s *Set) HigherPriority(a, b int) bool {
 	return s.rules[a].Priority > s.rules[b].Priority
 }
 
+// candidates returns the priority-sorted match-index slice for f (nil when
+// no rule covers f, including flows outside the index range).
+func (s *Set) candidates(f flows.ID) []int32 {
+	if int(f) < 0 || int(f) >= len(s.coverIndex) {
+		return nil
+	}
+	return s.coverIndex[f]
+}
+
 // HighestCovering returns the ID of the highest-priority rule covering f,
 // which is the rule the controller installs on a table miss for f. The
 // boolean is false if no rule covers f.
 func (s *Set) HighestCovering(f flows.ID) (int, bool) {
-	for _, id := range s.byPriority {
-		if s.rules[id].Covers(f) {
-			return id, true
-		}
+	if c := s.candidates(f); len(c) > 0 {
+		return int(c[0]), true
 	}
 	return 0, false
 }
@@ -164,19 +201,38 @@ func (s *Set) HighestCovering(f flows.ID) (int, bool) {
 // Covering returns the IDs of every rule covering f, in descending
 // priority order.
 func (s *Set) Covering(f flows.ID) []int {
-	var out []int
-	for _, id := range s.byPriority {
-		if s.rules[id].Covers(f) {
-			out = append(out, id)
-		}
+	c := s.candidates(f)
+	if len(c) == 0 {
+		return nil
+	}
+	out := make([]int, len(c))
+	for i, id := range c {
+		out[i] = int(id)
 	}
 	return out
 }
 
 // MatchIn returns the ID of the highest-priority rule among cached that
 // covers f — the switch's matching behaviour. cached is interpreted as a
-// set of rule IDs; the boolean is false on a table miss.
+// set of rule IDs; the boolean is false on a table miss. It probes only
+// the precomputed candidate rules for f (already priority-sorted) against
+// the cached predicate; MatchInLinear is the reference implementation it
+// is differential-tested against.
 func (s *Set) MatchIn(f flows.ID, cached func(ruleID int) bool) (int, bool) {
+	for _, id := range s.candidates(f) {
+		if cached(int(id)) {
+			return int(id), true
+		}
+	}
+	return 0, false
+}
+
+// MatchInLinear is the straightforward O(|Rules|) matcher: walk the full
+// priority order and return the first cached rule covering f. It is kept
+// as the executable specification of MatchIn — the differential and fuzz
+// tests assert the two agree on arbitrary rule sets and cache contents —
+// and is not used on any hot path.
+func (s *Set) MatchInLinear(f flows.ID, cached func(ruleID int) bool) (int, bool) {
 	for _, id := range s.byPriority {
 		if cached(id) && s.rules[id].Covers(f) {
 			return id, true

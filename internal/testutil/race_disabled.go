@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by test files across
+// packages. It contains no production code.
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-count assertions (testing.AllocsPerRun gates) skip
+// under race instrumentation, which inserts its own allocations.
+const RaceEnabled = false

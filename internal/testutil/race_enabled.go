@@ -1,0 +1,8 @@
+//go:build race
+
+package testutil
+
+// RaceEnabled reports whether the binary was built with the race
+// detector. Allocation-count assertions (testing.AllocsPerRun gates) skip
+// under race instrumentation, which inserts its own allocations.
+const RaceEnabled = true
