@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-compare check fuzz-smoke cover-gate alloc-gate
+.PHONY: all build fmt-check vet test race bench bench-compare check fuzz-smoke cover-gate alloc-gate trace-smoke
 
 all: check build
 
@@ -50,9 +50,20 @@ bench-compare:
 ## alloc-gate runs the allocation assertions without the race detector
 ## (race instrumentation allocates, so `make race` skips them): the
 ## netsim scheduler must schedule/dispatch with zero allocations in
-## steady state and Table.Lookup's hit path must stay within one.
+## steady state, Table.Lookup's hit path must stay within one, and the
+## disabled telemetry instruments (nil span recorder / event log) must
+## cost zero allocations at every emit site.
 alloc-gate:
-	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs|PoolRecycles' ./internal/netsim/ ./internal/flowtable/
+	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs|PoolRecycles' ./internal/netsim/ ./internal/flowtable/ ./internal/telemetry/
+
+## trace-smoke proves the span-export pipeline end to end on the golden
+## fixture: export trial 0's causal span forest as Chrome trace_event
+## JSON via cmd/inspect, then structurally validate the result (the same
+## check ui.perfetto.dev's importer applies on load).
+trace-smoke:
+	$(GO) run ./cmd/inspect -perfetto trace-smoke.json -trial 0 internal/experiment/testdata/golden_small.jsonl
+	$(GO) run ./cmd/inspect -validate-perfetto trace-smoke.json
+	@rm -f trace-smoke.json
 
 ## fuzz-smoke runs each fuzz target for 10 s — long enough to shake out
 ## parser panics on truncated/oversized frames and indexed-vs-linear
@@ -76,6 +87,6 @@ cover-gate:
 	done
 
 ## check is the pre-merge gate: formatting, vet, the full test suite
-## under the race detector, and the allocation gate (which race builds
-## must skip).
-check: fmt-check vet race alloc-gate
+## under the race detector, the allocation gate (which race builds must
+## skip), and the trace-export smoke.
+check: fmt-check vet race alloc-gate trace-smoke

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flowrecon/internal/core"
 	"flowrecon/internal/experiment"
@@ -40,8 +41,14 @@ func run(args []string) error {
 		details = fs.Bool("details", false, "print the rule set and per-flow probe evaluations")
 		sweep   = fs.Bool("sweep", false, "also sweep the attack window and report gain vs T")
 		telOut  = fs.String("telemetry-out", "", "write final + per-trial telemetry snapshots as JSON to this file")
+		telAddr = fs.String("telemetry-addr", "", "serve the live ops surface (/metrics, /debug/live, /healthz) on this address while the run executes")
+		evOut   = fs.String("events-out", "", "stream wide events (probe decisions, verdicts, faults) as JSONL to this file")
 		recOut  = fs.String("record", "", "write the deterministic trial recording (JSONL) to this file; replay with cmd/inspect -replay")
 		par     = fs.Int("parallelism", 1, "trial-runner worker goroutines; results and recordings are identical at every level")
+
+		profDir      = fs.String("profile-dir", "", "capture periodic pprof CPU/heap snapshots into this directory")
+		profInterval = fs.Duration("profile-interval", 0, "profile snapshot period (default 30s when -profile-dir is set)")
+		profKeep     = fs.Int("profile-keep", 4, "newest profile snapshots retained per kind")
 
 		faultSeed   = fs.Int64("fault-seed", 0, "seed for injected probe faults (chaos runs)")
 		faultLoss   = fs.Float64("fault-loss", 0, "probability each probe is lost (no observation)")
@@ -77,6 +84,50 @@ func run(args []string) error {
 		}
 		fmt.Printf("fault injection armed: %+v\n", *spec.Faults)
 	}
+	// The ops surface comes up BEFORE the model build so /readyz reports
+	// 503 through the expensive fitting phase and the build's own
+	// counters (evolve steps, cache misses) land in the registry.
+	var reg *telemetry.Registry
+	if *telOut != "" || *telAddr != "" || *evOut != "" {
+		reg = telemetry.NewRegistry(8192)
+		// Route the model layer's build/evolve/cache instruments into the
+		// same snapshot as the experiment metrics.
+		core.SetTelemetry(reg)
+	}
+	var events *telemetry.EventLog
+	if *evOut != "" || *telAddr != "" {
+		events = reg.EnableEvents(0)
+		if *evOut != "" {
+			ef, err := os.Create(*evOut)
+			if err != nil {
+				return err
+			}
+			defer ef.Close()
+			events.SetSink(ef)
+		}
+	}
+	if *telAddr != "" {
+		reg.SetReady(false)
+		srv, err := telemetry.Serve(*telAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("live ops surface on http://%s (watch with: flowtop -addr %s)\n", srv.Addr(), srv.Addr())
+	}
+	if *profDir != "" {
+		iv := *profInterval
+		if iv <= 0 {
+			iv = 30 * time.Second
+		}
+		ring, err := telemetry.StartProfileRing(*profDir, iv, *profKeep, iv/4)
+		if err != nil {
+			return err
+		}
+		defer ring.Stop()
+		fmt.Printf("profile ring armed: %s every %s (keep %d)\n", *profDir, iv, *profKeep)
+	}
+
 	fmt.Printf("sampling a network configuration (|Rules|=%d, n=%d, %d flows, Δ=%.3fs, T=%d steps)…\n",
 		params.NumRules, params.CacheSize, params.NumFlows, params.Delta, params.Steps())
 	nc, err := spec.BuildConfig()
@@ -116,13 +167,7 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Printf("\nrunning %d trials…\n", *trials)
-	var reg *telemetry.Registry
-	if *telOut != "" {
-		reg = telemetry.NewRegistry(8192)
-		// Route the model layer's build/evolve/cache instruments into the
-		// same snapshot as the experiment metrics.
-		core.SetTelemetry(reg)
-	}
+	reg.SetReady(true) // model fitted; the run is now in its steady phase
 	var rec *trialrec.Recorder
 	if *recOut != "" {
 		specJSON, err := json.Marshal(spec)
@@ -143,7 +188,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	opts := experiment.TrialOptions{Registry: reg, PerTrial: reg != nil, Recorder: rec, Parallelism: *par}
+	opts := experiment.TrialOptions{Registry: reg, PerTrial: *telOut != "", Recorder: rec, Events: events, Parallelism: *par}
 	if spec.Faults != nil {
 		opts.Faults = *spec.Faults
 	}
@@ -167,11 +212,19 @@ func run(args []string) error {
 		}
 		fmt.Printf("\nrecording written to %s (%d trials; verify with: inspect -replay %s)\n", *recOut, trialsWritten, *recOut)
 	}
-	if reg != nil {
+	if *telOut != "" {
 		if err := writeTelemetry(*telOut, reg, records); err != nil {
 			return err
 		}
 		fmt.Printf("\ntelemetry written to %s (%d per-trial records)\n", *telOut, len(records))
+	}
+	if events != nil {
+		if err := events.SinkErr(); err != nil {
+			return fmt.Errorf("flowrecon: event sink: %w", err)
+		}
+		if *evOut != "" {
+			fmt.Printf("wide events streamed to %s (%d retained, %d beyond ring)\n", *evOut, events.Len(), events.Dropped())
+		}
 	}
 
 	if *sweep {

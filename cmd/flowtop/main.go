@@ -1,0 +1,167 @@
+// Command flowtop is the terminal companion of the /debug/live ops
+// surface: it subscribes to a running flowrecon / ofswitch /
+// ofcontroller process's SSE stream and renders a continuously updating
+// dashboard of the attack — trial throughput, running accuracy per
+// strategy, fault pressure, and whichever raw counters moved in the
+// window.
+//
+// Usage:
+//
+//	flowtop -addr 127.0.0.1:9090
+//	flowtop -addr 127.0.0.1:9090 -interval 250ms   # faster refresh
+//	flowtop -addr 127.0.0.1:9090 -once             # one frame, no redraw
+//	flowtop -addr 127.0.0.1:9090 -raw              # raw JSON frames
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"flowrecon/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("flowtop", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:9090", "telemetry address of the target process (host:port)")
+		interval = fs.Duration("interval", time.Second, "server-side frame interval")
+		once     = fs.Bool("once", false, "print a single frame and exit")
+		raw      = fs.Bool("raw", false, "print the raw JSON frames instead of the dashboard")
+		frames   = fs.Int("frames", 0, "exit after this many frames (0 = run until the stream closes)")
+		plain    = fs.Bool("plain", false, "append frames instead of redrawing in place (for logs/pipes)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := fmt.Sprintf("http://%s/debug/live?interval=%s", *addr, interval.String())
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("flowtop: connect %s: %w (is the process running with -telemetry-addr?)", *addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("flowtop: %s returned %s", url, resp.Status)
+	}
+
+	seen := 0
+	redraw := !*once && !*raw && !*plain
+	err = readSSE(resp.Body, func(data string) error {
+		seen++
+		if *raw {
+			fmt.Fprintln(out, data)
+		} else {
+			u, err := telemetry.DecodeLiveUpdate([]byte(data))
+			if err != nil {
+				return err
+			}
+			if redraw {
+				// ANSI: home + clear to end of screen, so the dashboard
+				// repaints in place like top(1).
+				fmt.Fprint(out, "\x1b[H\x1b[2J")
+			}
+			render(out, *addr, u)
+		}
+		if *once || (*frames > 0 && seen >= *frames) {
+			return errDone
+		}
+		return nil
+	})
+	if err == errDone {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if seen == 0 {
+		return fmt.Errorf("flowtop: stream from %s closed before the first frame", *addr)
+	}
+	fmt.Fprintf(out, "stream closed after %d frames\n", seen)
+	return nil
+}
+
+var errDone = fmt.Errorf("done")
+
+// readSSE scans an SSE body and invokes fn with each frame's data
+// payload. Only "event: live" frames (and bare data frames) are
+// surfaced; comments and other event types are skipped.
+func readSSE(r io.Reader, fn func(data string) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data != "" && (event == "" || event == "live") {
+				if err := fn(data); err != nil {
+					return err
+				}
+			}
+			event, data = "", ""
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return sc.Err()
+}
+
+// render paints one dashboard frame.
+func render(out io.Writer, addr string, u telemetry.LiveUpdate) {
+	fmt.Fprintf(out, "flowtop — %s   frame %d   window %.2fs\n", addr, u.Seq, u.ElapsedSec)
+	fmt.Fprintf(out, "%s\n", strings.Repeat("─", 64))
+	fmt.Fprintf(out, "trials   %8d   (+%d, %.1f/s)\n", u.Trials, u.TrialsDelta, u.TrialsPerSec)
+	fmt.Fprintf(out, "probes   %8d   (+%d, %.1f/s)\n", u.Probes, u.ProbesDelta, u.ProbesPerSec)
+	fmt.Fprintf(out, "faults   %8d   (+%d)    reconnects %d    lost %d\n",
+		u.Faults, u.FaultsDelta, u.Reconnects, u.Lost)
+	if u.Accuracy > 0 || len(u.AccuracyByAttacker) > 0 {
+		fmt.Fprintf(out, "accuracy %7.1f%%  %s\n", 100*u.Accuracy, accuracyBar(u.Accuracy, 24))
+		names := make([]string, 0, len(u.AccuracyByAttacker))
+		for n := range u.AccuracyByAttacker {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			a := u.AccuracyByAttacker[n]
+			fmt.Fprintf(out, "  %-18s %6.1f%%  %s\n", n, 100*a, accuracyBar(a, 24))
+		}
+	}
+	if len(u.Counters) > 0 {
+		fmt.Fprintf(out, "moved this window:\n")
+		keys := make([]string, 0, len(u.Counters))
+		for k := range u.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(out, "  %-52s %+d\n", k, u.Counters[k])
+		}
+	}
+}
+
+// accuracyBar renders v∈[0,1] as a fixed-width meter.
+func accuracyBar(v float64, width int) string {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	n := int(v*float64(width) + 0.5)
+	return "[" + strings.Repeat("█", n) + strings.Repeat("·", width-n) + "]"
+}

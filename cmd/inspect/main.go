@@ -13,6 +13,9 @@
 //	inspect -entropy conv.svg run.jsonl      # entropy-convergence curves
 //	inspect -diff other.jsonl run.jsonl      # first divergence between two runs
 //	inspect -replay run.jsonl                # re-execute the spec and compare
+//	inspect -perfetto t.json run.jsonl       # export -trial spans as a Chrome trace
+//	inspect -perfetto t.json sw.jsonl ctl.jsonl  # join two daemons' span streams
+//	inspect -validate-perfetto t.json        # check a trace loads (used by CI)
 package main
 
 import (
@@ -47,9 +50,49 @@ func run(args []string, out io.Writer) error {
 		diffPath = fs.String("diff", "", "diff against this second recording")
 		replay   = fs.Bool("replay", false, "re-execute the recording's spec and diff the result")
 		maxDiv   = fs.Int("max-div", 10, "maximum divergences to print")
+		perfetto = fs.String("perfetto", "", "export causal spans as Chrome trace_event JSON (loadable at ui.perfetto.dev) to this file")
+		validPF  = fs.Bool("validate-perfetto", false, "validate that the given file is a well-formed trace_event JSON and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *validPF {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("inspect: -validate-perfetto expects exactly one trace file (got %d)", fs.NArg())
+		}
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		n, err := telemetry.ValidatePerfetto(f)
+		if err != nil {
+			return fmt.Errorf("inspect: %s: %w", fs.Arg(0), err)
+		}
+		fmt.Fprintf(out, "perfetto trace %s: OK (%d span events)\n", fs.Arg(0), n)
+		return nil
+	}
+	if *perfetto != "" {
+		if fs.NArg() < 1 {
+			return fmt.Errorf("inspect: -perfetto expects one or more input paths (recordings or span JSONL streams)")
+		}
+		all, err := loadSpans(fs.Args(), *trial)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(*perfetto)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.WritePerfetto(all, f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "perfetto trace written to %s (%d spans; open at https://ui.perfetto.dev)\n", *perfetto, len(all))
+		return nil
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("inspect: exactly one recording path expected (got %d)", fs.NArg())
@@ -335,6 +378,40 @@ func printResults(out io.Writer, results []experiment.AttackerResult) {
 		fmt.Fprintf(out, "%-16s %8.1f%% %6d %6d %6d %6d\n",
 			r.Name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
 	}
+}
+
+// loadSpans reads causal spans from each path. A trial recording
+// contributes the spans of the -trial trial; a raw span JSONL stream (the
+// ofswitch/ofcontroller -spans-out format) contributes everything it
+// holds. Several paths concatenate — that is how the two TCP daemons'
+// namespaced streams join into one forest.
+func loadSpans(paths []string, trial int) ([]telemetry.Span, error) {
+	var all []telemetry.Span
+	for _, path := range paths {
+		rec, recErr := trialrec.ReadFile(path)
+		if recErr == nil {
+			t, err := pickTrial(rec, trial)
+			if err != nil {
+				return nil, err
+			}
+			if len(t.Spans) == 0 {
+				return nil, fmt.Errorf("inspect: %s trial %d has no spans (recording made without span capture)", path, trial)
+			}
+			all = append(all, t.Spans...)
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		spans, err := telemetry.ReadSpansJSONL(f)
+		f.Close()
+		if err != nil || len(spans) == 0 {
+			return nil, fmt.Errorf("inspect: %s is neither a trial recording (%v) nor a span JSONL stream", path, recErr)
+		}
+		all = append(all, spans...)
+	}
+	return all, nil
 }
 
 func pickTrial(rec *trialrec.Recording, idx int) (trialrec.Trial, error) {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"flowrecon/internal/defense"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
 	"flowrecon/internal/workload"
 )
 
@@ -42,9 +44,33 @@ func run(args []string) error {
 		targetBits = fs.Float64("target-bits", 0.02, "coarsening target for worst-case leakage")
 		maxMerges  = fs.Int("max-merges", 3, "coarsening budget")
 		par        = fs.Int("parallelism", 1, "per-target profiling worker goroutines; the profile is identical at every level")
+		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/live and pprof on this address while the analysis runs")
+		telOut     = fs.String("telemetry-out", "", "write the final telemetry snapshot (model build/evolve/cache counters) as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *telAddr != "" || *telOut != "" {
+		reg := telemetry.NewRegistry(1024)
+		// The leakage meter is the attacker's own Markov model, so the
+		// model layer's counters are the interesting ones here.
+		core.SetTelemetry(reg)
+		if *telAddr != "" {
+			srv, err := telemetry.Serve(*telAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry on http://%s/metrics (live: /debug/live, pprof: /debug/pprof/)\n", srv.Addr())
+		}
+		if *telOut != "" {
+			path := *telOut
+			defer func() {
+				if err := writeSnapshot(path, reg); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
 	}
 
 	rng := stats.NewRNG(*seed)
@@ -107,4 +133,16 @@ func run(args []string) error {
 		fmt.Printf("  %s\n", r)
 	}
 	return nil
+}
+
+// writeSnapshot dumps the registry's final snapshot as indented JSON.
+func writeSnapshot(path string, reg *telemetry.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reg.Snapshot())
 }

@@ -44,7 +44,8 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "seed for the generated policy (must match the switch)")
 		processing = fs.Duration("processing", 3900*time.Microsecond, "simulated controller compute time per PACKET_IN")
 		step       = fs.Float64("step", 0.1, "model step Δ in seconds (scales rule timeouts)")
-		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9091)")
+		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/spans, /debug/live and pprof on this address (e.g. 127.0.0.1:9091)")
+		spansOut   = fs.String("spans-out", "", "write recorded causal spans as JSONL to this file at exit (join with the switch's via inspect -perfetto)")
 
 		faultSeed      = fs.Int64("fault-seed", 0, "seed for injected faults (derives every fault stream)")
 		faultLoss      = fs.Float64("fault-loss", 0, "probability of dropping each sent control message")
@@ -78,15 +79,34 @@ func run(args []string) error {
 	if prof.Enabled() {
 		fmt.Printf("fault injection armed: %+v\n", prof)
 	}
-	if *telAddr != "" {
+	if *telAddr != "" || *spansOut != "" {
 		reg := telemetry.NewRegistry(4096)
+		// Namespace 2 = controller; see the matching ofswitch comment.
+		reg.EnableSpans(0).SetNamespace(openflow.SpanNamespaceController)
+		reg.EnableEvents(0)
 		ctl.SetTelemetry(reg)
-		srv, err := telemetry.Serve(*telAddr, reg)
-		if err != nil {
-			return err
+		if *telAddr != "" {
+			srv, err := telemetry.Serve(*telAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry on http://%s/metrics (spans: /debug/spans, live: /debug/live, pprof: /debug/pprof/)\n", srv.Addr())
 		}
-		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics (trace: /debug/trace, pprof: /debug/pprof/)\n", srv.Addr())
+		if *spansOut != "" {
+			path := *spansOut
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				defer f.Close()
+				if err := reg.Spans().WriteJSONL(f); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}()
+		}
 	}
 	addr, err := ctl.Listen(*listen)
 	if err != nil {

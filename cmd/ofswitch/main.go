@@ -47,7 +47,8 @@ func run(args []string) error {
 		capacity   = fs.Int("capacity", 9, "flow table capacity (6 + 3 reserved, §VI-A)")
 		probes     = fs.Int("probes", 10, "probe packets to inject")
 		gap        = fs.Duration("gap", 200*time.Millisecond, "delay between probes")
-		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/trace and pprof on this address (e.g. 127.0.0.1:9090)")
+		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/spans, /debug/live and pprof on this address (e.g. 127.0.0.1:9090)")
+		spansOut   = fs.String("spans-out", "", "write recorded causal spans as JSONL to this file at exit (join with the controller's via inspect -perfetto)")
 		hold       = fs.Duration("hold", 0, "keep running (and serving telemetry) this long after the last probe")
 
 		faultSeed    = fs.Int64("fault-seed", 0, "seed for injected faults on this side of the channel")
@@ -69,14 +70,35 @@ func run(args []string) error {
 		return err
 	}
 	var reg *telemetry.Registry
-	if *telAddr != "" {
+	if *telAddr != "" || *spansOut != "" {
 		reg = telemetry.NewRegistry(4096)
+		// Namespace 1 = switch: keeps this process's span IDs disjoint
+		// from the controller's (namespace 2) so the two daemons' JSONL
+		// streams concatenate into one joined forest per probe.
+		reg.EnableSpans(0).SetNamespace(openflow.SpanNamespaceSwitch)
+		reg.EnableEvents(0)
+	}
+	if *telAddr != "" {
 		srv, err := telemetry.Serve(*telAddr, reg)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("telemetry on http://%s/metrics (trace: /debug/trace, pprof: /debug/pprof/)\n", srv.Addr())
+		fmt.Printf("telemetry on http://%s/metrics (spans: /debug/spans, live: /debug/live, pprof: /debug/pprof/)\n", srv.Addr())
+	}
+	if *spansOut != "" {
+		path := *spansOut
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := reg.Spans().WriteJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 16)
 	policy, err := rules.Generate(rules.DefaultGenerateConfig(*step), stats.NewRNG(*seed))

@@ -8,11 +8,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +29,8 @@ func run(args []string) error {
 	numRules := fs.Int("rules", 10, "number of rules |Rules|")
 	timeout := fs.Int("timeout", 100, "per-rule timeout t_j in steps")
 	cache := fs.Int("cache", 8, "switch cache capacity n")
+	telAddr := fs.String("telemetry-addr", "", "serve /metrics and pprof on this address after computing (blocks)")
+	telOut := fs.String("telemetry-out", "", "write the telemetry snapshot (state-count gauges) as JSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,5 +47,39 @@ func run(args []string) error {
 	fmt.Printf("basic model states (closed form, §IV-A2): %.4g\n", basic)
 	fmt.Printf("compact model states (§IV-B):             %d\n", compact)
 	fmt.Printf("reduction factor:                          %.4g×\n", basic/float64(compact))
+
+	if *telAddr != "" || *telOut != "" {
+		reg := telemetry.NewRegistry(64)
+		reg.Gauge("statecount_rules").Set(int64(*numRules))
+		reg.Gauge("statecount_cache").Set(int64(*cache))
+		reg.Gauge("statecount_states", "model", "compact").Set(int64(compact))
+		if basic < float64(1<<62) {
+			// The basic count explodes combinatorially; only a gauge-sized
+			// value is exported (the printed %.4g is always exact enough).
+			reg.Gauge("statecount_states", "model", "basic").Set(int64(basic))
+		}
+		if *telOut != "" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			enc := json.NewEncoder(f)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(reg.Snapshot()); err != nil {
+				return err
+			}
+			fmt.Printf("telemetry snapshot written to %s\n", *telOut)
+		}
+		if *telAddr != "" {
+			srv, err := telemetry.Serve(*telAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("telemetry on http://%s/metrics — ctrl-C to exit\n", srv.Addr())
+			select {}
+		}
+	}
 	return nil
 }

@@ -25,6 +25,9 @@ type coreMetrics struct {
 	// buildWorkers is the worker count of the most recent parallel
 	// model build (gauge "model_build_workers").
 	buildWorkers *telemetry.Gauge
+	// events receives one wide event per model-cache lookup (kind
+	// "model.cache"); thin with EventLog.SetSampling on hot runs.
+	events *telemetry.EventLog
 }
 
 var coreMetricsPtr atomic.Pointer[coreMetrics]
@@ -55,6 +58,7 @@ func SetTelemetry(reg *telemetry.Registry) {
 		usumMemoHits:     reg.Counter("usum_memo_lookups", "result", "hit"),
 		usumMemoMisses:   reg.Counter("usum_memo_lookups", "result", "miss"),
 		buildWorkers:     reg.Gauge("model_build_workers"),
+		events:           reg.Events(),
 	})
 }
 
@@ -79,6 +83,16 @@ func obsModelCache(hit bool) {
 		m.modelCacheHits.Inc()
 	} else {
 		m.modelCacheMisses.Inc()
+	}
+	if m.events != nil {
+		ev := telemetry.NewWideEvent("model.cache")
+		ev.Node = "core"
+		if hit {
+			ev.Outcome = "hit"
+		} else {
+			ev.Outcome = "miss"
+		}
+		m.events.Emit(ev)
 	}
 }
 

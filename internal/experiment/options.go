@@ -47,6 +47,13 @@ type TrialOptions struct {
 	// recording byte-identical to a fault-free run, and a faulty run is
 	// reproducible from (TrialSeed, Faults) alone at any parallelism.
 	Faults faults.Profile
+	// Events receives one wide event per probe decision, per trial
+	// verdict, and per injected probe fault. Workers buffer their trial's
+	// events locally and the collector appends them in trial order, so
+	// (with the log's wall clock disabled) the event stream is
+	// byte-identical at every parallelism level. Nil disables events at
+	// zero per-probe cost.
+	Events *telemetry.EventLog
 	// Parallelism is the number of worker goroutines running trials
 	// concurrently; values ≤ 1 run serially. Every trial draws all of its
 	// randomness (traffic, probe noise, random verdicts) from a per-trial
@@ -69,6 +76,7 @@ type trialEnv struct {
 	horizon   float64
 	observing bool // collect spans (and belief/probe forensics)
 	recording bool // also keep arrivals + attacker trials for the recorder
+	eventing  bool // buffer wide events per trial for in-order assembly
 	noWall    bool // zero wall-clock in trial spans (deterministic output)
 }
 
@@ -81,6 +89,7 @@ type trialOut struct {
 	arrivals []workload.Arrival       // recording only
 	atts     []trialrec.AttackerTrial // recording only
 	spans    []telemetry.Span         // observing only; IDs/traces local to the trial
+	events   []telemetry.WideEvent    // eventing only; appended in trial order
 	err      error
 }
 
@@ -132,11 +141,19 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 	for i, a := range env.attackers {
 		var obs *probeObserver
 		var attSpan telemetry.SpanID
+		var attCtx telemetry.SpanContext
 		if env.observing {
-			attSpan = spans.Start(traceID, trialSpan, "attacker", env.names[i], 0)
-			obs = &probeObserver{spans: spans, trace: traceID, parent: attSpan}
-			if bp, ok := a.(core.BeliefProvider); ok {
-				obs.tracker = bp.Selector().NewBeliefTracker()
+			attSpan, attCtx = spans.StartCtx(spans.Context(traceID, trialSpan), "attacker", env.names[i], 0)
+		}
+		if env.observing || env.eventing {
+			obs = &probeObserver{spans: spans, ctx: attCtx, trial: trial, name: env.names[i]}
+			if env.eventing {
+				obs.events = &out.events
+			}
+			if env.observing {
+				if bp, ok := a.(core.BeliefProvider); ok {
+					obs.tracker = bp.Selector().NewBeliefTracker()
+				}
 			}
 		}
 		replaySpan := spans.Start(traceID, attSpan, "replay", "experiment", 0)
@@ -161,6 +178,22 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 			verdict = a.Decide(outcomes, rng)
 		}
 		out.verdicts[i] = verdict
+		if env.eventing {
+			ev := telemetry.NewWideEvent("trial.verdict")
+			ev.Node = "experiment"
+			ev.T = env.horizon
+			ev.Trial = trial
+			ev.Attacker = env.names[i]
+			ev.Trace = traceID
+			ev.Verdict = presenceStr(verdict)
+			ev.Truth = presenceStr(out.truth)
+			if verdict == out.truth {
+				ev.Outcome = "correct"
+			} else {
+				ev.Outcome = "wrong"
+			}
+			out.events = append(out.events, ev)
+		}
 		if env.observing {
 			decSpan := spans.Start(traceID, attSpan, "decision", env.names[i], env.horizon)
 			spans.Annotate(decSpan, -1, -1, decisionDetail(verdict, out.truth))
@@ -219,6 +252,7 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		horizon:   float64(nc.Params.Steps()) * nc.Params.Delta,
 		observing: rec.Enabled() || spansOut != nil,
 		recording: rec.Enabled(),
+		eventing:  opts.Events != nil,
 		noWall:    opts.Spans == nil,
 	}
 	verdicts := make([][4]*telemetry.Counter, len(attackers))
@@ -229,6 +263,20 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		verdicts[i] = verdictCounters(reg, a.Name())
 	}
 
+	// count feeds the confusion-matrix counters the moment a trial
+	// finishes. The counters are atomic and commutative, so workers may
+	// call this out of trial order — it is what keeps the /debug/live
+	// accuracy view current during a parallel run instead of jumping
+	// from zero to final at the end.
+	count := func(out trialOut) {
+		if out.err != nil {
+			return
+		}
+		for i := range attackers {
+			countVerdict(verdicts[i], out.verdicts[i], out.truth)
+		}
+	}
+
 	// assemble folds trial t's output into the aggregate results and the
 	// recording. It must be called in trial order.
 	assemble := func(t int, out trialOut) error {
@@ -237,8 +285,10 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		}
 		for i := range attackers {
 			score(&results[i], out.verdicts[i], out.truth)
-			countVerdict(verdicts[i], out.verdicts[i], out.truth)
 		}
+		// In-order batch append keeps the event stream byte-identical at
+		// every parallelism level (safe on a nil log).
+		opts.Events.Append(out.events)
 		if env.observing {
 			spansOut.Import(out.spans)
 			if rec.Enabled() {
@@ -266,6 +316,7 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		var records []TrialRecord
 		for t := 0; t < trials; t++ {
 			out := env.runTrial(t, rng.Fork())
+			count(out)
 			if err := assemble(t, out); err != nil {
 				return nil, nil, err
 			}
@@ -286,6 +337,33 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 	outs := make([]trialOut, trials)
 	busy := reg.Gauge("experiment_trial_workers_busy")
 	reg.Gauge("experiment_trial_workers").Set(int64(workers))
+
+	// Assembly streams behind the workers instead of waiting for the
+	// whole run: a frontier walks forward over the completed-trial mask,
+	// folding each trial in exact trial order the moment it and all its
+	// predecessors are done. The event log and recording therefore fill
+	// DURING a parallel run (what /debug/events and -events-out observe)
+	// while staying byte-identical to the serial stream, and each
+	// assembled trial's buffers are released instead of held to the end.
+	var (
+		asmMu    sync.Mutex
+		done     = make([]bool, trials)
+		frontier int
+		asmErr   error
+	)
+	markDone := func(t int) {
+		asmMu.Lock()
+		defer asmMu.Unlock()
+		done[t] = true
+		for frontier < trials && done[frontier] {
+			if asmErr == nil {
+				asmErr = assemble(frontier, outs[frontier])
+			}
+			outs[frontier] = trialOut{}
+			frontier++
+		}
+	}
+
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -299,15 +377,15 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 				}
 				busy.Add(1)
 				outs[t] = env.runTrial(t, stats.NewRNG(seeds[t]))
+				count(outs[t])
 				busy.Add(-1)
+				markDone(t)
 			}
 		}()
 	}
 	wg.Wait()
-	for t := range outs {
-		if err := assemble(t, outs[t]); err != nil {
-			return nil, nil, err
-		}
+	if asmErr != nil {
+		return nil, nil, asmErr
 	}
 	return results, nil, nil
 }
@@ -324,12 +402,16 @@ func anyLost(lost []bool) bool {
 }
 
 func decisionDetail(verdict, truth bool) string {
-	v := "absent"
-	if verdict {
-		v = "present"
-	}
+	v := presenceStr(verdict)
 	if verdict == truth {
 		return "verdict=" + v + " correct"
 	}
 	return "verdict=" + v + " wrong"
+}
+
+func presenceStr(present bool) string {
+	if present {
+		return "present"
+	}
+	return "absent"
 }

@@ -133,14 +133,19 @@ type SequentialAttacker interface {
 // probeObserver captures per-probe forensics for one attacker within one
 // trial: the probes actually sent (needed for sequential attackers, whose
 // plan only materializes as outcomes arrive), the belief trajectory when
-// the attacker exposes a fitted model, and one causal span per probe. A
-// nil observer disables everything at the cost of one pointer check, so
-// the un-instrumented trial loop stays allocation-free.
+// the attacker exposes a fitted model, one causal span per probe (hung
+// under the attacker span via the ctx carrier — the same SpanContext the
+// TCP path marshals onto the wire), and one wide event per probe
+// decision when the trial loop collects events. A nil observer disables
+// everything at the cost of one pointer check, so the un-instrumented
+// trial loop stays allocation-free.
 type probeObserver struct {
 	tracker *core.BeliefTracker
 	spans   *telemetry.SpanRecorder
-	trace   int64
-	parent  telemetry.SpanID
+	ctx     telemetry.SpanContext
+	trial   int
+	name    string // attacker name, for wide events
+	events  *[]telemetry.WideEvent
 	probes  []flows.ID
 	belief  []core.BeliefStep
 }
@@ -152,25 +157,49 @@ func (o *probeObserver) observe(f flows.ID, hit, classified bool, ms, at float64
 		return
 	}
 	o.probes = append(o.probes, f)
-	id := o.spans.Start(o.trace, o.parent, "probe", "experiment", at)
+	id, _ := o.spans.StartCtx(o.ctx, "probe", "experiment", at)
 	o.spans.Annotate(id, int(f), -1, probeDetail(hit, classified, ms))
 	o.spans.End(id, at+ms/1e3)
+	if o.events != nil {
+		ev := telemetry.NewWideEvent("probe")
+		ev.Node = "experiment"
+		ev.T = at
+		ev.Trial = o.trial
+		ev.Attacker = o.name
+		ev.Flow = int(f)
+		ev.Trace = o.ctx.Trace
+		ev.Truth = hitStr(hit)
+		ev.Outcome = hitStr(classified)
+		ev.DelayMs = ms
+		*o.events = append(*o.events, ev)
+	}
 	if o.tracker != nil {
 		o.belief = append(o.belief, o.tracker.Observe(f, classified))
 	}
 }
 
 // observeLost records a probe that produced no observation: the span is
-// annotated as lost and the belief tracker (if any) folds in an explicit
-// no-observation step.
+// annotated as lost, a fault wide event is emitted, and the belief
+// tracker (if any) folds in an explicit no-observation step.
 func (o *probeObserver) observeLost(f flows.ID, at float64) {
 	if o == nil {
 		return
 	}
 	o.probes = append(o.probes, f)
-	id := o.spans.Start(o.trace, o.parent, "probe", "experiment", at)
+	id, _ := o.spans.StartCtx(o.ctx, "probe", "experiment", at)
 	o.spans.Annotate(id, int(f), -1, "lost")
 	o.spans.End(id, at)
+	if o.events != nil {
+		ev := telemetry.NewWideEvent("fault.drop")
+		ev.Node = "experiment"
+		ev.T = at
+		ev.Trial = o.trial
+		ev.Attacker = o.name
+		ev.Flow = int(f)
+		ev.Trace = o.ctx.Trace
+		ev.Outcome = "lost"
+		*o.events = append(*o.events, ev)
+	}
 	if o.tracker != nil {
 		o.belief = append(o.belief, o.tracker.ObserveLost(f))
 	}

@@ -153,6 +153,9 @@ type Stream struct {
 	reordered *telemetry.Counter
 	resets    *telemetry.Counter
 	stalls    *telemetry.Counter
+
+	events *telemetry.EventLog // wide event per injected fault (nil = off)
+	layer  string              // injection layer, stamped into event Node
 }
 
 // SetTelemetry attaches fault counters, labelled by the injection layer
@@ -168,6 +171,30 @@ func (s *Stream) SetTelemetry(reg *telemetry.Registry, layer string) {
 	s.reordered = reg.Counter("faults_reorder_total", "layer", layer)
 	s.resets = reg.Counter("faults_reset_total", "layer", layer)
 	s.stalls = reg.Counter("faults_stall_total", "layer", layer)
+	s.layer = layer
+}
+
+// SetEventLog attaches a wide-event sink emitting one event per injected
+// fault ("fault.loss", "fault.reset", ...). It is a separate opt-in from
+// SetTelemetry because the experiment trial loop must NOT sink fault
+// events directly — it buffers them per trial for in-order assembly so
+// parallel runs stay byte-identical. The transport and controller
+// layers, whose faults are wall-clock-ordered anyway, attach the sink.
+func (s *Stream) SetEventLog(l *telemetry.EventLog) {
+	if s == nil {
+		return
+	}
+	s.events = l
+}
+
+// event emits one fault-injection wide event.
+func (s *Stream) event(kind string) {
+	if s.events == nil {
+		return
+	}
+	ev := telemetry.NewWideEvent("fault." + kind)
+	ev.Node = s.layer
+	s.events.Emit(ev)
 }
 
 // Profile returns the stream's profile (zero for a nil stream).
@@ -199,6 +226,7 @@ func (s *Stream) Drop() bool {
 	if hit {
 		s.lost.Inc()
 		s.injected.Inc()
+		s.event("loss")
 	}
 	return hit
 }
@@ -215,6 +243,7 @@ func (s *Stream) JitterMs() float64 {
 	if j > 0 {
 		s.jittered.Inc()
 		s.injected.Inc()
+		s.event("jitter")
 	}
 	return j
 }
@@ -230,6 +259,7 @@ func (s *Stream) ReorderMs() float64 {
 	}
 	s.reordered.Inc()
 	s.injected.Inc()
+	s.event("reorder")
 	return s.p.ReorderExtraMs
 }
 
@@ -243,6 +273,7 @@ func (s *Stream) Reset() bool {
 	if hit {
 		s.resets.Inc()
 		s.injected.Inc()
+		s.event("reset")
 	}
 	return hit
 }
@@ -258,6 +289,7 @@ func (s *Stream) StallMs() float64 {
 	}
 	s.stalls.Inc()
 	s.injected.Inc()
+	s.event("stall")
 	return s.p.StallMs
 }
 

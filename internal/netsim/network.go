@@ -155,6 +155,7 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry) {
 		sw.Table.SetTelemetry(reg, name)
 	}
 	n.flt.SetTelemetry(reg, "netsim") // no-op when faults are off
+	n.flt.SetEventLog(reg.Events())   // fault wide events (virtual time is single-threaded)
 }
 
 // trace emits one per-node virtual-time event.
@@ -323,27 +324,30 @@ func (n *Network) SendEcho(srcHost, dstHost string, at float64) (*EchoResult, er
 	fid, known := n.universe.Lookup(tuple)
 
 	res := &EchoResult{SentAt: at, RTT: math.NaN()}
-	var root telemetry.SpanID
+	var rootCtx telemetry.SpanContext
 	if n.tm.spans != nil {
 		res.Trace = n.tm.spans.NewTrace()
-		root = n.tm.spans.Start(res.Trace, 0, "echo", src.Switch, at)
+		var root telemetry.SpanID
+		root, rootCtx = n.tm.spans.StartCtx(n.tm.spans.Context(res.Trace, 0), "echo", src.Switch, at)
 		n.tm.spans.Annotate(root, int(fid), -1, srcHost+"→"+dstHost)
 	}
 	n.sim.At(at+n.lat.HostLink, func() {
 		n.trace("probe.sent", src.Switch, fid, 0)
-		n.forward(res, path, 0, fid, known, at, root)
+		n.forward(res, path, 0, fid, known, at, rootCtx)
 	})
 	return res, nil
 }
 
-// forward processes the packet at path[idx] and passes it on. parent is
-// the echo's root span; every hop (and, on a miss, the packet-in →
-// controller-decision → flow-mod chain) hangs beneath it in virtual time.
-func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID, known bool, sentAt float64, parent telemetry.SpanID) {
+// forward processes the packet at path[idx] and passes it on. sc is the
+// echo root's SpanContext — the same carrier the TCP path marshals onto
+// the wire — so every hop (and, on a miss, the packet-in →
+// controller-decision → flow-mod chain) hangs beneath the root in
+// virtual time.
+func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID, known bool, sentAt float64, sc telemetry.SpanContext) {
 	sw := n.switches[path[idx]]
 	now := n.sim.Now()
 	delay := sample(n.rng, n.lat.HopMean, n.lat.HopStd) + n.ctrl.ExtraHitDelay
-	hop := n.tm.spans.Start(res.Trace, parent, "hop", sw.Name, now)
+	hop, hopCtx := n.tm.spans.StartCtx(sc, "hop", sw.Name, now)
 	n.tm.spans.Annotate(hop, int(fid), -1, "")
 
 	if n.flt != nil {
@@ -354,7 +358,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			n.trace("fault.drop", sw.Name, fid, 0)
 			n.tm.spans.Annotate(hop, -1, -1, "dropped")
 			n.tm.spans.End(hop, now)
-			n.tm.spans.End(parent, now)
+			n.tm.spans.End(sc.Parent, now)
 			return
 		}
 		// Delivered packets pick up jitter (and, when selected, the
@@ -379,13 +383,13 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			n.tm.misses.Inc()
 			n.tm.packetIns.Inc()
 			n.trace("probe.miss", sw.Name, fid, 0)
-			pin := n.tm.spans.Start(res.Trace, hop, "packet_in", sw.Name, now)
+			pin, pinCtx := n.tm.spans.StartCtx(hopCtx, "packet_in", sw.Name, now)
 			n.tm.spans.Annotate(pin, int(fid), -1, "")
 			setup := sample(n.rng, n.lat.SetupMean, n.lat.SetupStd)
 			if setup < n.lat.SetupFloor {
 				setup = n.lat.SetupFloor
 			}
-			dec := n.tm.spans.Start(res.Trace, pin, "controller.decision", "controller", now)
+			dec, decCtx := n.tm.spans.StartCtx(pinCtx, "controller.decision", "controller", now)
 			var decision controller.Decision
 			if known {
 				decision = n.ctrl.App.OnPacketIn(fid)
@@ -407,7 +411,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			if decision.Install {
 				sw.Table.Install(decision.RuleID, now)
 				n.tm.spans.Annotate(dec, -1, decision.RuleID, "")
-				fm := n.tm.spans.Start(res.Trace, dec, "flow_mod", sw.Name, decEnd)
+				fm, _ := n.tm.spans.StartCtx(decCtx, "flow_mod", sw.Name, decEnd)
 				n.tm.spans.Annotate(fm, int(fid), decision.RuleID, "install")
 				n.tm.spans.End(fm, decEnd)
 			}
@@ -419,7 +423,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 
 	if idx+1 < len(path) {
 		n.sim.After(delay+n.lat.SwitchLink, func() {
-			n.forward(res, path, idx+1, fid, known, sentAt, parent)
+			n.forward(res, path, idx+1, fid, known, sentAt, sc)
 		})
 		return
 	}
@@ -440,8 +444,8 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			// The reply is lost on the way back: the echo was processed
 			// (rules installed and all) but the sender observes nothing.
 			n.trace("fault.drop", last, fid, 0)
-			n.tm.spans.Annotate(parent, -1, -1, "reply dropped")
-			n.tm.spans.End(parent, n.sim.Now())
+			n.tm.spans.Annotate(sc.Parent, -1, -1, "reply dropped")
+			n.tm.spans.End(sc.Parent, n.sim.Now())
 			return
 		}
 		replyDelay += n.flt.JitterMs() / 1e3
@@ -451,6 +455,6 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		res.Delivered = true
 		n.tm.rtt.Observe(res.RTT)
 		n.trace("echo.delivered", last, fid, res.RTT)
-		n.tm.spans.End(parent, n.sim.Now())
+		n.tm.spans.End(sc.Parent, n.sim.Now())
 	})
 }

@@ -65,6 +65,7 @@ type ctlMetrics struct {
 	serviceTime   *telemetry.Histogram // packet-in → flow-mod/packet-out, seconds
 	tracer        *telemetry.Tracer
 	spans         *telemetry.SpanRecorder // wall-clock causal spans
+	events        *telemetry.EventLog     // wide events (decisions, dupes)
 }
 
 // SetTelemetry attaches the controller (its shared application plus every
@@ -82,8 +83,10 @@ func (c *Controller) SetTelemetry(reg *telemetry.Registry) {
 		serviceTime:   reg.Histogram("controller_packet_in_service_seconds", nil),
 		tracer:        reg.Tracer(),
 		spans:         reg.Spans(),
+		events:        reg.Events(),
 	}
 	c.flt.SetTelemetry(reg, "controller")
+	c.flt.SetEventLog(reg.Events())
 }
 
 // NewController builds a controller over the shared policy.
@@ -281,7 +284,7 @@ func (d *dedupCache) store(buf uint32, reply Message) {
 // rule with its timeouts, and release the buffered packet. It returns
 // the reply it sent so ServeConn can answer retransmissions from cache.
 func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
-	tuple, err := DecodeTuple(m.Data)
+	tuple, sc, err := DecodeTupleContext(m.Data)
 	if err != nil {
 		return nil, conn.SendXID(&ErrorMsg{ErrType: 1, Code: 0}, 0)
 	}
@@ -291,13 +294,21 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 		time.Sleep(time.Duration(st * float64(time.Millisecond)))
 	}
 	fid, known := c.universe.Lookup(tuple)
-	// The decision span echoes the switch's buffer id, correlating this
-	// tree with the switch-side packet_in span across the wire.
+	// When the PACKET_IN carries the switch's SpanContext side-band, the
+	// decision span adopts its trace and parents itself under the
+	// switch-side packet_in span: the two processes' streams concatenate
+	// into one joined tree per probe. Legacy payloads without the
+	// side-band fall back to a fresh root correlated by buffer id.
 	var dec telemetry.SpanID
 	var decTrace int64
 	if c.tm.spans != nil {
-		decTrace = c.tm.spans.NewTrace()
-		dec = c.tm.spans.Start(decTrace, 0, "controller.decision", "controller", c.now())
+		if sc.Valid() {
+			decTrace = sc.Trace
+			dec = c.tm.spans.Start(sc.Trace, sc.Parent, "controller.decision", "controller", c.now())
+		} else {
+			decTrace = c.tm.spans.NewTrace()
+			dec = c.tm.spans.Start(decTrace, 0, "controller.decision", "controller", c.now())
+		}
 		c.tm.spans.Annotate(dec, int(fid), -1, fmt.Sprintf("buffer=%d", m.BufferID))
 	}
 	if known {
@@ -336,6 +347,7 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 				c.tm.spans.Annotate(dec, -1, decision.RuleID, "")
 				c.tm.spans.End(dec, end)
 			}
+			c.decisionEvent(fid, decision.RuleID, decTrace, "install", delay)
 			return fm, err
 		}
 	} else if c.opts.ProcessingDelay > 0 {
@@ -351,7 +363,24 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 		c.tm.spans.End(po, end)
 		c.tm.spans.End(dec, end)
 	}
+	c.decisionEvent(fid, -1, decTrace, "release", 0)
 	return pout, err
+}
+
+// decisionEvent emits one wide event per controller decision.
+func (c *Controller) decisionEvent(fid flows.ID, ruleID int, trace int64, outcome string, delay time.Duration) {
+	if c.tm.events == nil {
+		return
+	}
+	ev := telemetry.NewWideEvent("controller.decision")
+	ev.Node = "controller"
+	ev.T = c.now()
+	ev.Flow = int(fid)
+	ev.Rule = ruleID
+	ev.Trace = trace
+	ev.Outcome = outcome
+	ev.DelayMs = float64(delay) / float64(time.Millisecond)
+	c.tm.events.Emit(ev)
 }
 
 func timeoutSeconds(steps int, stepSeconds float64) uint16 {

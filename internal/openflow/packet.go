@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flowrecon/internal/flows"
+	"flowrecon/internal/telemetry"
 )
 
 // tupleLen is the size of the serialized flow 5-tuple carried in
@@ -36,6 +37,24 @@ func DecodeTuple(buf []byte) (flows.FiveTuple, error) {
 		DstPort: binary.BigEndian.Uint16(buf[10:12]),
 		Proto:   flows.Proto(buf[12]),
 	}, nil
+}
+
+// EncodeTupleContext serializes a flow identifier followed by a trace
+// side-band carrying the sender's SpanContext, so the controller's
+// decision span joins the switch's causal tree instead of starting its
+// own root. An invalid (zero) context produces exactly EncodeTuple's
+// bytes; peers that predate the side-band parse either form, because
+// DecodeTuple reads only the leading tupleLen bytes.
+func EncodeTupleContext(t flows.FiveTuple, sc telemetry.SpanContext) []byte {
+	return sc.AppendBinary(EncodeTuple(t))
+}
+
+// DecodeTupleContext parses a payload produced by EncodeTupleContext (or
+// EncodeTuple — the context is then the invalid zero value).
+func DecodeTupleContext(buf []byte) (flows.FiveTuple, telemetry.SpanContext, error) {
+	rest, sc, _ := telemetry.ParseSpanContext(buf)
+	t, err := DecodeTuple(rest)
+	return t, sc, err
 }
 
 // MatchForTuple renders a 5-tuple as an exact-match ofp_match, the shape

@@ -9,13 +9,12 @@ import (
 	"flowrecon/internal/telemetry"
 )
 
-// TestInjectSpansCorrelateByBuffer: when both the switch and the
-// controller record spans into one registry, a miss produces a
-// switch-side inject → packet_in tree and a controller-side
-// controller.decision → flow_mod tree whose buffer=N details match — the
-// cross-wire correlation key, since the OpenFlow framing carries no trace
-// IDs.
-func TestInjectSpansCorrelateByBuffer(t *testing.T) {
+// TestInjectSpansJoinAcrossWire: the PACKET_IN payload carries the
+// switch's SpanContext as a side-band, so the controller's decision span
+// adopts the switch's trace and parents under the packet_in span. With
+// both sides recording into one registry, a miss yields ONE tree:
+// inject → packet_in → controller.decision → flow_mod.
+func TestInjectSpansJoinAcrossWire(t *testing.T) {
 	universe := flowsUniverse()
 	rs := testRules(t)
 	ctl := NewController(rs, universe, ControllerOptions{StepSeconds: 0.5})
@@ -72,18 +71,17 @@ func TestInjectSpansCorrelateByBuffer(t *testing.T) {
 	if len(pins) != 1 || len(decs) != 1 || len(fms) != 1 {
 		t.Fatalf("miss chain spans: pins=%d decisions=%d flow_mods=%d", len(pins), len(decs), len(fms))
 	}
-	// Correlation: both sides carry the same buffer=N detail.
-	bufDetail := ""
-	for _, f := range strings.Fields(pins[0].Detail) {
-		if strings.HasPrefix(f, "buffer=") {
-			bufDetail = f
-		}
+	// Cross-process propagation: the decision span adopted the switch's
+	// trace and parents under the packet_in span — no post-hoc join.
+	if decs[0].Trace != pins[0].Trace {
+		t.Fatalf("decision trace %d != packet_in trace %d", decs[0].Trace, pins[0].Trace)
 	}
-	if bufDetail == "" {
-		t.Fatalf("switch packet_in span lacks a buffer key: %q", pins[0].Detail)
+	if decs[0].Parent != pins[0].ID {
+		t.Fatalf("decision parent %d != packet_in span %d", decs[0].Parent, pins[0].ID)
 	}
-	if !strings.Contains(decs[0].Detail, bufDetail) {
-		t.Fatalf("controller decision %q does not echo %q", decs[0].Detail, bufDetail)
+	// The buffer id is still carried as a human-readable cross-check.
+	if !strings.Contains(decs[0].Detail, "buffer=") || !strings.Contains(pins[0].Detail, "buffer=") {
+		t.Fatalf("buffer detail lost: pin=%q dec=%q", pins[0].Detail, decs[0].Detail)
 	}
 	// Rule annotations point at the installed rule on both sides.
 	if pins[0].Rule != res1.RuleID || fms[0].Rule != res1.RuleID {
@@ -95,7 +93,8 @@ func TestInjectSpansCorrelateByBuffer(t *testing.T) {
 			t.Fatalf("span %s flow = %d", s[0].Name, s[0].Flow)
 		}
 	}
-	// The switch-side tree nests packet_in under inject.
+	// One joined tree: inject → packet_in → controller.decision, with
+	// flow_mod under the decision.
 	forest := telemetry.BuildSpanForest(spans)
 	var missRoot *telemetry.SpanNode
 	for _, n := range forest {
@@ -106,10 +105,86 @@ func TestInjectSpansCorrelateByBuffer(t *testing.T) {
 	if missRoot == nil || len(missRoot.Children) != 1 || missRoot.Children[0].Span.Name != "packet_in" {
 		t.Fatalf("switch span tree malformed: %+v", missRoot)
 	}
+	pinNode := missRoot.Children[0]
+	if len(pinNode.Children) != 1 || pinNode.Children[0].Span.Name != "controller.decision" {
+		t.Fatalf("controller decision not nested under packet_in: %+v", pinNode.Children)
+	}
+	decNode := pinNode.Children[0]
+	if len(decNode.Children) != 1 || decNode.Children[0].Span.Name != "flow_mod" {
+		t.Fatalf("flow_mod not nested under decision: %+v", decNode.Children)
+	}
 	// Hit injects record no packet-in chain.
 	hitInject := injects[1]
 	if hitInject.Detail != "hit" || hitInject.Rule != res2.RuleID {
 		t.Fatalf("hit inject span: %+v", hitInject)
+	}
+}
+
+// TestSpansJoinAcrossProcesses simulates the two-daemon deployment: the
+// switch and controller record into SEPARATE namespaced recorders (as
+// ofswitch/ofcontroller do), their JSONL streams are concatenated, and
+// BuildSpanForest still yields one tree per miss because the wire-carried
+// SpanContext references stay unambiguous across namespaces.
+func TestSpansJoinAcrossProcesses(t *testing.T) {
+	universe := flowsUniverse()
+	rs := testRules(t)
+	ctl := NewController(rs, universe, ControllerOptions{StepSeconds: 0.5})
+	ctlReg := telemetry.NewRegistry(0)
+	ctlReg.EnableSpans(0).SetNamespace(2)
+	ctl.SetTelemetry(ctlReg)
+	addr, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := NewSwitch(1, rs, universe, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swReg := telemetry.NewRegistry(0)
+	swReg.EnableSpans(0).SetNamespace(1)
+	sw.SetTelemetry(swReg)
+	if err := sw.Connect(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		sw.Close()
+		ctl.Close()
+	})
+
+	if _, err := sw.Inject(universe.Tuple(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Concatenate the two processes' streams, as an operator would with
+	// two /debug/spans downloads.
+	merged := append(swReg.Spans().Spans(), ctlReg.Spans().Spans()...)
+	forest := telemetry.BuildSpanForest(merged)
+	var root *telemetry.SpanNode
+	for _, n := range forest {
+		if n.Span.Name == "inject" {
+			root = n
+		}
+	}
+	if root == nil {
+		t.Fatal("no inject root in merged forest")
+	}
+	if len(root.Children) != 1 || root.Children[0].Span.Name != "packet_in" {
+		t.Fatalf("inject children: %+v", root.Children)
+	}
+	pin := root.Children[0]
+	if len(pin.Children) != 1 || pin.Children[0].Span.Name != "controller.decision" {
+		t.Fatalf("decision not joined under packet_in: %+v", pin.Children)
+	}
+	dec := pin.Children[0]
+	if dec.Span.Node != "controller" || pin.Span.Node != "switch" {
+		t.Fatalf("node attribution: pin=%q dec=%q", pin.Span.Node, dec.Span.Node)
+	}
+	if dec.Span.Trace != pin.Span.Trace {
+		t.Fatalf("trace mismatch across processes: %d vs %d", dec.Span.Trace, pin.Span.Trace)
+	}
+	// Distinct namespaces keep the two processes' span IDs disjoint.
+	if pin.Span.ID>>40 == dec.Span.ID>>40 {
+		t.Fatalf("span namespaces collide: pin=%d dec=%d", pin.Span.ID, dec.Span.ID)
 	}
 }
 

@@ -14,6 +14,14 @@ import (
 	"flowrecon/internal/telemetry"
 )
 
+// Span-ID namespaces for the two TCP daemons (telemetry.SetNamespace):
+// with disjoint namespaces the switch's and controller's span JSONL
+// streams concatenate into one joined forest per probe, no remapping.
+const (
+	SpanNamespaceSwitch     = 1
+	SpanNamespaceController = 2
+)
+
 // Switch is a user-space OpenFlow switch agent: it owns a flow table,
 // answers lookups locally on a hit, and on a miss raises a PACKET_IN to
 // the controller and blocks the packet until the FLOW_MOD / PACKET_OUT
@@ -62,6 +70,7 @@ type switchMetrics struct {
 	probeTimeouts *telemetry.Counter   // probes abandoned after all retries
 	tracer        *telemetry.Tracer
 	spans         *telemetry.SpanRecorder // wall-clock causal spans
+	events        *telemetry.EventLog     // wide events (probe outcomes, reconnects)
 }
 
 // SetTelemetry attaches the switch (its flow table, its connection once
@@ -84,6 +93,7 @@ func (s *Switch) SetTelemetry(reg *telemetry.Registry) {
 		probeTimeouts: reg.Counter("switch_probe_timeouts_total"),
 		tracer:        reg.Tracer(),
 		spans:         reg.Spans(),
+		events:        reg.Events(),
 	}
 	if c := s.currentConn(); c != nil {
 		c.SetTelemetry(reg, "switch")
@@ -261,6 +271,11 @@ func (s *Switch) redial(countReconnect bool) (*Conn, error) {
 			if herr := conn.HandshakeTimeout(s.pol.HandshakeTimeout); herr == nil {
 				if countReconnect {
 					s.tm.reconnects.Inc()
+					ev := telemetry.NewWideEvent("switch.reconnect")
+					ev.Node = "switch"
+					ev.T = s.now()
+					ev.Detail = fmt.Sprintf("attempt=%d", attempt+1)
+					s.tm.events.Emit(ev)
 				}
 				return conn, nil
 			} else {
@@ -549,6 +564,17 @@ func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries
 				s.tm.spans.Annotate(inj, -1, ruleID, "hit")
 				s.tm.spans.End(inj, s.now())
 			}
+			if s.tm.events != nil {
+				ev := telemetry.NewWideEvent("switch.probe")
+				ev.Node = "switch"
+				ev.T = s.now()
+				ev.Flow = int(fid)
+				ev.Rule = ruleID
+				ev.Trace = injTrace
+				ev.Outcome = "hit"
+				ev.DelayMs = float64(delay) / float64(time.Millisecond)
+				s.tm.events.Emit(ev)
+			}
 			return InjectResult{Hit: true, RuleID: ruleID, Delay: delay}, nil
 		}
 	}
@@ -561,21 +587,53 @@ func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries
 	s.pending[buf] = ch
 	s.mu.Unlock()
 
-	// The buffer id is the cross-wire correlation key: the controller
-	// echoes it in its own decision span, so the two recorders' trees can
-	// be joined without any wire-format change.
+	// The PACKET_IN carries the switch's SpanContext as a payload
+	// side-band (see EncodeTupleContext), so the controller starts its
+	// decision span under this packet_in span and the two processes'
+	// streams merge into ONE tree per probe. The buffer id stays in the
+	// detail string as a human-readable cross-check.
 	var pinSpan telemetry.SpanID
+	var pinCtx telemetry.SpanContext
 	if s.tm.spans != nil {
-		pinSpan = s.tm.spans.Start(injTrace, inj, "packet_in", "switch", s.now())
+		pinSpan, pinCtx = s.tm.spans.StartCtx(s.tm.spans.Context(injTrace, inj), "packet_in", "switch", s.now())
 		s.tm.spans.Annotate(pinSpan, int(fid), -1, fmt.Sprintf("buffer=%d", buf))
 	}
-	pin := &PacketIn{BufferID: buf, TotalLen: uint16(tupleLen), Reason: ReasonNoMatch, Data: EncodeTuple(t)}
+	// closeSpans ends both open spans on every exit path — a timed-out or
+	// failed probe must leave a finished (annotated) tree, not orphans.
+	closeSpans := func(ruleID int, detail string) {
+		if s.tm.spans == nil {
+			return
+		}
+		end := s.now()
+		s.tm.spans.Annotate(pinSpan, -1, ruleID, "")
+		s.tm.spans.End(pinSpan, end)
+		s.tm.spans.Annotate(inj, -1, ruleID, detail)
+		s.tm.spans.End(inj, end)
+	}
+	probeEvent := func(outcome string, ruleID int, delay time.Duration) {
+		if s.tm.events == nil {
+			return
+		}
+		ev := telemetry.NewWideEvent("switch.probe")
+		ev.Node = "switch"
+		ev.T = s.now()
+		ev.Flow = int(fid)
+		ev.Rule = ruleID
+		ev.Trace = injTrace
+		ev.Outcome = outcome
+		ev.DelayMs = float64(delay) / float64(time.Millisecond)
+		s.tm.events.Emit(ev)
+	}
+	payload := EncodeTupleContext(t, pinCtx)
+	pin := &PacketIn{BufferID: buf, TotalLen: uint16(tupleLen), Reason: ReasonNoMatch, Data: payload}
 	if _, err := s.currentConn().Send(pin); err != nil && timeout <= 0 {
 		// No-deadline path: a send failure is terminal. Under a deadline
 		// the retransmit loop below gets its chance (faults can drop the
 		// first send and deliver a retry).
 		s.release(buf, false)
 		<-ch
+		closeSpans(-1, "send_failed")
+		probeEvent("send_failed", -1, time.Since(begin))
 		return InjectResult{}, err
 	}
 	var installed, ok bool
@@ -595,6 +653,8 @@ func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries
 					s.abandon(buf)
 					s.tm.probeTimeouts.Inc()
 					s.traceProbe("probe.lost", -1, timeout)
+					closeSpans(-1, "timeout")
+					probeEvent("timeout", -1, time.Since(begin))
 					return InjectResult{}, ErrProbeTimeout
 				}
 				attempts++
@@ -608,6 +668,8 @@ func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries
 		}
 	}
 	if !ok {
+		closeSpans(-1, "disconnected")
+		probeEvent("disconnected", -1, time.Since(begin))
 		return InjectResult{}, ErrDisconnected
 	}
 	res := InjectResult{Hit: false, RuleID: -1, Delay: time.Since(begin)}
@@ -619,13 +681,8 @@ func (s *Switch) InjectTimeout(t flows.FiveTuple, timeout time.Duration, retries
 	s.tm.misses.Inc()
 	s.tm.missDelay.Observe(res.Delay.Seconds())
 	s.traceProbe("probe.miss", res.RuleID, res.Delay)
-	if s.tm.spans != nil {
-		end := s.now()
-		s.tm.spans.Annotate(pinSpan, -1, res.RuleID, "")
-		s.tm.spans.End(pinSpan, end)
-		s.tm.spans.Annotate(inj, -1, res.RuleID, "miss")
-		s.tm.spans.End(inj, end)
-	}
+	closeSpans(res.RuleID, "miss")
+	probeEvent("miss", res.RuleID, res.Delay)
 	return res, nil
 }
 

@@ -1,0 +1,183 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// TraceEvent is one entry of the Chrome trace_event JSON format, the
+// subset Perfetto's legacy importer understands: ph "X" complete events
+// with microsecond ts/dur, plus ph "M" metadata records naming processes
+// and threads. https://ui.perfetto.dev loads the output directly.
+type TraceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat,omitempty"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	// dur must be present even when zero: the trace_event spec requires
+	// it on ph "X" records, and instantaneous spans (end == start, e.g. a
+	// flow_mod ack) are legitimate.
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON-object envelope of a trace_event file.
+type perfettoFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// WritePerfetto converts a span stream (one recorder's output, or the
+// concatenation of several processes' namespaced streams) to Chrome
+// trace_event JSON. Each distinct node becomes a Perfetto process track
+// and each trace ID a thread within it, so one probe's joined
+// cross-process tree reads left to right as inject → packet_in →
+// controller decision → flow_mod. Spans' virtual-second timestamps map
+// to microseconds on the trace timeline; when every span carries a wall
+// stamp the timeline uses those instead, which is what aligns two
+// daemons' process-local clocks against each other.
+func WritePerfetto(spans []Span, w io.Writer) error {
+	// Deterministic pid assignment: sorted node names, "" (unknown) last.
+	nodeSet := make(map[string]bool, 8)
+	for _, s := range spans {
+		nodeSet[s.Node] = true
+	}
+	nodes := make([]string, 0, len(nodeSet))
+	for n := range nodeSet {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	pids := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		pids[n] = i + 1
+	}
+
+	// Wall alignment: virtual Start values restart at 0 in every process,
+	// so a concatenated multi-process stream only lays out correctly on
+	// the shared wall clock. Only safe when every span has a stamp —
+	// mixing the two time bases would interleave unrelated origins.
+	wall := len(spans) > 0
+	minWall := int64(math.MaxInt64)
+	for _, s := range spans {
+		if s.WallNs == 0 {
+			wall = false
+			break
+		}
+		if s.WallNs < minWall {
+			minWall = s.WallNs
+		}
+	}
+
+	f := perfettoFile{DisplayTimeUnit: "ms"}
+	f.TraceEvents = make([]TraceEvent, 0, len(spans)+len(nodes))
+	for _, n := range nodes {
+		name := n
+		if name == "" {
+			name = "(unattributed)"
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: "process_name",
+			Ph:   "M",
+			Pid:  pids[n],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		ts := sanitizeFloat(s.Start * 1e6)
+		if wall {
+			ts = sanitizeFloat(float64(s.WallNs-minWall) / 1e3)
+		}
+		dur := sanitizeFloat(s.Duration() * 1e6)
+		args := map[string]any{
+			"span":  int64(s.ID),
+			"trace": s.Trace,
+		}
+		if s.Parent != 0 {
+			args["parent"] = int64(s.Parent)
+		}
+		if s.Flow >= 0 {
+			args["flow"] = s.Flow
+		}
+		if s.Rule >= 0 {
+			args["rule"] = s.Rule
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		f.TraceEvents = append(f.TraceEvents, TraceEvent{
+			Name: s.Name,
+			Cat:  "span",
+			Ph:   "X",
+			Ts:   ts,
+			Dur:  dur,
+			Pid:  pids[s.Node],
+			Tid:  s.Trace,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+// ValidatePerfetto parses a trace_event JSON document and checks it is
+// well-formed enough for Perfetto to load: a traceEvents array whose
+// entries all carry a phase, complete ("X") events carry a name and
+// finite non-negative ts/dur, and every event references a positive pid.
+// It returns the number of "X" events, so callers can assert the trace
+// is non-trivial.
+func ValidatePerfetto(r io.Reader) (spanEvents int, err error) {
+	dec := json.NewDecoder(r)
+	var f perfettoFile
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("perfetto: parse: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return 0, fmt.Errorf("perfetto: empty traceEvents array")
+	}
+	for i, e := range f.TraceEvents {
+		if e.Ph == "" {
+			return 0, fmt.Errorf("perfetto: event %d: missing ph", i)
+		}
+		if e.Pid <= 0 {
+			return 0, fmt.Errorf("perfetto: event %d (%q): pid %d not positive", i, e.Name, e.Pid)
+		}
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Name == "" {
+			return 0, fmt.Errorf("perfetto: event %d: X event without name", i)
+		}
+		if math.IsNaN(e.Ts) || math.IsInf(e.Ts, 0) || e.Ts < 0 {
+			return 0, fmt.Errorf("perfetto: event %d (%q): bad ts %v", i, e.Name, e.Ts)
+		}
+		if math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) || e.Dur < 0 {
+			return 0, fmt.Errorf("perfetto: event %d (%q): bad dur %v", i, e.Name, e.Dur)
+		}
+		spanEvents++
+	}
+	if spanEvents == 0 {
+		return 0, fmt.Errorf("perfetto: no span (ph=X) events")
+	}
+	return spanEvents, nil
+}
+
+// ReadSpansJSONL parses a span-per-line JSONL stream (the format
+// /debug/spans and SpanRecorder.WriteJSONL emit, and the format two
+// daemons' streams concatenate into). Blank lines are skipped.
+func ReadSpansJSONL(r io.Reader) ([]Span, error) {
+	dec := json.NewDecoder(r)
+	var spans []Span
+	for dec.More() {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			return nil, fmt.Errorf("spans: line %d: %w", len(spans)+1, err)
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}

@@ -1,0 +1,159 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleSpans() []Span {
+	return []Span{
+		{Trace: 1, ID: 1, Name: "inject", Node: "switch", Flow: 0, Rule: 2, Start: 0.001, End: 0.010},
+		{Trace: 1, ID: 2, Parent: 1, Name: "packet_in", Node: "switch", Flow: 0, Rule: 2, Start: 0.002, End: 0.010},
+		{Trace: 1, ID: 1<<41 | 1, Parent: 2, Name: "controller.decision", Node: "controller", Flow: 0, Rule: 2, Start: 0.8, End: 0.81},
+		{Trace: 1, ID: 3, Name: "orphan", Node: "", Flow: -1, Rule: -1, Start: 0.5, End: 0.6},
+	}
+}
+
+func TestWritePerfettoValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePerfetto(sampleSpans(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidatePerfetto(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output rejected: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("%d span events, want 4", n)
+	}
+
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic pid assignment: sorted nodes, "" mapped to a named
+	// process track.
+	names := map[int]string{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "M" {
+			names[e.Pid] = e.Args["name"].(string)
+		}
+	}
+	if names[1] != "(unattributed)" || names[2] != "controller" || names[3] != "switch" {
+		t.Fatalf("process naming: %+v", names)
+	}
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		if e.Tid != 1 {
+			t.Fatalf("span event on tid %d, want trace 1", e.Tid)
+		}
+		if e.Name == "controller.decision" && e.Args["parent"].(float64) != 2 {
+			t.Fatalf("parent lost: %+v", e.Args)
+		}
+	}
+}
+
+// TestWritePerfettoWallAlignment: when every span carries a wall stamp,
+// timestamps come from the shared wall clock — the only base on which
+// two processes' local clocks line up.
+func TestWritePerfettoWallAlignment(t *testing.T) {
+	base := int64(1_000_000_000_000)
+	spans := []Span{
+		// The switch's virtual clock starts near 0, the controller's near
+		// 0.9s — but on the wall the decision happens 5ms in.
+		{Trace: 1, ID: 1, Name: "inject", Node: "switch", Flow: -1, Rule: -1, Start: 0.001, End: 0.010, WallNs: base},
+		{Trace: 1, ID: 2, Parent: 1, Name: "decision", Node: "controller", Flow: -1, Rule: -1, Start: 0.9, End: 0.905, WallNs: base + 5_000_000},
+	}
+	var buf bytes.Buffer
+	if err := WritePerfetto(spans, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ts := eventTimestamps(t, buf.Bytes())
+	if ts["inject"] != 0 || ts["decision"] != 5000 {
+		t.Fatalf("wall-aligned ts: %+v, want inject=0 decision=5000µs", ts)
+	}
+
+	// One missing stamp ⇒ fall back to virtual time for all.
+	spans[1].WallNs = 0
+	buf.Reset()
+	if err := WritePerfetto(spans, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ts = eventTimestamps(t, buf.Bytes())
+	if ts["inject"] != 1000 || ts["decision"] != 900000 {
+		t.Fatalf("virtual ts: %+v, want inject=1000 decision=900000µs", ts)
+	}
+}
+
+func eventTimestamps(t *testing.T, raw []byte) map[string]float64 {
+	t.Helper()
+	var f struct {
+		TraceEvents []TraceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	ts := map[string]float64{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" {
+			ts[e.Name] = e.Ts
+		}
+	}
+	return ts
+}
+
+func TestValidatePerfettoRejects(t *testing.T) {
+	cases := map[string]string{
+		"garbage":      `not json`,
+		"empty":        `{"traceEvents":[]}`,
+		"missing ph":   `{"traceEvents":[{"name":"x","pid":1,"tid":1}]}`,
+		"bad pid":      `{"traceEvents":[{"name":"x","ph":"X","pid":0,"tid":1}]}`,
+		"unnamed X":    `{"traceEvents":[{"ph":"X","pid":1,"tid":1}]}`,
+		"negative ts":  `{"traceEvents":[{"name":"x","ph":"X","ts":-1,"pid":1,"tid":1}]}`,
+		"no span rows": `{"traceEvents":[{"name":"p","ph":"M","pid":1}]}`,
+	}
+	for name, raw := range cases {
+		if _, err := ValidatePerfetto(strings.NewReader(raw)); err == nil {
+			t.Errorf("%s: accepted %s", name, raw)
+		}
+	}
+}
+
+func TestReadSpansJSONL(t *testing.T) {
+	in := `{"trace":1,"id":1,"name":"a","node":"switch","flow":-1,"rule":-1,"start":0,"end":1}
+{"trace":1,"id":2,"parent":1,"name":"b","node":"controller","flow":0,"rule":3,"start":0.5,"end":0.9}
+`
+	spans, err := ReadSpansJSONL(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[1].Parent != 1 || spans[1].Node != "controller" {
+		t.Fatalf("parsed %+v", spans)
+	}
+	if _, err := ReadSpansJSONL(strings.NewReader("{\"trace\":1}\nnope\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+
+	// Round trip through a recorder's own JSONL writer.
+	r := NewSpanRecorder(0)
+	r.SetWallClock(nil)
+	id := r.Start(r.NewTrace(), 0, "x", "n", 0)
+	r.End(id, 1)
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSpansJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != r.Spans()[0] {
+		t.Fatalf("round trip lost data: %+v vs %+v", back, r.Spans())
+	}
+}

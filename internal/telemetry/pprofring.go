@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ProfileRing periodically captures CPU and heap profiles into a
+// directory, retaining only the newest keep snapshots of each kind — a
+// flight recorder for long attack runs: when a run degrades hours in,
+// the last few windows of profile data are already on disk.
+type ProfileRing struct {
+	dir     string
+	keep    int
+	cpuDur  time.Duration
+	stop    chan struct{}
+	done    chan struct{}
+	lastErr error
+}
+
+// StartProfileRing begins capturing a heap profile (and, when cpuDur > 0,
+// a cpuDur-long CPU profile) every interval, writing
+// heap-<seq>.pprof / cpu-<seq>.pprof files under dir and pruning all but
+// the newest keep of each kind. It returns an error only if dir cannot
+// be created; capture errors are retained for Err and do not stop the
+// ring. Stop halts capture and waits for the in-flight cycle.
+func StartProfileRing(dir string, interval time.Duration, keep int, cpuDur time.Duration) (*ProfileRing, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if keep <= 0 {
+		keep = 4
+	}
+	if cpuDur >= interval {
+		cpuDur = interval / 2
+	}
+	r := &ProfileRing{
+		dir:    dir,
+		keep:   keep,
+		cpuDur: cpuDur,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go r.run(interval)
+	return r, nil
+}
+
+// Stop halts the ring and waits for any in-flight capture to finish.
+func (r *ProfileRing) Stop() {
+	if r == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+}
+
+// Err returns the most recent capture error (nil while healthy).
+func (r *ProfileRing) Err() error {
+	if r == nil {
+		return nil
+	}
+	return r.lastErr
+}
+
+func (r *ProfileRing) run(interval time.Duration) {
+	defer close(r.done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for seq := 1; ; seq++ {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		if err := r.capture(seq); err != nil {
+			r.lastErr = err
+		}
+	}
+}
+
+func (r *ProfileRing) capture(seq int) error {
+	heapPath := filepath.Join(r.dir, fmt.Sprintf("heap-%06d.pprof", seq))
+	f, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // fold unreachable objects out of the heap profile
+	err = pprof.WriteHeapProfile(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	if r.cpuDur > 0 {
+		cpuPath := filepath.Join(r.dir, fmt.Sprintf("cpu-%06d.pprof", seq))
+		cf, err := os.Create(cpuPath)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		// Honor Stop during the capture window rather than blocking it.
+		select {
+		case <-r.stop:
+		case <-time.After(r.cpuDur):
+		}
+		pprof.StopCPUProfile()
+		if err := cf.Close(); err != nil {
+			return err
+		}
+	}
+	return r.prune()
+}
+
+// prune deletes all but the newest keep snapshots of each profile kind.
+func (r *ProfileRing) prune() error {
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return err
+	}
+	byKind := map[string][]string{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".pprof") {
+			continue
+		}
+		kind, _, ok := strings.Cut(name, "-")
+		if !ok {
+			continue
+		}
+		byKind[kind] = append(byKind[kind], name)
+	}
+	var firstErr error
+	for _, names := range byKind {
+		sort.Strings(names) // zero-padded seq → lexical order is capture order
+		for len(names) > r.keep {
+			if err := os.Remove(filepath.Join(r.dir, names[0])); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			names = names[1:]
+		}
+	}
+	return firstErr
+}

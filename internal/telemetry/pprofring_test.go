@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestProfileRingCapturesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	// Heap-only captures (cpuDur 0) on a tight interval.
+	ring, err := StartProfileRing(dir, 10*time.Millisecond, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prune runs inside every capture, so the file count alone can never
+	// prove three captures happened; the third sequence number can.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "heap-000003.pprof")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			ring.Stop()
+			t.Fatalf("ring never reached capture 3; have %v", profileFiles(t, dir, "heap-"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ring.Stop()
+	if err := ring.Err(); err != nil {
+		t.Fatalf("capture error: %v", err)
+	}
+
+	heaps := profileFiles(t, dir, "heap-")
+	if len(heaps) > 2 {
+		t.Fatalf("prune kept %d heap profiles, want ≤ 2: %v", len(heaps), heaps)
+	}
+	// The survivors are the newest (lexically greatest zero-padded seqs).
+	for _, name := range heaps {
+		if name <= "heap-000001.pprof" {
+			t.Fatalf("prune kept the oldest snapshot: %v", heaps)
+		}
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil || fi.Size() == 0 {
+			t.Fatalf("profile %s unreadable or empty: %v", name, err)
+		}
+	}
+}
+
+func TestProfileRingNilAndStop(t *testing.T) {
+	var nilRing *ProfileRing
+	nilRing.Stop() // must not panic
+	if nilRing.Err() != nil {
+		t.Fatal("nil ring reported an error")
+	}
+
+	// Stop during the very first interval: no capture need have happened.
+	dir := t.TempDir()
+	ring, err := StartProfileRing(dir, time.Hour, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { ring.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung waiting for a capture that never starts")
+	}
+}
+
+func profileFiles(t *testing.T, dir, prefix string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}

@@ -49,6 +49,7 @@ type SpanRecorder struct {
 	mu        sync.Mutex
 	nextID    int64
 	nextTrace int64
+	ns        int64 // namespace bits OR-ed into every ID (see SetNamespace)
 	spans     []Span
 	index     map[SpanID]int // id → position in spans
 	cap       int            // max retained spans (excess Starts are dropped)
@@ -81,6 +82,23 @@ func (r *SpanRecorder) SetWallClock(clock func() int64) {
 	r.mu.Unlock()
 }
 
+// SetNamespace tags every subsequently allocated span and trace ID with
+// the given namespace (IDs become ns<<40 | seq). Distinct processes that
+// will later merge their span streams — the TCP switch and controller
+// daemons — pick distinct namespaces so a parent reference carried
+// across the wire by a SpanContext stays unambiguous in the joined
+// forest. ns must fit in 23 bits; 0 (the default) restores plain
+// sequential IDs. Namespaced recorders must not be Import targets or
+// sources (Import's offset remapping assumes dense sequential IDs).
+func (r *SpanRecorder) SetNamespace(ns int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ns = ns << 40
+	r.mu.Unlock()
+}
+
 // NewTrace allocates a fresh correlation ID (0 on a nil recorder).
 func (r *SpanRecorder) NewTrace() int64 {
 	if r == nil {
@@ -88,7 +106,7 @@ func (r *SpanRecorder) NewTrace() int64 {
 	}
 	r.mu.Lock()
 	r.nextTrace++
-	t := r.nextTrace
+	t := r.ns | r.nextTrace
 	r.mu.Unlock()
 	return t
 }
@@ -106,7 +124,7 @@ func (r *SpanRecorder) Start(trace int64, parent SpanID, name, node string, at f
 		return 0
 	}
 	r.nextID++
-	id := SpanID(r.nextID)
+	id := SpanID(r.ns | r.nextID)
 	r.index[id] = len(r.spans)
 	var wall int64
 	if r.clock != nil {

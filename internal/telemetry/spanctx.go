@@ -1,0 +1,89 @@
+package telemetry
+
+import "encoding/binary"
+
+// SpanContext is the cross-process trace-propagation carrier: the pair
+// (trace ID, parent span ID) that lets a span started in one process —
+// or one layer of the simulator — attach itself to a causal tree rooted
+// in another. It is the one currency every substrate speaks: the
+// virtual-time simulator threads it hop to hop, the experiment trial
+// loop hands it to each probe, and the TCP OpenFlow path marshals it
+// onto the wire as a PACKET_IN side-band so the controller's decision
+// spans join the switch's forest without any post-hoc buffer-id
+// correlation.
+//
+// The zero value is "no context": propagating it is always safe and
+// starts a fresh root span on the receiving side.
+type SpanContext struct {
+	Trace  int64
+	Parent SpanID
+}
+
+// Valid reports whether the context carries a live trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// Context packages a recorder-issued (trace, span) pair as a carrier,
+// ready to hand to a child layer or marshal onto the wire. Safe on a nil
+// recorder (returns the zero context).
+func (r *SpanRecorder) Context(trace int64, parent SpanID) SpanContext {
+	if r == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: trace, Parent: parent}
+}
+
+// StartCtx opens a span under the given carrier context and returns the
+// child's own context, so call chains propagate one value instead of a
+// (trace, parent) pair. On a nil recorder it returns the zero SpanID and
+// context.
+func (r *SpanRecorder) StartCtx(sc SpanContext, name, node string, at float64) (SpanID, SpanContext) {
+	if r == nil {
+		return 0, SpanContext{}
+	}
+	id := r.Start(sc.Trace, sc.Parent, name, node, at)
+	return id, SpanContext{Trace: sc.Trace, Parent: id}
+}
+
+// SpanContextLen is the marshalled size of a SpanContext side-band:
+// 4-byte magic + trace (8) + parent span ID (8).
+const SpanContextLen = 20
+
+// spanCtxMagic guards the side-band against misparsing ordinary payload
+// bytes as a trace context.
+var spanCtxMagic = [4]byte{'F', 'R', 'T', 'C'}
+
+// AppendBinary appends the context's wire form to b and returns the
+// extended slice. An invalid (zero-trace) context appends nothing, so
+// propagation-off builds produce byte-identical payloads.
+func (c SpanContext) AppendBinary(b []byte) []byte {
+	if !c.Valid() {
+		return b
+	}
+	var buf [SpanContextLen]byte
+	copy(buf[0:4], spanCtxMagic[:])
+	binary.BigEndian.PutUint64(buf[4:12], uint64(c.Trace))
+	binary.BigEndian.PutUint64(buf[12:20], uint64(c.Parent))
+	return append(b, buf[:]...)
+}
+
+// ParseSpanContext reads a trailing context side-band from a payload,
+// returning the remaining payload, the context, and whether one was
+// present. Payloads without the magic trailer pass through untouched —
+// peers that never learned the side-band still interoperate.
+func ParseSpanContext(b []byte) (rest []byte, c SpanContext, ok bool) {
+	n := len(b) - SpanContextLen
+	if n < 0 {
+		return b, SpanContext{}, false
+	}
+	if [4]byte(b[n:n+4]) != spanCtxMagic {
+		return b, SpanContext{}, false
+	}
+	c = SpanContext{
+		Trace:  int64(binary.BigEndian.Uint64(b[n+4 : n+12])),
+		Parent: SpanID(binary.BigEndian.Uint64(b[n+12 : n+20])),
+	}
+	if !c.Valid() {
+		return b, SpanContext{}, false
+	}
+	return b[:n], c, true
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	c := SpanContext{Trace: 7, Parent: 42}
+	wire := c.AppendBinary(append([]byte(nil), payload...))
+	if len(wire) != len(payload)+SpanContextLen {
+		t.Fatalf("wire length %d, want %d", len(wire), len(payload)+SpanContextLen)
+	}
+	rest, got, ok := ParseSpanContext(wire)
+	if !ok || got != c {
+		t.Fatalf("parse = %+v ok=%v, want %+v", got, ok, c)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload corrupted: %v", rest)
+	}
+}
+
+func TestSpanContextInvalidAppendsNothing(t *testing.T) {
+	payload := []byte{9, 9}
+	wire := SpanContext{}.AppendBinary(append([]byte(nil), payload...))
+	if !bytes.Equal(wire, payload) {
+		t.Fatalf("invalid context altered payload: %v", wire)
+	}
+}
+
+func TestParseSpanContextPassthrough(t *testing.T) {
+	// Too short, no magic, and zero-trace trailers all pass through.
+	for _, b := range [][]byte{
+		nil,
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, SpanContextLen),
+		append(bytes.Repeat([]byte{7}, 16), []byte("XXXX")...),
+	} {
+		rest, c, ok := ParseSpanContext(b)
+		if ok || c.Valid() {
+			t.Fatalf("parsed a context out of %v: %+v", b, c)
+		}
+		if !bytes.Equal(rest, b) {
+			t.Fatalf("passthrough altered payload: %v → %v", b, rest)
+		}
+	}
+	// A magic trailer with trace 0 is not a live context either.
+	wire := append([]byte{1}, spanCtxMagic[:]...)
+	wire = append(wire, bytes.Repeat([]byte{0}, 16)...)
+	if _, c, ok := ParseSpanContext(wire); ok || c.Valid() {
+		t.Fatalf("zero-trace trailer accepted: %+v", c)
+	}
+}
+
+func TestStartCtxJoinsAndChains(t *testing.T) {
+	r := NewSpanRecorder(0)
+	r.SetWallClock(nil)
+	tr := r.NewTrace()
+	root, rootCtx := r.StartCtx(r.Context(tr, 0), "root", "a", 0)
+	child, childCtx := r.StartCtx(rootCtx, "child", "b", 1)
+	if childCtx.Trace != tr || childCtx.Parent != child {
+		t.Fatalf("child context = %+v, want trace %d parent %d", childCtx, tr, child)
+	}
+	r.End(child, 2)
+	r.End(root, 3)
+	forest := BuildSpanForest(r.Spans())
+	if len(forest) != 1 || len(forest[0].Children) != 1 {
+		t.Fatalf("StartCtx chain did not nest: %+v", forest)
+	}
+
+	// Marshalled across a "process boundary": the remote recorder's span
+	// joins the same trace under the same parent.
+	wire := childCtx.AppendBinary(nil)
+	_, remoteCtx, ok := ParseSpanContext(wire)
+	if !ok {
+		t.Fatal("context lost on the wire")
+	}
+	remote := NewSpanRecorder(0)
+	remote.SetWallClock(nil)
+	remote.SetNamespace(2)
+	id, _ := remote.StartCtx(remoteCtx, "remote", "c", 4)
+	remote.End(id, 5)
+	joined := append(r.Spans(), remote.Spans()...)
+	forest = BuildSpanForest(joined)
+	if len(forest) != 1 {
+		t.Fatalf("joined forest has %d roots, want 1", len(forest))
+	}
+	var remoteSpan *SpanNode
+	for _, c := range forest[0].Children[0].Children {
+		if c.Span.Name == "remote" {
+			remoteSpan = c
+		}
+	}
+	if remoteSpan == nil {
+		t.Fatalf("remote span not nested under child: %+v", forest[0])
+	}
+	if remoteSpan.Span.ID>>40 != 2 {
+		t.Fatalf("remote span ID %d not in namespace 2", remoteSpan.Span.ID)
+	}
+}
+
+func TestStartCtxNilRecorder(t *testing.T) {
+	var r *SpanRecorder
+	id, ctx := r.StartCtx(SpanContext{Trace: 1, Parent: 2}, "x", "n", 0)
+	if id != 0 || ctx.Valid() {
+		t.Fatalf("nil recorder StartCtx = %d %+v", id, ctx)
+	}
+	if c := r.Context(1, 2); c.Valid() {
+		t.Fatalf("nil recorder Context = %+v", c)
+	}
+}
+
+func TestSetNamespaceDisjointIDs(t *testing.T) {
+	a := NewSpanRecorder(0)
+	a.SetNamespace(1)
+	b := NewSpanRecorder(0)
+	b.SetNamespace(2)
+	idA := a.Start(a.NewTrace(), 0, "x", "", 0)
+	idB := b.Start(b.NewTrace(), 0, "x", "", 0)
+	if idA == idB {
+		t.Fatalf("namespaced recorders collided on span ID %d", idA)
+	}
+	if a.NewTrace() == b.NewTrace() {
+		t.Fatal("namespaced recorders collided on trace ID")
+	}
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestSpanRecorderWriteJSONLRace streams the recorder to a writer while
+// other goroutines start, annotate, and end spans. Run under -race this
+// pins the rule that serialization takes the same lock as mutation.
+func TestSpanRecorderWriteJSONLRace(t *testing.T) {
+	r := NewSpanRecorder(0)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			tr := r.NewTrace()
+			for i := 0; i < 300; i++ {
+				id := r.Start(tr, 0, "op", "node", float64(i))
+				r.Annotate(id, i, -1, "detail")
+				r.End(id, float64(i)+1)
+			}
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := r.WriteJSONL(io.Discard); err != nil {
+				t.Errorf("WriteJSONL: %v", err)
+				return
+			}
+			r.Len()
+			r.Spans()
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := r.Len(); got != 1200 {
+		t.Fatalf("len = %d, want 1200", got)
+	}
+}
+
+// TestSpanZeroAllocDisabled pins the disabled-path cost of every span
+// entry point: a nil recorder must not allocate. This is the invariant
+// the alloc gate (make alloc-gate) enforces.
+func TestSpanZeroAllocDisabled(t *testing.T) {
+	var r *SpanRecorder
+	if got := testing.AllocsPerRun(100, func() {
+		tr := r.NewTrace()
+		id, ctx := r.StartCtx(r.Context(tr, 0), "op", "node", 0)
+		id2 := r.Start(ctx.Trace, ctx.Parent, "op2", "node", 0)
+		r.Annotate(id2, 1, 2, "d")
+		r.End(id2, 1)
+		r.End(id, 1)
+	}); got != 0 {
+		t.Fatalf("disabled span path allocated %.1f/op", got)
+	}
+}
+
+// BenchmarkSpanOverhead quantifies the per-probe cost of span recording
+// in both states. The disabled case must report 0 allocs/op — the
+// "observability is free when off" contract.
+func BenchmarkSpanOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		var r *SpanRecorder
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id, ctx := r.StartCtx(SpanContext{}, "probe", "experiment", 0)
+			child, _ := r.StartCtx(ctx, "packet_in", "switch", 0)
+			r.End(child, 1)
+			r.End(id, 1)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		r := NewSpanRecorder(0)
+		r.SetWallClock(nil)
+		tr := r.NewTrace()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			id, ctx := r.StartCtx(r.Context(tr, 0), "probe", "experiment", 0)
+			child, _ := r.StartCtx(ctx, "packet_in", "switch", 0)
+			r.End(child, 1)
+			r.End(id, 1)
+			if i%1024 == 1023 {
+				r.Drain() // keep the ring from growing unboundedly
+			}
+		}
+	})
+}
+
+// BenchmarkEventLogOverhead mirrors BenchmarkSpanOverhead for the wide
+// event stream.
+func BenchmarkEventLogOverhead(b *testing.B) {
+	e := NewWideEvent("probe")
+	b.Run("disabled", func(b *testing.B) {
+		var l *EventLog
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Emit(e)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		l := NewEventLog(1 << 10)
+		l.SetClock(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l.Emit(e)
+		}
+	})
+}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Registry holds named instruments. The zero value is not usable;
@@ -41,6 +42,8 @@ type Registry struct {
 	histograms map[string]*Histogram
 	tracer     *Tracer
 	spans      *SpanRecorder
+	events     *EventLog
+	notReady   atomic.Bool // readiness flag served by /readyz (zero = ready)
 }
 
 // NewRegistry returns an empty registry whose tracer retains up to
@@ -163,6 +166,52 @@ func (r *Registry) Spans() *SpanRecorder {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.spans
+}
+
+// EnableEvents attaches a wide-event log retaining up to cap events and
+// returns it. Safe on a nil registry (returns nil, i.e. the disabled
+// log). Calling it again returns the existing log.
+func (r *Registry) EnableEvents(cap int) *EventLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.events == nil {
+		r.events = NewEventLog(cap)
+	}
+	return r.events
+}
+
+// Events returns the registry's wide-event log (nil when disabled or the
+// registry itself is nil).
+func (r *Registry) Events() *EventLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.events
+}
+
+// SetReady flips the readiness flag served by the /readyz endpoint. A
+// fresh registry reports ready; daemons flip it false during draining or
+// model (re)builds so orchestrators stop routing work at them. Safe on a
+// nil registry.
+func (r *Registry) SetReady(ready bool) {
+	if r == nil {
+		return
+	}
+	r.notReady.Store(!ready)
+}
+
+// Ready reports the registry's readiness (a nil registry is ready — the
+// disabled configuration must never fail a health check).
+func (r *Registry) Ready() bool {
+	if r == nil {
+		return true
+	}
+	return !r.notReady.Load()
 }
 
 // Snapshot is a point-in-time, JSON-serializable copy of every
