@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-compare check fuzz-smoke cover-gate alloc-gate trace-smoke
+.PHONY: all build fmt-check vet test race bench bench-compare sched-gate check fuzz-smoke cover-gate alloc-gate trace-smoke
 
 all: check build
 
@@ -23,38 +23,46 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench runs the root benchmark suite and writes BENCH_PR5.json — the
+## bench runs the root benchmark suite and writes BENCH_PR7.json — the
 ## machine-readable ns/op table (via cmd/benchjson). Since PR 5 the suite
-## covers the simulation substrate too: BenchmarkTableChurn (flow-table
-## install/lookup/evict at capacity 512 under Poisson arrivals),
-## BenchmarkRuleMatch (indexed matching), and BenchmarkSimScheduler (the
-## pooled zero-alloc event loop) run alongside the Markov-kernel and
-## trial-loop benchmarks. Each benchmark runs -count 3 and benchjson
-## keeps the fastest run per name, which is what makes the bench-compare
-## gate usable on shared/noisy hosts.
+## covers the simulation substrate (BenchmarkTableChurn,
+## BenchmarkRuleMatch, BenchmarkSimScheduler); PR 7 adds
+## BenchmarkDetectorObserve — the defender's streaming-detector hot path,
+## enabled and disabled. Each benchmark runs -count 3 and benchjson keeps
+## the fastest run per name, which is what makes the bench-compare gate
+## usable on shared/noisy hosts.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 500ms -count 3 . > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR5.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR7.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR5.json"
+	@echo "wrote BENCH_PR7.json"
 
 ## bench-compare diffs the committed benchmark history: it fails when any
-## benchmark present in both BENCH_PR3.json and BENCH_PR5.json regressed
-## by more than 15% ns/op, so the perf gate now covers the substrate
+## benchmark present in both BENCH_PR5.json and BENCH_PR7.json regressed
+## by more than 15% ns/op, so the perf gate covers the substrate
 ## benchmarks as well as the Markov kernels. CI runs this as the perf
 ## gate.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR5.json -max-regress 15
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR7.json -max-regress 15
+
+## sched-gate holds the detector to its observability contract: wiring
+## the defender through the substrates must not tax the simulation event
+## loop. BenchmarkSimScheduler (recorded same-host, back-to-back in
+## BENCH_PR5.json before the detector and BENCH_PR7.json after) may
+## regress at most 2%.
+sched-gate:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR7.json -bench SimScheduler -max-regress 2
 
 ## alloc-gate runs the allocation assertions without the race detector
 ## (race instrumentation allocates, so `make race` skips them): the
 ## netsim scheduler must schedule/dispatch with zero allocations in
-## steady state, Table.Lookup's hit path must stay within one, and the
+## steady state, Table.Lookup's hit path must stay within one, the
 ## disabled telemetry instruments (nil span recorder / event log) must
-## cost zero allocations at every emit site.
+## cost zero allocations at every emit site, and the streaming detector
+## must observe with zero allocations per event — enabled and disabled.
 alloc-gate:
-	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs|PoolRecycles' ./internal/netsim/ ./internal/flowtable/ ./internal/telemetry/
+	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs|PoolRecycles' ./internal/netsim/ ./internal/flowtable/ ./internal/telemetry/ ./internal/detect/
 
 ## trace-smoke proves the span-export pipeline end to end on the golden
 ## fixture: export trial 0's causal span forest as Chrome trace_event
@@ -88,5 +96,6 @@ cover-gate:
 
 ## check is the pre-merge gate: formatting, vet, the full test suite
 ## under the race detector, the allocation gate (which race builds must
-## skip), and the trace-export smoke.
-check: fmt-check vet race alloc-gate trace-smoke
+## skip), the trace-export smoke, and the scheduler-overhead gate on the
+## committed benchmark history.
+check: fmt-check vet race alloc-gate trace-smoke sched-gate

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
@@ -684,6 +685,40 @@ func BenchmarkSimScheduler(b *testing.B) {
 	if n == 0 {
 		b.Fatal("no events ran")
 	}
+}
+
+// BenchmarkDetectorObserve measures the defender's hot path: one
+// controller-path observation through the streaming detector (window
+// ring-bucket rotation, gap EWMA/Welford update, log-bucket sketch
+// insert, scoring). allocs/op is the headline: 0 in steady state — a
+// source's first observation allocates its state, nothing after (the
+// alloc-gate enforces this in internal/detect). The "nil" variant is the
+// disabled detector: every call sites' cost when no defender runs must
+// be a single nil check.
+func BenchmarkDetectorObserve(b *testing.B) {
+	b.Run("enabled", func(b *testing.B) {
+		d := detect.New(detect.DefaultConfig())
+		for s := 0; s < 8; s++ {
+			d.Observe(s, 0, 1.0, true)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			t += 0.37
+			d.Observe(i&7, t, 1.0, i&1 == 0)
+		}
+	})
+	b.Run("nil", func(b *testing.B) {
+		var d *detect.Detector
+		b.ReportAllocs()
+		b.ResetTimer()
+		t := 0.0
+		for i := 0; i < b.N; i++ {
+			t += 0.37
+			d.Observe(i&7, t, 1.0, true)
+		}
+	})
 }
 
 // BenchmarkTelemetryOverhead compares the flow table's hot path

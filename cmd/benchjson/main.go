@@ -49,6 +49,7 @@ func main() {
 	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
 	compare := fs.Bool("compare", false, "compare two benchmark JSON files (old new) instead of parsing stdin")
 	maxRegress := fs.Float64("max-regress", 15, "with -compare: fail when any shared benchmark's ns/op regressed by more than this percentage")
+	benchFilter := fs.String("bench", "", "with -compare: restrict the comparison to the exact benchmark of this name (sans Benchmark prefix); fails if it is missing from either file")
 	// Accept flags before and after the positional file arguments
 	// (benchjson -compare old.json new.json -max-regress 15): the stdlib
 	// parser stops at the first non-flag, so feed it back the remainder.
@@ -68,7 +69,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
 			os.Exit(2)
 		}
-		ok, err := runCompare(os.Stdout, files[0], files[1], *maxRegress)
+		ok, err := runCompare(os.Stdout, files[0], files[1], *maxRegress, *benchFilter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -111,7 +112,7 @@ func loadReport(path string) (*Report, error) {
 // maxRegress percent of the old time. Benchmarks that exist on only one
 // side are listed but never fail the comparison (suites grow across
 // PRs).
-func runCompare(w io.Writer, oldPath, newPath string, maxRegress float64) (bool, error) {
+func runCompare(w io.Writer, oldPath, newPath string, maxRegress float64, benchFilter string) (bool, error) {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		return false, err
@@ -140,6 +141,21 @@ func runCompare(w io.Writer, oldPath, newPath string, maxRegress float64) (bool,
 		} else {
 			added = append(added, b.Name)
 		}
+	}
+	if benchFilter != "" {
+		// Targeted gate mode: exactly one benchmark, and it must exist in
+		// both files — a missing benchmark silently passing would defeat
+		// the gate.
+		var kept []string
+		for _, name := range shared {
+			if name == benchFilter {
+				kept = append(kept, name)
+			}
+		}
+		if len(kept) == 0 {
+			return false, fmt.Errorf("-bench %s: benchmark not present in both %s and %s", benchFilter, oldPath, newPath)
+		}
+		shared, added, oldRep.Benchmarks = kept, nil, nil
 	}
 	sort.Strings(shared)
 	sort.Strings(added)

@@ -116,7 +116,7 @@ func TestRunCompare(t *testing.T) {
 		{"name":"New","iters":1,"metrics":{"ns/op":7}}]}`)
 
 	var buf strings.Builder
-	ok, err := runCompare(&buf, oldPath, newPath, 15)
+	ok, err := runCompare(&buf, oldPath, newPath, 15, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestRunCompare(t *testing.T) {
 	}
 
 	buf.Reset()
-	ok, err = runCompare(&buf, oldPath, newPath, 5)
+	ok, err = runCompare(&buf, oldPath, newPath, 5, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,8 +143,51 @@ func TestRunCompare(t *testing.T) {
 	}
 }
 
+// TestRunCompareBenchFilter covers the targeted gate mode: -bench pins
+// one benchmark at its own regression budget and errors (rather than
+// passing vacuously) when the benchmark is absent.
+func TestRunCompareBenchFilter(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := dir + "/" + name
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldPath := write("old.json", `{"benchmarks":[
+		{"name":"SimScheduler","iters":1,"metrics":{"ns/op":100}},
+		{"name":"Other","iters":1,"metrics":{"ns/op":100}}]}`)
+	newPath := write("new.json", `{"benchmarks":[
+		{"name":"SimScheduler","iters":1,"metrics":{"ns/op":101}},
+		{"name":"Other","iters":1,"metrics":{"ns/op":900}}]}`)
+
+	var buf strings.Builder
+	// 1% on the filtered benchmark passes a 2% gate even though Other
+	// regressed 9x — the filter scopes the verdict.
+	ok, err := runCompare(&buf, oldPath, newPath, 2, "SimScheduler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("1%% regression must pass a 2%% targeted gate:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "Other") {
+		t.Fatalf("filtered output must not mention other benchmarks:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if ok, err := runCompare(&buf, oldPath, newPath, 0.5, "SimScheduler"); err != nil || ok {
+		t.Fatalf("1%% regression must fail a 0.5%% targeted gate (ok=%v err=%v)", ok, err)
+	}
+
+	if _, err := runCompare(io.Discard, oldPath, newPath, 2, "Missing"); err == nil {
+		t.Fatal("absent benchmark must error, not pass vacuously")
+	}
+}
+
 func TestRunCompareBadFile(t *testing.T) {
-	if _, err := runCompare(io.Discard, "does-not-exist.json", "also-missing.json", 15); err == nil {
+	if _, err := runCompare(io.Discard, "does-not-exist.json", "also-missing.json", 15, ""); err == nil {
 		t.Fatal("missing file must error")
 	}
 }

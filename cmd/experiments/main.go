@@ -8,6 +8,7 @@
 //	experiments -all
 //	experiments -fig6 -configs 100 -trials 100
 //	experiments -latency
+//	experiments -detect
 //	experiments -fig7 -csv out/
 package main
 
@@ -40,6 +41,7 @@ func run(args []string) error {
 		fig6     = fs.Bool("fig6", false, "reproduce Figure 6a/6b")
 		fig7     = fs.Bool("fig7", false, "reproduce Figure 7a/7b")
 		latency  = fs.Bool("latency", false, "reproduce the §VI-A latency table")
+		detectF  = fs.Bool("detect", false, "run the defender evaluation (detection latency, FPR, stealth tradeoff)")
 		configs  = fs.Int("configs", 40, "qualifying network configurations per figure (paper: 100)")
 		trials   = fs.Int("trials", 100, "trials per configuration (paper: 100)")
 		seed     = fs.Int64("seed", 1, "root random seed")
@@ -53,9 +55,9 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && !*fig6 && !*fig7 && !*latency {
+	if !*all && !*fig6 && !*fig7 && !*latency && !*detectF {
 		fs.Usage()
-		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency)")
+		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency, -detect)")
 	}
 	var reg *telemetry.Registry
 	if *telOut != "" {
@@ -81,6 +83,22 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("(latency experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *detectF {
+		start := time.Now()
+		rep, err := experiment.RunDetectionEval(experiment.DetectionEvalOptions{
+			Params:    params,
+			Seed:      *seed,
+			Telemetry: reg,
+		})
+		if err != nil {
+			return fmt.Errorf("detect: %w", err)
+		}
+		if err := experiment.WriteDetection(os.Stdout, rep); err != nil {
+			return err
+		}
+		fmt.Printf("(detection experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *all || *fig6 {

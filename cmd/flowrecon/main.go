@@ -13,10 +13,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"time"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
@@ -45,6 +47,7 @@ func run(args []string) error {
 		evOut   = fs.String("events-out", "", "stream wide events (probe decisions, verdicts, faults) as JSONL to this file")
 		recOut  = fs.String("record", "", "write the deterministic trial recording (JSONL) to this file; replay with cmd/inspect -replay")
 		par     = fs.Int("parallelism", 1, "trial-runner worker goroutines; results and recordings are identical at every level")
+		detectF = fs.Bool("detect", false, "run the defender's streaming detector inside every trial (verdicts → wide events; merged state at /debug/detect and printed at exit)")
 
 		profDir      = fs.String("profile-dir", "", "capture periodic pprof CPU/heap snapshots into this directory")
 		profInterval = fs.Duration("profile-interval", 0, "profile snapshot period (default 30s when -profile-dir is set)")
@@ -106,9 +109,19 @@ func run(args []string) error {
 			events.SetSink(ef)
 		}
 	}
+	// The merged session detector is built after the network config exists
+	// (its baseline is trained on benign traffic for that config); the mux
+	// closure dereferences it per request, so mounting early is safe.
+	var detAgg *detect.Detector
 	if *telAddr != "" {
 		reg.SetReady(false)
-		srv, err := telemetry.Serve(*telAddr, reg)
+		mux := telemetry.NewMux(reg)
+		if *detectF {
+			mux.HandleFunc("/debug/detect", func(w http.ResponseWriter, r *http.Request) {
+				detAgg.ServeHTTP(w, r)
+			})
+		}
+		srv, err := telemetry.ServeHandler(*telAddr, mux)
 		if err != nil {
 			return err
 		}
@@ -166,6 +179,23 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var detCfg *detect.Config
+	if *detectF {
+		// Train the benign baseline on fresh Poisson windows for this
+		// exact configuration, then run one detector replica per
+		// (trial, attacker) and merge them into the session view.
+		base, err := experiment.TrainDetectBaseline(nc, 40, stats.NewRNG(rootRNG.Int63()), experiment.PoissonSource)
+		if err != nil {
+			return err
+		}
+		cfg := experiment.DetectConfigFor(nc, base)
+		detCfg = &cfg
+		detAgg = detect.New(cfg)
+		if reg != nil {
+			detAgg.SetTelemetry(reg)
+		}
+		fmt.Printf("\ndefender armed: streaming detector on every trial (baseline: 40 benign windows)\n")
+	}
 	fmt.Printf("\nrunning %d trials…\n", *trials)
 	reg.SetReady(true) // model fitted; the run is now in its steady phase
 	var rec *trialrec.Recorder
@@ -189,6 +219,10 @@ func run(args []string) error {
 		}
 	}
 	opts := experiment.TrialOptions{Registry: reg, PerTrial: *telOut != "", Recorder: rec, Events: events, Parallelism: *par}
+	if detCfg != nil {
+		opts.Detect = detCfg
+		opts.DetectAggregate = detAgg
+	}
 	if spec.Faults != nil {
 		opts.Faults = *spec.Faults
 	}
@@ -201,6 +235,16 @@ func run(args []string) error {
 	fmt.Printf("\n%-16s %9s %6s %6s %6s %6s\n", "attacker", "accuracy", "TP", "TN", "FP", "FN")
 	for _, r := range results {
 		fmt.Printf("%-16s %8.1f%% %6d %6d %6d %6d\n", r.Name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
+	}
+	if detAgg != nil {
+		snap := detAgg.Snap(5)
+		fmt.Printf("\ndetector (merged over %d trials × %d attackers): %d sources tracked, %d flagged\n",
+			*trials, len(attackers), snap.SourcesTracked, snap.Flagged)
+		for _, s := range snap.Top {
+			if s.Flagged {
+				fmt.Printf("  flagged source %2d: reason=%s score=%.2f obs=%d\n", s.Source, s.Reason, s.Score, s.Observations)
+			}
+		}
 	}
 
 	// Both sinks flush before run returns: the recording on Close, the

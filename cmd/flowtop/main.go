@@ -129,6 +129,11 @@ func render(out io.Writer, addr string, u telemetry.LiveUpdate) {
 	fmt.Fprintf(out, "probes   %8d   (+%d, %.1f/s)\n", u.Probes, u.ProbesDelta, u.ProbesPerSec)
 	fmt.Fprintf(out, "faults   %8d   (+%d)    reconnects %d    lost %d\n",
 		u.Faults, u.FaultsDelta, u.Reconnects, u.Lost)
+	if u.DetectSources > 0 || u.DetectFlagged > 0 {
+		fmt.Fprintf(out, "detect   %8d sources   flagged %d (+%d)\n",
+			u.DetectSources, u.DetectFlagged, u.DetectFlaggedDelta)
+	}
+
 	if u.Accuracy > 0 || len(u.AccuracyByAttacker) > 0 {
 		fmt.Fprintf(out, "accuracy %7.1f%%  %s\n", 100*u.Accuracy, accuracyBar(u.Accuracy, 24))
 		names := make([]string, 0, len(u.AccuracyByAttacker))

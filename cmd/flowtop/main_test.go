@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"flowrecon/internal/telemetry"
+)
+
+func TestRenderDetectRow(t *testing.T) {
+	u := telemetry.LiveUpdate{
+		Seq:                3,
+		ElapsedSec:         1,
+		Trials:             40,
+		DetectSources:      7,
+		DetectFlagged:      2,
+		DetectFlaggedDelta: 1,
+	}
+	var sb strings.Builder
+	render(&sb, "127.0.0.1:9090", u)
+	got := sb.String()
+	if !strings.Contains(got, "detect          7 sources   flagged 2 (+1)") {
+		t.Fatalf("detect row missing or malformed:\n%s", got)
+	}
+
+	// Without detector activity the row disappears — the panel stays
+	// compact for attack-only runs.
+	sb.Reset()
+	u.DetectSources, u.DetectFlagged, u.DetectFlaggedDelta = 0, 0, 0
+	render(&sb, "127.0.0.1:9090", u)
+	if strings.Contains(sb.String(), "detect ") {
+		t.Fatalf("detect row rendered with no detector running:\n%s", sb.String())
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	ofcontroller -listen 127.0.0.1:6633 -seed 1 -processing 3.9ms
+//	ofcontroller -detect -telemetry-addr 127.0.0.1:9091   # anomaly verdicts at /debug/detect
 //
 // Fault injection (chaos testing the control channel, all seeded and
 // reproducible):
@@ -22,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"flowrecon/internal/detect"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/openflow"
@@ -46,6 +48,7 @@ func run(args []string) error {
 		step       = fs.Float64("step", 0.1, "model step Δ in seconds (scales rule timeouts)")
 		telAddr    = fs.String("telemetry-addr", "", "serve /metrics, /debug/spans, /debug/live and pprof on this address (e.g. 127.0.0.1:9091)")
 		spansOut   = fs.String("spans-out", "", "write recorded causal spans as JSONL to this file at exit (join with the switch's via inspect -perfetto)")
+		detectF    = fs.Bool("detect", false, "run the streaming timing-anomaly detector on the PACKET_IN path (verdicts → wide events; state at /debug/detect)")
 
 		faultSeed      = fs.Int64("fault-seed", 0, "seed for injected faults (derives every fault stream)")
 		faultLoss      = fs.Float64("fault-loss", 0, "probability of dropping each sent control message")
@@ -79,19 +82,45 @@ func run(args []string) error {
 	if prof.Enabled() {
 		fmt.Printf("fault injection armed: %+v\n", prof)
 	}
+	var det *detect.Detector
+	if *detectF {
+		det = detect.New(detect.DefaultConfig())
+		ctl.SetDetector(det)
+	}
 	if *telAddr != "" || *spansOut != "" {
 		reg := telemetry.NewRegistry(4096)
 		// Namespace 2 = controller; see the matching ofswitch comment.
 		reg.EnableSpans(0).SetNamespace(openflow.SpanNamespaceController)
-		reg.EnableEvents(0)
+		events := reg.EnableEvents(0)
 		ctl.SetTelemetry(reg)
+		if det != nil {
+			det.SetTelemetry(reg)
+			// Every threshold crossing becomes one wide event in the same
+			// log as the controller's decision stream.
+			det.OnFlag(func(v detect.Verdict) {
+				ev := telemetry.NewWideEvent("detect.flag")
+				ev.Node = "detect"
+				ev.T = v.T
+				ev.Flow = v.Source
+				ev.Outcome = v.Reason
+				ev.Detail = fmt.Sprintf("score=%.2f obs=%d", v.Score, v.Obs)
+				events.Emit(ev)
+			})
+		}
 		if *telAddr != "" {
-			srv, err := telemetry.Serve(*telAddr, reg)
+			mux := telemetry.NewMux(reg)
+			if det != nil {
+				mux.Handle("/debug/detect", det)
+			}
+			srv, err := telemetry.ServeHandler(*telAddr, mux)
 			if err != nil {
 				return err
 			}
 			defer srv.Close()
 			fmt.Printf("telemetry on http://%s/metrics (spans: /debug/spans, live: /debug/live, pprof: /debug/pprof/)\n", srv.Addr())
+			if det != nil {
+				fmt.Printf("detector armed: verdicts at http://%s/debug/detect\n", srv.Addr())
+			}
 		}
 		if *spansOut != "" {
 			path := *spansOut
@@ -122,5 +151,9 @@ func run(args []string) error {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Printf("shutting down after %d packet-ins\n", ctl.PacketIns())
+	if det != nil {
+		snap := det.Snap(0)
+		fmt.Printf("detector: %d sources tracked, %d flagged\n", snap.SourcesTracked, snap.Flagged)
+	}
 	return ctl.Close()
 }

@@ -77,6 +77,7 @@ type ModelAttacker struct {
 	prior    float64 // P(X̂ = 1)
 	singleOK ProbeEval
 	isSingle bool
+	pacing   Pacing
 }
 
 var (

@@ -1,0 +1,39 @@
+package core
+
+// Pacing is a stealth schedule for an attacker's probes. The default
+// attacker fires probes back-to-back — pathologically regular from the
+// defender's viewpoint. A paced attacker stretches the schedule
+// (IntervalSec between probes) and blurs it (uniform jitter up to
+// JitterFrac·IntervalSec added per gap) to hide among benign
+// inter-arrivals at the cost of a longer reconnaissance window.
+type Pacing struct {
+	// IntervalSec is the base spacing between consecutive probes, in
+	// seconds. Zero disables pacing.
+	IntervalSec float64
+	// JitterFrac adds U[0, JitterFrac·IntervalSec) to each gap, breaking
+	// the constant-gap signature a regularity detector keys on. Typical
+	// stealth values are 0.5–1.0.
+	JitterFrac float64
+}
+
+// Enabled reports whether the pacing schedule is active.
+func (p Pacing) Enabled() bool { return p.IntervalSec > 0 }
+
+// Paced is implemented by attackers that request stealth probe pacing
+// from the trial runner. Attackers that do not implement it (or return a
+// zero Pacing) are scheduled at the runner's default cadence.
+type Paced interface {
+	ProbePacing() Pacing
+}
+
+var _ Paced = (*ModelAttacker)(nil)
+
+// ProbePacing implements Paced.
+func (a *ModelAttacker) ProbePacing() Pacing { return a.pacing }
+
+// SetPacing sets the attacker's stealth probe pacing and returns the
+// attacker for chaining.
+func (a *ModelAttacker) SetPacing(p Pacing) *ModelAttacker {
+	a.pacing = p
+	return a
+}

@@ -1,0 +1,115 @@
+package detect
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// SourceSummary is one source's row in the /debug/detect view.
+type SourceSummary struct {
+	Source       int     `json:"source"`
+	Observations int64   `json:"observations"`
+	WindowCount  uint32  `json:"windowCount"` // events in the window ending at the source's last observation
+	RateHz       float64 `json:"rateHz"`      // WindowCount / WindowSec
+	GapCV        float64 `json:"gapCV"`       // EWMA inter-arrival CV the regularity scorer tests (-1 until 2 gaps)
+	MissFrac     float64 `json:"missFrac"`
+	RTTp50Ms     float64 `json:"rttP50Ms"`
+	RTTp95Ms     float64 `json:"rttP95Ms"`
+	Score        float64 `json:"score"`
+	Flagged      bool    `json:"flagged"`
+	Reason       string  `json:"reason,omitempty"`
+	FlagObs      int64   `json:"flagObs,omitempty"` // observation count when flagged
+}
+
+// Snapshot is the JSON document served at /debug/detect.
+type Snapshot struct {
+	SourcesTracked int             `json:"sourcesTracked"`
+	Flagged        int             `json:"flagged"`
+	DroppedSources int64           `json:"droppedSources"`
+	WindowSec      float64         `json:"windowSec"`
+	Top            []SourceSummary `json:"top,omitempty"`
+}
+
+func (d *Detector) summaryLocked(s *sourceState) SourceSummary {
+	cv := s.ewmaCV()
+	if math.IsNaN(cv) {
+		cv = -1
+	}
+	return SourceSummary{
+		Source:       s.src,
+		Observations: s.obs,
+		WindowCount:  s.win.count(s.lastT),
+		RateHz:       float64(s.win.count(s.lastT)) / d.cfg.WindowSec,
+		GapCV:        cv,
+		MissFrac:     s.missFrac(),
+		RTTp50Ms:     s.rtt.Quantile(0.5),
+		RTTp95Ms:     s.rtt.Quantile(0.95),
+		Score:        s.score,
+		Flagged:      s.flagged,
+		Reason:       s.reason,
+		FlagObs:      s.flagObs,
+	}
+}
+
+// TopOffenders returns the n highest-scoring sources (flagged first,
+// then score descending, source ID ascending for determinism).
+func (d *Detector) TopOffenders(n int) []SourceSummary {
+	if d == nil || n <= 0 {
+		return nil
+	}
+	d.mu.Lock()
+	out := make([]SourceSummary, 0, len(d.sources))
+	for _, s := range d.sources {
+		out = append(out, d.summaryLocked(s))
+	}
+	d.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Flagged != b.Flagged {
+			return a.Flagged
+		}
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		return a.Source < b.Source
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Snap captures the current detector state with the top n offenders.
+func (d *Detector) Snap(n int) Snapshot {
+	if d == nil {
+		return Snapshot{}
+	}
+	top := d.TopOffenders(n)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Snapshot{
+		SourcesTracked: len(d.sources),
+		Flagged:        d.flagged,
+		DroppedSources: d.dropped,
+		WindowSec:      d.cfg.WindowSec,
+		Top:            top,
+	}
+}
+
+// ServeHTTP serves the detector snapshot as JSON; ?n= bounds the
+// top-offender list (default 10). Mount at /debug/detect.
+func (d *Detector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v >= 0 {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(d.Snap(n)) //nolint:errcheck // best-effort debug endpoint
+}

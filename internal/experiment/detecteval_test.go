@@ -1,0 +1,335 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/detect"
+	"flowrecon/internal/faults"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/telemetry"
+)
+
+// detectRun executes one trial run with detection and the wide-event log
+// attached (deterministic clock) and returns the JSONL event stream plus
+// the aggregate detector's snapshot JSON.
+func detectRun(t *testing.T, spec RecordingSpec, cfg detect.Config, parallelism int) ([]byte, []byte) {
+	t.Helper()
+	nc, err := spec.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers, err := StandardAttackers(nc, spec.Probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := telemetry.NewEventLog(0)
+	events.SetClock(nil)
+	agg := detect.New(cfg)
+	opts := TrialOptions{Events: events, Parallelism: parallelism, Detect: &cfg, DetectAggregate: agg}
+	if spec.Faults != nil {
+		opts.Faults = *spec.Faults
+	}
+	if _, _, err := RunTrialsOpts(nc, attackers, spec.Trials, spec.Measurement,
+		stats.NewRNG(spec.TrialSeed), opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := events.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := json.Marshal(agg.Snap(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), snap
+}
+
+// sensitiveDetect is a hair-trigger configuration that guarantees flag
+// verdicts inside short test runs (so the determinism checks exercise
+// non-empty detect.flag streams).
+func sensitiveDetect() detect.Config {
+	cfg := detect.DefaultConfig()
+	cfg.WindowSec = 5
+	cfg.Baseline.DefaultRate = 0.05
+	cfg.RateZ = 2
+	cfg.MinObs = 3
+	cfg.MinGaps = 4
+	return cfg
+}
+
+// TestDetectEventsByteIdenticalAcrossParallelism is the tentpole's
+// determinism guarantee: verdict streams (detect.flag wide events
+// interleaved with probes and trial verdicts) are byte-identical at
+// every trial parallelism, riding the same completion-frontier assembly
+// as the rest of the event stream.
+func TestDetectEventsByteIdenticalAcrossParallelism(t *testing.T) {
+	spec := RecordingSpec{
+		Params:      tinyParams(),
+		ConfigSeed:  11,
+		TrialSeed:   13,
+		Trials:      16,
+		Probes:      2,
+		Measurement: DefaultMeasurement(),
+	}
+	serial, serialSnap := detectRun(t, spec, sensitiveDetect(), 1)
+	if !bytes.Contains(serial, []byte(`"detect.flag"`)) {
+		t.Fatal("no detect.flag events in the serial stream; determinism test proves nothing")
+	}
+	for _, workers := range []int{4, 8} {
+		par, parSnap := detectRun(t, spec, sensitiveDetect(), workers)
+		if !bytes.Equal(serial, par) {
+			t.Fatalf("parallelism %d: detect event streams diverge\n%s", workers, firstDiffLines(serial, par))
+		}
+		if !bytes.Equal(serialSnap, parSnap) {
+			t.Fatalf("parallelism %d: aggregate detector snapshots diverge\nserial:   %s\nparallel: %s", workers, serialSnap, parSnap)
+		}
+	}
+}
+
+// TestDetectEventsByteIdenticalUnderFaults repeats the identity check
+// with probe faults armed, so lost probes (invisible to the defender)
+// interleave with detector observations.
+func TestDetectEventsByteIdenticalUnderFaults(t *testing.T) {
+	spec := RecordingSpec{
+		Params:      tinyParams(),
+		ConfigSeed:  7,
+		TrialSeed:   23,
+		Trials:      12,
+		Probes:      2,
+		Measurement: DefaultMeasurement(),
+		Faults:      &faults.Profile{Seed: 5, LossProb: 0.2, JitterMeanMs: 0.3},
+	}
+	serial, serialSnap := detectRun(t, spec, sensitiveDetect(), 1)
+	par, parSnap := detectRun(t, spec, sensitiveDetect(), 4)
+	if !bytes.Equal(serial, par) {
+		t.Fatalf("fault detect streams diverge\n%s", firstDiffLines(serial, par))
+	}
+	if !bytes.Equal(serialSnap, parSnap) {
+		t.Fatalf("aggregate detector snapshots diverge under faults")
+	}
+	if !bytes.Contains(serial, []byte(`"fault.drop"`)) {
+		t.Fatal("fault profile injected no fault.drop events; test proves nothing")
+	}
+}
+
+// TestTrainDetectBaseline checks the trained baseline provisions for
+// benign peaks: each flow's rate is at least its generating mean (peak ≥
+// mean) but bounded (a Poisson peak over tens of windows stays within a
+// small multiple of the mean), and the miss fraction is strictly inside
+// (0, 1).
+func TestTrainDetectBaseline(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TrainDetectBaseline(nc, 60, stats.NewRNG(9), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rates) != nc.Params.NumFlows {
+		t.Fatalf("baseline has %d rates, want %d", len(b.Rates), nc.Params.NumFlows)
+	}
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
+	for f, r := range b.Rates {
+		mean := nc.Rates[f]
+		if mean*horizon < 2 {
+			continue // too few arrivals per window for a stable peak
+		}
+		if r < mean {
+			t.Fatalf("flow %d peak-provisioned rate %.3f below the generating mean %.3f", f, r, mean)
+		}
+		if r > mean*6+3/horizon {
+			t.Fatalf("flow %d peak-provisioned rate %.3f implausibly above the generating mean %.3f", f, r, mean)
+		}
+	}
+	if b.MissFrac <= 0 || b.MissFrac >= 1 {
+		t.Fatalf("benign miss fraction %.3f outside (0,1)", b.MissFrac)
+	}
+}
+
+// TestBenignFPRGate is the satellite acceptance gate: with a trained
+// baseline and default thresholds, the benign false-positive rate must
+// stay at or under 1% on both the Poisson and the bursty workload.
+func TestBenignFPRGate(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := TrainDetectBaseline(nc, 40, stats.NewRNG(17), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectConfigFor(nc, baseline)
+	for _, tc := range []struct {
+		name   string
+		source TraceSource
+	}{
+		{"poisson", PoissonSource},
+		{"bursty", BurstySource(4, 2, 6)},
+	} {
+		res, err := BenignFPR(nc, cfg, 150, stats.NewRNG(29), tc.source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sources == 0 {
+			t.Fatalf("%s: benign runs tracked no sources", tc.name)
+		}
+		if rate := res.Rate(); rate > 0.01 {
+			t.Fatalf("%s: benign FPR %.2f%% (%d/%d sources) exceeds the 1%% gate",
+				tc.name, 100*rate, res.Flagged, res.Sources)
+		}
+	}
+}
+
+// TestDetectionLatencyWithinBudget is the other acceptance gate: the
+// default eviction-probing session must be flagged within 200 probes on
+// the abstract substrate, and a deep-stealth pace must buy the attacker
+// strictly more unflagged probes.
+func TestDetectionLatencyWithinBudget(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := TrainDetectBaseline(nc, 40, stats.NewRNG(17), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectConfigFor(nc, baseline)
+	meas := DefaultMeasurement()
+
+	def, err := MeasureDetectionLatency(nc, cfg, meas, stats.NewRNG(41), core.Pacing{}, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Flagged {
+		t.Fatalf("default eviction probing not flagged within 200 probes: %+v", def)
+	}
+	if def.Probes > 200 {
+		t.Fatalf("detection latency %d probes exceeds the 200-probe budget", def.Probes)
+	}
+	if def.Reason == "" || def.Score < 1 {
+		t.Fatalf("flagged session carries no verdict detail: %+v", def)
+	}
+
+	stealth, err := MeasureDetectionLatency(nc, cfg, meas, stats.NewRNG(41),
+		core.Pacing{IntervalSec: 60, JitterFrac: 3}, 3*def.Probes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stealth.Flagged && stealth.Probes <= def.Probes {
+		t.Fatalf("deep stealth pacing flagged in %d probes, no later than the default %d", stealth.Probes, def.Probes)
+	}
+}
+
+// TestStealthPacingDecaysObservations checks the attacker's side of the
+// tradeoff: stretching a multi-probe schedule over minutes lands the
+// later probes on a decayed table. The paced attacker must observe
+// strictly fewer ground-truth hits (its later probes fire after the
+// window's installs expired), its probes must actually land at the paced
+// times, and its residual accuracy must not beat the unpaced run.
+// (Whether accuracy drops outright depends on how much the decision
+// leans on the later probes — config seed 9 plans a 4-probe sequence.)
+func TestStealthPacingDecaysObservations(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 9, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pace core.Pacing) (hits int, lastT, acc float64) {
+		model, err := core.NewModelAttacker(nc.Selector, nc.Selector.AllFlows(), 4, core.DecideByPosterior)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(model.Probes()) < 2 {
+			t.Fatalf("config plans only %d probes; pacing test needs a real sequence", len(model.Probes()))
+		}
+		model.SetPacing(pace)
+		if got := model.ProbePacing(); got != pace {
+			t.Fatalf("ProbePacing = %+v, want %+v", got, pace)
+		}
+		events := telemetry.NewEventLog(0)
+		events.SetClock(nil)
+		results, _, err := RunTrialsOpts(nc, []core.Attacker{model}, 200, DefaultMeasurement(),
+			stats.NewRNG(71), TrialOptions{Events: events})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range events.Events() {
+			if e.Kind != "probe" {
+				continue
+			}
+			if e.Truth == "hit" {
+				hits++
+			}
+			if e.T > lastT {
+				lastT = e.T
+			}
+		}
+		return hits, lastT, results[0].Accuracy()
+	}
+	baseHits, baseLast, baseAcc := run(core.Pacing{})
+	pacedHits, pacedLast, pacedAcc := run(core.Pacing{IntervalSec: 120, JitterFrac: 1})
+	if pacedHits >= baseHits {
+		t.Fatalf("paced probes observed %d hits, want fewer than the unpaced %d (table decay)", pacedHits, baseHits)
+	}
+	if pacedLast < baseLast+3*120 {
+		t.Fatalf("paced probes end at t=%.0fs; schedule not stretched (unpaced ends %.0fs)", pacedLast, baseLast)
+	}
+	if pacedAcc > baseAcc {
+		t.Fatalf("paced accuracy %.3f beats unpaced %.3f; pacing should never add information", pacedAcc, baseAcc)
+	}
+}
+
+// TestPacingOffIsByteCompatible pins the no-regression contract: an
+// attacker with zero pacing consumes exactly the RNG draws it always
+// did, so results with the pacing code in place are identical to the
+// pre-pacing trial loop (which the golden recordings also enforce).
+func TestPacingOffIsByteCompatible(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackers, err := StandardAttackers(nc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunTrials(nc, attackers, 60, DefaultMeasurement(), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(nc, attackers, 60, DefaultMeasurement(), stats.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attacker %s results not reproducible: %+v vs %+v", a[i].Name, a[i], b[i])
+		}
+	}
+}
+
+// TestWriteDetection exercises the report writer end to end on a small
+// synthetic report.
+func TestWriteDetection(t *testing.T) {
+	rep := &DetectionReport{
+		Baseline:        detect.Baseline{DefaultRate: 0.4, MissFrac: 0.3},
+		ModelLatency:    DetectionOutcome{Flagged: true, Probes: 17, Seconds: 12, Reason: detect.ReasonRate, Score: 1.4},
+		SimLatency:      DetectionOutcome{Flagged: true, Probes: 25, Seconds: 30, Reason: detect.ReasonRegularity, Score: 1.1},
+		FPRPoisson:      FPRResult{Trials: 10, Sources: 80, Flagged: 0},
+		FPRBursty:       FPRResult{Trials: 10, Sources: 80, Flagged: 1},
+		Stealth:         []StealthRow{{Label: "default", Accuracy: 0.9, Session: DetectionOutcome{Flagged: true, Probes: 17}}},
+		MaxProbes:       200,
+		BaselineWindows: 40,
+	}
+	var buf bytes.Buffer
+	if err := WriteDetection(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"detection latency", "flagged after 17 probes", "1.25%", "stealth"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Fatalf("report missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -377,7 +377,7 @@ func TestModelJointMatchesEmpirical(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		tbl, err := replayTrace(nc, trace, nil)
+		tbl, err := replayTrace(nc, trace, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,10 +1,12 @@
 package experiment
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
@@ -54,6 +56,19 @@ type TrialOptions struct {
 	// byte-identical at every parallelism level. Nil disables events at
 	// zero per-probe cost.
 	Events *telemetry.EventLog
+	// Detect attaches a fresh streaming anomaly detector to the
+	// controller path of every (trial, attacker) table replica: it
+	// observes each replay lookup (the benign background) and each
+	// delivered probe, and its flag verdicts become "detect.flag" wide
+	// events buffered with the trial's other events — so verdict streams
+	// ride the same in-order assembly and stay byte-identical at every
+	// parallelism level. Nil disables detection entirely.
+	Detect *detect.Config
+	// DetectAggregate, with Detect set, receives every trial detector
+	// merged in strict (trial, attacker) order during assembly — the
+	// defender's whole-run view served at /debug/detect. Nil skips the
+	// merge (and the per-trial detector retention it requires).
+	DetectAggregate *detect.Detector
 	// Parallelism is the number of worker goroutines running trials
 	// concurrently; values ≤ 1 run serially. Every trial draws all of its
 	// randomness (traffic, probe noise, random verdicts) from a per-trial
@@ -78,6 +93,8 @@ type trialEnv struct {
 	recording bool // also keep arrivals + attacker trials for the recorder
 	eventing  bool // buffer wide events per trial for in-order assembly
 	noWall    bool // zero wall-clock in trial spans (deterministic output)
+	detect    *detect.Config
+	detAgg    bool // retain per-trial detectors for the aggregate merge
 }
 
 // trialOut is everything one trial produces, in a form that can be
@@ -90,6 +107,7 @@ type trialOut struct {
 	atts     []trialrec.AttackerTrial // recording only
 	spans    []telemetry.Span         // observing only; IDs/traces local to the trial
 	events   []telemetry.WideEvent    // eventing only; appended in trial order
+	dets     []*detect.Detector       // detAgg only; merged in trial order
 	err      error
 }
 
@@ -138,12 +156,37 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 	}
 
 	out.verdicts = make([]bool, len(env.attackers))
+	if env.detAgg {
+		out.dets = make([]*detect.Detector, 0, len(env.attackers))
+	}
 	for i, a := range env.attackers {
 		var obs *probeObserver
 		var attSpan telemetry.SpanID
 		var attCtx telemetry.SpanContext
 		if env.observing {
 			attSpan, attCtx = spans.StartCtx(spans.Context(traceID, trialSpan), "attacker", env.names[i], 0)
+		}
+		var det *detect.Detector
+		if env.detect != nil {
+			det = detect.New(*env.detect)
+			if env.eventing {
+				name := env.names[i]
+				det.OnFlag(func(v detect.Verdict) {
+					ev := telemetry.NewWideEvent("detect.flag")
+					ev.Node = "detect"
+					ev.T = v.T
+					ev.Trial = trial
+					ev.Attacker = name
+					ev.Flow = v.Source
+					ev.Outcome = v.Reason
+					ev.Detail = fmt.Sprintf("score=%.2f obs=%d", v.Score, v.Obs)
+					out.events = append(out.events, ev)
+				})
+			}
+		}
+		var pace core.Pacing
+		if p, ok := a.(core.Paced); ok {
+			pace = p.ProbePacing()
 		}
 		if env.observing || env.eventing {
 			obs = &probeObserver{spans: spans, ctx: attCtx, trial: trial, name: env.names[i]}
@@ -157,7 +200,7 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 			}
 		}
 		replaySpan := spans.Start(traceID, attSpan, "replay", "experiment", 0)
-		tbl, err := replayTrace(env.nc, trace, env.reg)
+		tbl, err := replayTrace(env.nc, trace, env.reg, det)
 		spans.End(replaySpan, env.horizon)
 		if err != nil {
 			out.err = err
@@ -165,9 +208,9 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 		}
 		var outcomes, lost []bool
 		if seq, ok := a.(SequentialAttacker); ok {
-			outcomes, lost = probeSequential(env.nc, tbl, seq, env.horizon, env.meas, rng, flt, &env.tm, obs)
+			outcomes, lost = probeSequential(env.nc, tbl, seq, env.horizon, env.meas, rng, flt, &env.tm, obs, det, pace)
 		} else {
-			outcomes, lost = probeTable(env.nc, tbl, a.Probes(), env.horizon, env.meas, rng, flt, &env.tm, obs)
+			outcomes, lost = probeTable(env.nc, tbl, a.Probes(), env.horizon, env.meas, rng, flt, &env.tm, obs, det, pace)
 		}
 		var verdict bool
 		if lt, ok := a.(core.LossTolerant); ok && anyLost(lost) {
@@ -178,6 +221,9 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 			verdict = a.Decide(outcomes, rng)
 		}
 		out.verdicts[i] = verdict
+		if env.detAgg {
+			out.dets = append(out.dets, det)
+		}
 		if env.eventing {
 			ev := telemetry.NewWideEvent("trial.verdict")
 			ev.Node = "experiment"
@@ -254,6 +300,8 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		recording: rec.Enabled(),
 		eventing:  opts.Events != nil,
 		noWall:    opts.Spans == nil,
+		detect:    opts.Detect,
+		detAgg:    opts.Detect != nil && opts.DetectAggregate != nil,
 	}
 	verdicts := make([][4]*telemetry.Counter, len(attackers))
 	results := make([]AttackerResult, len(attackers))
@@ -289,6 +337,11 @@ func RunTrialsOpts(nc *NetworkConfig, attackers []core.Attacker, trials int, mea
 		// In-order batch append keeps the event stream byte-identical at
 		// every parallelism level (safe on a nil log).
 		opts.Events.Append(out.events)
+		// The aggregate defender view folds in strict (trial, attacker)
+		// order so the merged state is a pure function of the seeds.
+		for _, d := range out.dets {
+			opts.DetectAggregate.Merge(d)
+		}
 		if env.observing {
 			spansOut.Import(out.spans)
 			if rec.Enabled() {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"flowrecon/internal/core"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
@@ -218,14 +219,20 @@ func hitStr(hit bool) string {
 
 // probeSequential drives a sequential attacker against the table. A lost
 // probe is presented to the attacker as a miss (sequential planning has
-// no "no observation" branch) but still flagged in the lost mask.
-func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver) (outcomes, lost []bool) {
+// no "no observation" branch) but still flagged in the lost mask. With
+// pacing, consecutive probes advance the attack clock just as the
+// planned-sequence path does.
+func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttacker, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver, det *detect.Detector, pace core.Pacing) (outcomes, lost []bool) {
+	t := at
 	for {
 		f, ok := a.NextProbe(outcomes)
 		if !ok {
 			return outcomes, lost
 		}
-		step, stepLost := probeTable(nc, tbl, []flows.ID{f}, at, meas, rng, flt, tm, obs)
+		if len(outcomes) > 0 {
+			t += paceGap(pace, rng)
+		}
+		step, stepLost := probeTable(nc, tbl, []flows.ID{f}, t, meas, rng, flt, tm, obs, det, core.Pacing{})
 		outcomes = append(outcomes, step[0])
 		if stepLost != nil { // non-nil exactly when faults are enabled
 			lost = append(lost, stepLost[0])
@@ -235,8 +242,10 @@ func probeSequential(nc *NetworkConfig, tbl *flowtable.Table, a SequentialAttack
 
 // replayTrace builds the switch table state after the traffic window. A
 // non-nil registry attaches the table's flowtable instruments under the
-// "trial" node label so replay installs/evictions are observable.
-func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Registry) (*flowtable.Table, error) {
+// "trial" node label so replay installs/evictions are observable. A
+// non-nil detector observes every replay lookup — the benign background
+// the anomaly baselines are scored against.
+func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Registry, det *detect.Detector) (*flowtable.Table, error) {
 	tbl, err := flowtable.New(nc.Rules, nc.Params.CacheSize, nc.Params.Delta)
 	if err != nil {
 		return nil, fmt.Errorf("trial table: %w", err)
@@ -245,13 +254,29 @@ func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Regist
 		tbl.SetTelemetry(reg, "trial")
 	}
 	for _, a := range trace.Arrivals() {
-		if _, hit := tbl.Lookup(a.Flow, a.Time); !hit {
+		_, hit := tbl.Lookup(a.Flow, a.Time)
+		det.Observe(int(a.Flow), a.Time, math.NaN(), hit)
+		if !hit {
 			if j, covered := nc.Rules.HighestCovering(a.Flow); covered {
 				tbl.Install(j, a.Time)
 			}
 		}
 	}
 	return tbl, nil
+}
+
+// paceGap draws one inter-probe gap from the stealth schedule. The draw
+// happens only for enabled pacing, so unpaced attackers consume exactly
+// the RNG sequence they always did (recordings stay byte-identical).
+func paceGap(pace core.Pacing, rng *stats.RNG) float64 {
+	if !pace.Enabled() {
+		return 0
+	}
+	gap := pace.IntervalSec
+	if pace.JitterFrac > 0 {
+		gap += rng.Float64() * pace.JitterFrac * pace.IntervalSec
+	}
+	return gap
 }
 
 // probeTable sends the attacker's probes at the attack time, mutating the
@@ -266,22 +291,33 @@ func replayTrace(nc *NetworkConfig, trace *workload.Trace, reg *telemetry.Regist
 // the observed delay, which can push a hit past the classifier
 // threshold. lost is non-nil exactly when flt is non-nil, so fault-free
 // runs consume identical RNG draws and serialize identically.
-func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver) (outcomes, lost []bool) {
+//
+// A non-nil detector observes every delivered probe's lookup and drawn
+// delay (a lost probe never reached the fabric and is invisible to the
+// defender). With stealth pacing enabled, probe i fires at the attack
+// time plus i accumulated pace gaps instead of back-to-back at a single
+// instant; the pacing jitter draws come from the trial RNG but only for
+// paced attackers, so every existing schedule is byte-unchanged.
+func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at float64, meas Measurement, rng *stats.RNG, flt *faults.Stream, tm *trialMetrics, obs *probeObserver, det *detect.Detector, pace core.Pacing) (outcomes, lost []bool) {
 	outcomes = make([]bool, len(probes))
 	if flt != nil {
 		lost = make([]bool, len(probes))
 	}
+	t := at
 	for i, f := range probes {
+		if i > 0 {
+			t += paceGap(pace, rng)
+		}
 		if flt != nil && flt.Drop() {
 			lost[i] = true
 			tm.observeProbeLost()
-			obs.observeLost(f, at)
+			obs.observeLost(f, t)
 			continue
 		}
-		_, hit := tbl.Lookup(f, at)
+		_, hit := tbl.Lookup(f, t)
 		if !hit {
 			if j, covered := nc.Rules.HighestCovering(f); covered {
-				tbl.Install(j, at)
+				tbl.Install(j, t)
 			}
 		}
 		verdict, ms := meas.ClassifyMs(hit, rng)
@@ -291,8 +327,9 @@ func probeTable(nc *NetworkConfig, tbl *flowtable.Table, probes []flows.ID, at f
 				verdict = ms < meas.ThresholdMs
 			}
 		}
+		det.Observe(int(f), t, ms, hit)
 		tm.observeProbe(hit, ms)
-		obs.observe(f, hit, verdict, ms, at)
+		obs.observe(f, hit, verdict, ms, t)
 		outcomes[i] = verdict
 	}
 	return outcomes, lost

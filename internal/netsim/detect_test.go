@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"flowrecon/internal/controller"
+	"flowrecon/internal/detect"
+	"flowrecon/internal/flows"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/workload"
+)
+
+// detectFabric builds the 4-flow attack fabric with a detector attached.
+func detectFabric(t *testing.T, cfg detect.Config) (*Network, EvaluationSetup, *detect.Detector) {
+	t.Helper()
+	rs := attackPolicy(t)
+	universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+	sim := NewSim()
+	n := NewNetwork(sim, universe, NewControllerModel(rs, controller.Options{ProcessingDelay: time.Millisecond}), DefaultLatencyModel(), stats.NewRNG(3))
+	if err := StanfordBackbone().Build(n, 3, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := detect.New(cfg)
+	n.SetDetector(d)
+	return n, setup, d
+}
+
+// TestNetworkDetectorFlagsRegularProbing drives the §VI attack loop —
+// benign Poisson traffic with a regularly paced prober on top — through
+// the virtual-time fabric and requires the attached detector to flag the
+// probed flow while leaving the benign flows unflagged.
+func TestNetworkDetectorFlagsRegularProbing(t *testing.T) {
+	cfg := detect.DefaultConfig()
+	cfg.WindowSec = 10
+	cfg.MinObs = 6
+	cfg.MinGaps = 6
+	cfg.Baseline.Rates = []float64{0.8, 0.5, 0.3, 0.6}
+	n, setup, d := detectFabric(t, cfg)
+
+	trace, err := workload.GeneratePoisson(workload.PoissonConfig{
+		Rates:    []float64{0.8, 0.5, 0.3, 0.6},
+		Duration: 20,
+	}, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplayTrace(n, setup, trace, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.sim.RunUntil(20)
+
+	// Eviction probing: flow 3 every 0.4 s — pathologically regular next
+	// to the Poisson background.
+	prober := NewProber(n, setup)
+	at := 20.0
+	probes := 0
+	for i := 0; i < 60; i++ {
+		if _, err := prober.Probe(3, at); err != nil {
+			t.Fatal(err)
+		}
+		probes++
+		at += 0.4
+		if _, ok := d.IsFlagged(3); ok {
+			break
+		}
+	}
+	v, ok := d.IsFlagged(3)
+	if !ok {
+		t.Fatalf("regular probing of flow 3 not flagged after %d probes; top=%+v", probes, d.TopOffenders(4))
+	}
+	if v.Reason != detect.ReasonRegularity && v.Reason != detect.ReasonRate {
+		t.Fatalf("flag reason = %q, want rate or regularity", v.Reason)
+	}
+	if probes > 60 {
+		t.Fatalf("detection took %d probes, want well under the 200-probe budget", probes)
+	}
+	for _, benign := range []int{0, 1, 2} {
+		if _, ok := d.IsFlagged(benign); ok {
+			t.Fatalf("benign flow %d flagged: %+v", benign, d.TopOffenders(4))
+		}
+	}
+	// The delivery hook attributed real timing: the flagged flow's RTT
+	// sketch must hold millisecond-scale probes.
+	var row detect.SourceSummary
+	for _, r := range d.TopOffenders(4) {
+		if r.Source == 3 {
+			row = r
+		}
+	}
+	if row.RTTp50Ms <= 0 {
+		t.Fatalf("flagged source has no RTT observations: %+v", row)
+	}
+}
+
+// TestNetworkDetectorDoesNotPerturbSimulation pins the defender's
+// read-only contract: attaching a detector must not change the fabric's
+// random sequence, packet-in count, or probe outcomes.
+func TestNetworkDetectorDoesNotPerturbSimulation(t *testing.T) {
+	run := func(withDetector bool) (int, []float64) {
+		rs := attackPolicy(t)
+		universe := flows.ClientServerUniverse(flows.MakeIPv4(10, 0, 1, 0), 4)
+		sim := NewSim()
+		n := NewNetwork(sim, universe, NewControllerModel(rs, controller.Options{}), DefaultLatencyModel(), stats.NewRNG(11))
+		if err := StanfordBackbone().Build(n, 3, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		setup, err := AttachEvaluationHosts(n, flows.MakeIPv4(10, 0, 1, 0), 4, "yoza_rtr", "boza_rtr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDetector {
+			n.SetDetector(detect.New(detect.DefaultConfig()))
+		}
+		trace, err := workload.GeneratePoisson(workload.PoissonConfig{
+			Rates:    []float64{0.8, 0.5, 0.3, 0.6},
+			Duration: 10,
+		}, stats.NewRNG(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ReplayTrace(n, setup, trace, 0); err != nil {
+			t.Fatal(err)
+		}
+		sim.RunUntil(10)
+		prober := NewProber(n, setup)
+		var rtts []float64
+		at := 10.0
+		for i := 0; i < 10; i++ {
+			res, err := prober.Probe(flows.ID(i%4), at)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rtts = append(rtts, res.RTTms)
+			at += 0.2
+		}
+		return n.PacketIns, rtts
+	}
+	pinsOff, rttsOff := run(false)
+	pinsOn, rttsOn := run(true)
+	if pinsOff != pinsOn {
+		t.Fatalf("PacketIns differ: %d without detector, %d with", pinsOff, pinsOn)
+	}
+	for i := range rttsOff {
+		if rttsOff[i] != rttsOn[i] {
+			t.Fatalf("probe %d RTT differs: %v vs %v", i, rttsOff[i], rttsOn[i])
+		}
+	}
+}
+
+// The >2%-on-BenchmarkSimScheduler gate of the ISSUE lives in `make
+// check` (sched-gate: benchjson -compare -bench SimScheduler
+// -max-regress 2 over the committed same-host BENCH_PR5/PR7 recordings):
+// the scheduler never calls the detector, so the honest check is that
+// the recorded scheduler numbers did not move across the PR, not a
+// microbenchmark of a nil check against a ~15 ns loop body.

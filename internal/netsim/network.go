@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"flowrecon/internal/controller"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
@@ -109,9 +110,21 @@ type Network struct {
 	PacketIns int
 
 	reg *telemetry.Registry
-	tm  netMetrics     // resolved instruments (zero = disabled)
-	flt *faults.Stream // fault injection (nil = clean fabric)
+	tm  netMetrics       // resolved instruments (zero = disabled)
+	flt *faults.Stream   // fault injection (nil = clean fabric)
+	det *detect.Detector // streaming anomaly detector (nil = off)
 }
+
+// SetDetector attaches a streaming timing-anomaly detector to the
+// fabric's controller path: every reactive flow-table lookup of a known
+// flow becomes one detector observation (in virtual time, with the
+// hit/miss outcome), and delivered echo RTTs are attributed to the
+// flow's timing sketch. A nil detector detaches — the lookup path then
+// pays exactly one nil check, preserving the fast-substrate numbers.
+func (n *Network) SetDetector(d *detect.Detector) { n.det = d }
+
+// Detector returns the attached detector (nil when detached).
+func (n *Network) Detector() *detect.Detector { return n.det }
 
 // SetFaults attaches a fault-injection stream to the fabric: packets are
 // dropped on the link into each switch with LossProb, per-hop forwarding
@@ -370,6 +383,10 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 		hit := false
 		if known {
 			_, hit = sw.Table.Lookup(fid, now)
+			// The defender watches the reactive lookup point: one
+			// observation per lookup, in virtual time, RTT unknown here
+			// (attributed later at echo delivery).
+			n.det.Observe(int(fid), now, math.NaN(), hit)
 		}
 		if hit {
 			n.tm.hits.Inc()
@@ -385,6 +402,13 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 			n.trace("probe.miss", sw.Name, fid, 0)
 			pin, pinCtx := n.tm.spans.StartCtx(hopCtx, "packet_in", sw.Name, now)
 			n.tm.spans.Annotate(pin, int(fid), -1, "")
+			if n.det != nil && n.tm.spans != nil {
+				// Tag the forensic span with the source's anomaly score
+				// once it is in flagging territory.
+				if asc := n.det.Score(int(fid)); asc >= 1 {
+					n.tm.spans.Annotate(pin, -1, -1, fmt.Sprintf("anomaly=%.2f", asc))
+				}
+			}
 			setup := sample(n.rng, n.lat.SetupMean, n.lat.SetupStd)
 			if setup < n.lat.SetupFloor {
 				setup = n.lat.SetupFloor
@@ -453,6 +477,9 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 	n.sim.After(replyDelay, func() {
 		res.RTT = n.sim.Now() - res.SentAt
 		res.Delivered = true
+		if known {
+			n.det.ObserveRTT(int(fid), res.RTT*1e3)
+		}
 		n.tm.rtt.Observe(res.RTT)
 		n.trace("echo.delivered", last, fid, res.RTT)
 		n.tm.spans.End(sc.Parent, n.sim.Now())

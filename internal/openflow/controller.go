@@ -3,12 +3,14 @@ package openflow
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"flowrecon/internal/controller"
+	"flowrecon/internal/detect"
 	"flowrecon/internal/faults"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/rules"
@@ -51,7 +53,8 @@ type Controller struct {
 	reg *telemetry.Registry
 	tm  ctlMetrics // resolved instruments (zero = disabled)
 
-	flt *faults.Stream // controller-side stall/slowdown injection (nil = clean)
+	det *detect.Detector // streaming anomaly detector (nil = off)
+	flt *faults.Stream   // controller-side stall/slowdown injection (nil = clean)
 
 	connMu sync.Mutex
 	conns  map[*Conn]struct{}
@@ -107,6 +110,17 @@ func NewController(rs *rules.Set, universe *flows.Universe, opts ControllerOptio
 
 // now returns seconds since the controller's span epoch.
 func (c *Controller) now() float64 { return time.Since(c.start).Seconds() }
+
+// SetDetector attaches a streaming timing-anomaly detector: every
+// PACKET_IN of a known flow becomes one detector observation, stamped
+// with the controller's span clock. The TCP observation point sees
+// misses exclusively (hits never leave the switch), so configs for this
+// substrate must keep the miss-skew scorer disabled (the default). Call
+// before Listen/ServeConn; nil detaches.
+func (c *Controller) SetDetector(d *detect.Detector) { c.det = d }
+
+// Detector returns the attached detector (nil when detached).
+func (c *Controller) Detector() *detect.Detector { return c.det }
 
 // PacketIns returns the number of PACKET_IN messages processed.
 func (c *Controller) PacketIns() int64 {
@@ -294,6 +308,11 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 		time.Sleep(time.Duration(st * float64(time.Millisecond)))
 	}
 	fid, known := c.universe.Lookup(tuple)
+	if known {
+		// Every PACKET_IN is by definition a table miss; RTT is the
+		// switch's side of the channel and unknown here.
+		c.det.Observe(int(fid), c.now(), math.NaN(), false)
+	}
 	// When the PACKET_IN carries the switch's SpanContext side-band, the
 	// decision span adopts its trace and parents itself under the
 	// switch-side packet_in span: the two processes' streams concatenate
@@ -310,6 +329,11 @@ func (c *Controller) handlePacketIn(conn *Conn, m *PacketIn) (Message, error) {
 			dec = c.tm.spans.Start(decTrace, 0, "controller.decision", "controller", c.now())
 		}
 		c.tm.spans.Annotate(dec, int(fid), -1, fmt.Sprintf("buffer=%d", m.BufferID))
+		if c.det != nil && known {
+			if asc := c.det.Score(int(fid)); asc >= 1 {
+				c.tm.spans.Annotate(dec, -1, -1, fmt.Sprintf("anomaly=%.2f", asc))
+			}
+		}
 	}
 	if known {
 		decision := c.app.OnPacketIn(fid)

@@ -53,17 +53,18 @@ func NewWideEvent(kind string) WideEvent {
 // retained event as JSONL the moment it is sequenced, for tailing a
 // long run to disk while /debug/events serves the ring.
 type EventLog struct {
-	mu      sync.Mutex
-	seq     int64
-	cap     int
-	buf     []WideEvent // ring storage, len ≤ cap
-	start   int         // index of the oldest retained event
-	dropped int64
-	clock   func() int64   // wall-clock source for WallNs; nil = don't stamp
-	every   map[string]int // kind → keep 1 in n (unlisted kinds keep all)
-	skips   map[string]int // kind → events skipped since last kept
-	sink    io.Writer
-	sinkErr error
+	mu       sync.Mutex
+	seq      int64
+	cap      int
+	buf      []WideEvent // ring storage, len ≤ cap
+	start    int         // index of the oldest retained event
+	dropped  int64
+	clock    func() int64   // wall-clock source for WallNs; nil = don't stamp
+	every    map[string]int // kind → keep 1 in n (unlisted kinds keep all)
+	skips    map[string]int // kind → events skipped since last kept
+	sink     io.Writer
+	sinkErr  error
+	detached *Counter // increments once when a write error detaches the sink
 }
 
 // NewEventLog returns a log retaining at most cap events (cap ≤ 0
@@ -122,6 +123,22 @@ func (l *EventLog) SetSink(w io.Writer) {
 	l.mu.Lock()
 	l.sink = w
 	l.sinkErr = nil
+	l.mu.Unlock()
+}
+
+// SetDetachCounter routes sink-detach occurrences into a counter
+// (eventlog_sink_detached_total when wired by Registry.EnableEvents).
+// The JSONL sink detaches on its first write error by design — the event
+// stream must never take down the run — but before this counter the
+// detach was invisible until a SinkErr check at exit: a chaos run with a
+// full disk silently recorded nothing. The counter makes the detach show
+// up in /metrics and flowtop the moment it happens.
+func (l *EventLog) SetDetachCounter(c *Counter) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.detached = c
 	l.mu.Unlock()
 }
 
@@ -190,6 +207,7 @@ func (l *EventLog) emitLocked(e WideEvent) {
 		if err != nil {
 			l.sinkErr = err
 			l.sink = nil
+			l.detached.Inc()
 		}
 	}
 }

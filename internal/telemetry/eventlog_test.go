@@ -137,6 +137,40 @@ type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
 
+// TestSinkDetachCounter pins the observable half of the detach-by-design
+// contract: when the JSONL sink dies, eventlog_sink_detached_total must
+// tick exactly once — the detach is silent in the emit path on purpose,
+// so the counter is the only live signal that a chaos run stopped
+// recording its event stream.
+func TestSinkDetachCounter(t *testing.T) {
+	reg := NewRegistry(0)
+	l := reg.EnableEvents(8)
+	l.SetSink(failWriter{})
+	for i := 0; i < 5; i++ {
+		l.Emit(NewWideEvent("x"))
+	}
+	c := reg.Counter("eventlog_sink_detached_total")
+	if got := c.Value(); got != 1 {
+		t.Fatalf("eventlog_sink_detached_total = %d after a failing sink, want exactly 1", got)
+	}
+	if l.SinkErr() == nil {
+		t.Fatal("SinkErr lost the detach reason")
+	}
+	// Re-attaching and failing again is a second detach.
+	l.SetSink(failWriter{})
+	l.Emit(NewWideEvent("y"))
+	if got := c.Value(); got != 2 {
+		t.Fatalf("counter = %d after re-attach + second failure, want 2", got)
+	}
+	// A standalone log without a wired counter stays safe.
+	bare := NewEventLog(4)
+	bare.SetSink(failWriter{})
+	bare.Emit(NewWideEvent("z"))
+	if bare.SinkErr() == nil {
+		t.Fatal("standalone log lost the sink error")
+	}
+}
+
 func TestRegistryEnableEvents(t *testing.T) {
 	var nilReg *Registry
 	if nilReg.EnableEvents(8) != nil || nilReg.Events() != nil {

@@ -30,7 +30,12 @@ import (
 //
 // The handler is safe on a nil registry (endpoints serve empty bodies,
 // /readyz reports ready).
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry) http.Handler { return NewMux(r) }
+
+// NewMux returns the introspection mux itself so daemons can mount
+// additional endpoints beside the standard set (the detector mounts
+// /debug/detect here) before passing it to ServeHandler.
+func NewMux(r *Registry) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -254,11 +259,17 @@ func (s *Server) Close() error { return s.srv.Close() }
 // ephemeral port) in a background goroutine and returns the running
 // server.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, Handler(r))
+}
+
+// ServeHandler starts a background HTTP server for an arbitrary handler —
+// the variant daemons use after extending the mux from NewMux.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: h}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil
 }

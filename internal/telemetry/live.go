@@ -37,6 +37,14 @@ type LiveUpdate struct {
 	Accuracy           float64            `json:"accuracy"`
 	AccuracyByAttacker map[string]float64 `json:"accuracyByAttacker,omitempty"`
 
+	// DetectSources is the detect_sources_tracked gauge (sources the
+	// streaming detector follows); DetectFlagged the cumulative
+	// detect_flagged_total across reasons, with this window's increment
+	// in DetectFlaggedDelta. All zero when no detector runs.
+	DetectSources      int64 `json:"detectSources,omitempty"`
+	DetectFlagged      int64 `json:"detectFlagged,omitempty"`
+	DetectFlaggedDelta int64 `json:"detectFlaggedDelta,omitempty"`
+
 	// Faults is the cumulative faults_injected_total across layers;
 	// Reconnects the switch's control-channel re-establishments; Lost
 	// the probes that produced no observation.
@@ -157,6 +165,10 @@ func ComputeLiveUpdate(prev, cur Snapshot, elapsed float64) LiveUpdate {
 		}
 	}
 
+	u.DetectSources = cur.Gauges["detect_sources_tracked"]
+	u.DetectFlagged = sumCounters(cur.Counters, "detect_flagged_total")
+	u.DetectFlaggedDelta = u.DetectFlagged - sumCounters(prev.Counters, "detect_flagged_total")
+
 	u.Faults = sumCounters(cur.Counters, "faults_injected_total")
 	u.FaultsDelta = u.Faults - sumCounters(prev.Counters, "faults_injected_total")
 	u.Reconnects = cur.Counters["switch_reconnects_total"]
@@ -192,6 +204,8 @@ func DecodeLiveUpdate(data []byte) (LiveUpdate, error) {
 // headline numbers from, for documentation and tests.
 func LiveSeriesNames() []string {
 	names := []string{
+		"detect_flagged_total",
+		"detect_sources_tracked",
 		"experiment_trials_total",
 		"experiment_probes_total",
 		"experiment_verdicts_total",

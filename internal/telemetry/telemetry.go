@@ -175,10 +175,14 @@ func (r *Registry) EnableEvents(cap int) *EventLog {
 	if r == nil {
 		return nil
 	}
+	// Resolve before taking r.mu (Counter locks it too): a sink write
+	// error must be visible in /metrics, not only via SinkErr at exit.
+	detached := r.Counter("eventlog_sink_detached_total")
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.events == nil {
 		r.events = NewEventLog(cap)
+		r.events.SetDetachCounter(detached)
 	}
 	return r.events
 }
