@@ -23,36 +23,39 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench runs the root benchmark suite and writes BENCH_PR7.json — the
+## bench runs the root benchmark suite and writes BENCH_PR8.json — the
 ## machine-readable ns/op table (via cmd/benchjson). Since PR 5 the suite
 ## covers the simulation substrate (BenchmarkTableChurn,
 ## BenchmarkRuleMatch, BenchmarkSimScheduler); PR 7 adds
-## BenchmarkDetectorObserve — the defender's streaming-detector hot path,
-## enabled and disabled. Each benchmark runs -count 3 and benchjson keeps
-## the fastest run per name, which is what makes the bench-compare gate
-## usable on shared/noisy hosts.
+## BenchmarkDetectorObserve; PR 8 adds BenchmarkShardedSim1k — the
+## sharded fleet engine driving a 1125-switch fat-tree at 1 and 8 shards
+## against the legacy per-closure serial engine on the same workload.
+## Each benchmark runs -count 3 and benchjson keeps the fastest run per
+## name, which is what makes the bench-compare gate usable on
+## shared/noisy hosts.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 500ms -count 3 . > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR7.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR8.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR7.json"
+	@echo "wrote BENCH_PR8.json"
 
 ## bench-compare diffs the committed benchmark history: it fails when any
-## benchmark present in both BENCH_PR5.json and BENCH_PR7.json regressed
+## benchmark present in both BENCH_PR7.json and BENCH_PR8.json regressed
 ## by more than 15% ns/op, so the perf gate covers the substrate
 ## benchmarks as well as the Markov kernels. CI runs this as the perf
 ## gate.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR7.json -max-regress 15
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -max-regress 15
 
-## sched-gate holds the detector to its observability contract: wiring
-## the defender through the substrates must not tax the simulation event
-## loop. BenchmarkSimScheduler (recorded same-host, back-to-back in
-## BENCH_PR5.json before the detector and BENCH_PR7.json after) may
-## regress at most 2%.
+## sched-gate holds the serial event loop to its contract across
+## refactors: neither the defender wiring (PR 7) nor the fleet sharding
+## (PR 8, which left the Sim hot path untouched and gave the single-shard
+## fleet a zero-synchronization drain) may tax the scheduler.
+## BenchmarkSimScheduler (recorded same-host in BENCH_PR5.json before
+## either change and BENCH_PR8.json after) may regress at most 2%.
 sched-gate:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR7.json -bench SimScheduler -max-regress 2
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR8.json -bench SimScheduler -max-regress 2
 
 ## alloc-gate runs the allocation assertions without the race detector
 ## (race instrumentation allocates, so `make race` skips them): the
@@ -61,6 +64,8 @@ sched-gate:
 ## disabled telemetry instruments (nil span recorder / event log) must
 ## cost zero allocations at every emit site, and the streaming detector
 ## must observe with zero allocations per event — enabled and disabled.
+## PR 8 extends the netsim set with the fleet drain: a cross-shard
+## window cycle recycles its event records from the per-shard pools.
 alloc-gate:
 	$(GO) test -run 'ZeroAlloc|SteadyStateAllocs|PoolRecycles' ./internal/netsim/ ./internal/flowtable/ ./internal/telemetry/ ./internal/detect/
 

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"flowrecon/internal/controller"
 	"flowrecon/internal/core"
 	"flowrecon/internal/detect"
 	"flowrecon/internal/experiment"
@@ -771,5 +772,152 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		tbl.SetTelemetry(telemetry.NewRegistry(4096), "bench")
 		b.ResetTimer()
 		run(b, tbl, rs)
+	})
+}
+
+// fleetBenchSetup is the shared 1k-switch workload: a k=30 fat-tree
+// (1125 switches), 64 hosts spread across the edge tier, and 64 flows
+// chained host i → host i+1 so most traffic crosses pods (and therefore
+// shards). Eight rules of eight flows each keep the reactive edges busy
+// without overflowing the tables.
+type fleetBenchSetup struct {
+	topo     netsim.Topology
+	universe *flows.Universe
+	policy   *rules.Set
+	hostSw   []string // edge switch of host i
+	hostName []string // interned so the hot loop does no string building
+	hostIP   []flows.IPv4
+}
+
+const fleetBenchHosts = 64
+
+func newFleetBenchSetup(b *testing.B) *fleetBenchSetup {
+	b.Helper()
+	topo, err := netsim.FatTree(30) // 1125 switches — the "1k" fabric
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := &fleetBenchSetup{topo: topo, universe: flows.NewUniverse()}
+	base := flows.MakeIPv4(10, 16, 0, 0)
+	for i := 0; i < fleetBenchHosts; i++ {
+		// Stride the edge tier so consecutive hosts land in different pods.
+		s.hostSw = append(s.hostSw, topo.Edges[(i*7)%len(topo.Edges)])
+		s.hostName = append(s.hostName, "bh"+strconv.Itoa(i))
+		s.hostIP = append(s.hostIP, base+flows.IPv4(i))
+	}
+	rs := make([]rules.Rule, 8)
+	for r := range rs {
+		ids := make([]flows.ID, 0, 8)
+		for i := 0; i < 8; i++ {
+			ids = append(ids, flows.ID(r*8+i))
+		}
+		rs[r] = rules.Rule{Name: "rb" + strconv.Itoa(r), Cover: flows.SetOf(ids...), Priority: r + 1, Timeout: 50}
+	}
+	for i := 0; i < fleetBenchHosts; i++ {
+		s.universe.Add("bf"+strconv.Itoa(i), flows.FiveTuple{
+			Src: s.hostIP[i], Dst: s.hostIP[(i+1)%fleetBenchHosts], Proto: flows.ProtoICMP,
+		})
+	}
+	s.policy, err = rules.NewSet(rs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkShardedSim1k drives one echo round (64 cross-pod packets,
+// ~14 events each) through the 1125-switch fat-tree and reports
+// events/sec. Sub-benchmarks compare the sharded fleet engine at 1 and 8
+// shards against the legacy per-closure serial engine on the identical
+// topology and workload — the fleet engine's compiled routes and pooled
+// event records are where the fleet-scale speedup comes from; on a
+// multi-core host the 8-shard variant additionally spreads the window
+// drains over the worker pool (see EXPERIMENTS.md §16 for the
+// single-core caveat). allocs/op for the fleet variants is the headline:
+// 0 in steady state, enforced by the alloc-gate.
+func BenchmarkShardedSim1k(b *testing.B) {
+	s := newFleetBenchSetup(b)
+	round := func(send func(src, dst string, at float64), now float64) {
+		for h := 0; h < fleetBenchHosts; h++ {
+			send(s.hostName[h], s.hostName[(h+1)%fleetBenchHosts], now+float64(h)*2e-5)
+		}
+	}
+	for _, cfg := range []struct {
+		name            string
+		shards, workers int
+	}{
+		{"fleet/shards=1", 1, 1},
+		{"fleet/shards=8", 8, 0},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			f, err := netsim.NewFleet(netsim.FleetConfig{
+				Topo:     s.topo,
+				Capacity: 16,
+				StepSec:  0.1,
+				Ctrl:     netsim.NewControllerModel(s.policy, controller.Options{}),
+				Universe: s.universe,
+				Shards:   cfg.shards,
+				Workers:  cfg.workers,
+				Seed:     7,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer f.Close()
+			for i := 0; i < fleetBenchHosts; i++ {
+				if err := f.AddHost(s.hostName[i], s.hostIP[i], s.hostSw[i]); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.SetReactive(s.hostSw[i]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			send := func(src, dst string, at float64) {
+				if _, err := f.SendEcho(src, dst, at); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm routes, heaps, and the packet arena.
+			round(send, 0)
+			f.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			events := 0
+			for i := 0; i < b.N; i++ {
+				round(send, f.Now())
+				events += f.Run()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+	b.Run("legacy-serial", func(b *testing.B) {
+		sim := netsim.NewSim()
+		n := netsim.NewNetwork(sim, s.universe, netsim.NewControllerModel(s.policy, controller.Options{}), netsim.DefaultLatencyModel(), stats.NewRNG(7))
+		if err := s.topo.Build(n, 16, 0.1); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < fleetBenchHosts; i++ {
+			if err := n.AddHost(s.hostName[i], s.hostIP[i], s.hostSw[i]); err != nil {
+				b.Fatal(err)
+			}
+			if err := n.SetReactive(s.hostSw[i], true); err != nil {
+				b.Fatal(err)
+			}
+		}
+		send := func(src, dst string, at float64) {
+			if _, err := n.SendEcho(src, dst, at); err != nil {
+				b.Fatal(err)
+			}
+		}
+		round(send, 0)
+		sim.Run()
+		b.ReportAllocs()
+		b.ResetTimer()
+		events := 0
+		for i := 0; i < b.N; i++ {
+			round(send, sim.Now())
+			events += sim.Run()
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	})
 }

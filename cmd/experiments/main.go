@@ -10,6 +10,7 @@
 //	experiments -latency
 //	experiments -detect
 //	experiments -fig7 -csv out/
+//	experiments -fleet -topo fattree -switches 1000 -shards 8
 package main
 
 import (
@@ -51,13 +52,18 @@ func run(args []string) error {
 		scale    = fs.String("scale", "paper", "parameter scale: paper (16 flows/12 rules) or small (8 flows/6 rules)")
 		telOut   = fs.String("telemetry-out", "", "write the final telemetry snapshot (probe histograms, counters) as JSON to this file")
 		par      = fs.Int("parallelism", 1, "trial-runner worker goroutines per configuration; results are identical at every level")
+
+		fleet    = fs.Bool("fleet", false, "run the fleet-scale multi-switch reconnaissance experiment (EXPERIMENTS.md §16)")
+		switches = fs.Int("switches", 20, "fleet fabric size floor (generated topologies round up)")
+		shards   = fs.Int("shards", 1, "fleet simulation shards; results are byte-identical at every count")
+		topo     = fs.String("topo", "fattree", "fleet topology: backbone, fattree, or leafspine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && !*fig6 && !*fig7 && !*latency && !*detectF {
+	if !*all && !*fig6 && !*fig7 && !*latency && !*detectF && !*fleet {
 		fs.Usage()
-		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency, -detect)")
+		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency, -detect, -fleet)")
 	}
 	var reg *telemetry.Registry
 	if *telOut != "" {
@@ -99,6 +105,21 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("(detection experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *fleet {
+		start := time.Now()
+		fo := experiment.DefaultFleetOptions()
+		fo.Topo, fo.Switches, fo.Shards = *topo, *switches, *shards
+		fo.Trials, fo.Seed, fo.Registry = *trials, *seed, reg
+		out, err := experiment.RunFleetTrials(fo)
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		if err := experiment.WriteFleet(os.Stdout, out); err != nil {
+			return err
+		}
+		fmt.Printf("(fleet experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *all || *fig6 {

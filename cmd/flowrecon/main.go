@@ -56,9 +56,22 @@ func run(args []string) error {
 		faultSeed   = fs.Int64("fault-seed", 0, "seed for injected probe faults (chaos runs)")
 		faultLoss   = fs.Float64("fault-loss", 0, "probability each probe is lost (no observation)")
 		faultJitter = fs.Float64("fault-jitter", 0, "mean added probe delay, ms (exponential)")
+
+		fleetF   = fs.Bool("fleet", false, "run the attack on a simulated datacenter fleet (multi-switch remote-edge inference) instead of the single-table model")
+		switches = fs.Int("switches", 20, "fleet fabric size floor (generated topologies round up)")
+		shards   = fs.Int("shards", 1, "fleet simulation shards; results are byte-identical at every count")
+		topo     = fs.String("topo", "fattree", "fleet topology: backbone, fattree, or leafspine")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *fleetF {
+		return runFleet(fleetArgs{
+			switches: *switches, shards: *shards, topo: *topo,
+			trials: *trials, seed: *seed, recOut: *recOut, detect: *detectF,
+			faultSeed: *faultSeed, faultLoss: *faultLoss, faultJitter: *faultJitter,
+			telOut: *telOut,
+		})
 	}
 	if *recOut != "" && *recOut == *telOut {
 		return fmt.Errorf("flowrecon: -record and -telemetry-out must name different files (both got %q)", *recOut)
@@ -284,6 +297,77 @@ func run(args []string) error {
 			fmt.Printf("  T=%4d steps (%5.2fs): best probe %2d gain=%.4f bits  P(absent)=%.3f\n",
 				p.Steps, float64(p.Steps)*nc.Params.Delta, p.Best.Flow, p.Best.Gain, p.PAbsent)
 		}
+	}
+	return nil
+}
+
+// fleetArgs carries the -fleet mode's flag values.
+type fleetArgs struct {
+	switches, shards int
+	topo             string
+	trials           int
+	seed             int64
+	recOut           string
+	detect           bool
+	faultSeed        int64
+	faultLoss        float64
+	faultJitter      float64
+	telOut           string
+}
+
+// runFleet runs the multi-switch fleet scenario: the same timing channel,
+// but the probed rule state lives on edge switches the attacker never
+// talks to directly (EXPERIMENTS.md §16).
+func runFleet(a fleetArgs) error {
+	o := experiment.DefaultFleetOptions()
+	o.Topo, o.Switches, o.Shards = a.topo, a.switches, a.shards
+	o.Trials, o.Seed = a.trials, a.seed
+	if a.faultLoss > 0 || a.faultJitter > 0 {
+		o.Faults = faults.Profile{Seed: a.faultSeed, LossProb: a.faultLoss, JitterMeanMs: a.faultJitter}
+		if err := o.Faults.Validate(); err != nil {
+			return err
+		}
+		fmt.Printf("fault injection armed: %+v\n", o.Faults)
+	}
+	if a.detect {
+		cfg := detect.DefaultConfig()
+		o.Detect = &cfg
+	}
+	if a.telOut != "" {
+		o.Registry = telemetry.NewRegistry(8192)
+	}
+	if a.recOut != "" {
+		rec, err := trialrec.Create(a.recOut, trialrec.Header{
+			Seed:      o.Seed,
+			Trials:    o.Trials,
+			Attackers: []string{experiment.FleetAttackerName},
+		})
+		if err != nil {
+			return err
+		}
+		o.Recorder = rec
+		defer rec.Close()
+	}
+	fmt.Printf("running %d fleet trials (%s, ≥%d switches, %d shards)…\n\n", o.Trials, o.Topo, o.Switches, o.Shards)
+	out, err := experiment.RunFleetTrials(o)
+	if err != nil {
+		return err
+	}
+	if err := experiment.WriteFleet(os.Stdout, out); err != nil {
+		return err
+	}
+	if o.Recorder.Enabled() {
+		trialsWritten := o.Recorder.Trials()
+		if err := o.Recorder.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nrecording written to %s (%d trials)\n", a.recOut, trialsWritten)
+	}
+	if a.telOut != "" {
+		if err := writeTelemetry(a.telOut, o.Registry, nil); err != nil {
+			return err
+		}
+		fmt.Printf("\ntelemetry written to %s\n", a.telOut)
 	}
 	return nil
 }

@@ -133,6 +133,10 @@ func render(out io.Writer, addr string, u telemetry.LiveUpdate) {
 		fmt.Fprintf(out, "detect   %8d sources   flagged %d (+%d)\n",
 			u.DetectSources, u.DetectFlagged, u.DetectFlaggedDelta)
 	}
+	if u.FleetShards > 0 {
+		fmt.Fprintf(out, "fleet    %8d shards   %d events (%.0f/s)   %d windows   %d crossings   occ %d\n",
+			u.FleetShards, u.FleetEvents, u.FleetEventsPerSec, u.FleetWindows, u.FleetCrossings, u.FleetOccupancy)
+	}
 
 	if u.Accuracy > 0 || len(u.AccuracyByAttacker) > 0 {
 		fmt.Fprintf(out, "accuracy %7.1f%%  %s\n", 100*u.Accuracy, accuracyBar(u.Accuracy, 24))

@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"flowrecon/internal/detect"
+	"flowrecon/internal/faults"
+	"flowrecon/internal/trialrec"
+)
+
+func fleetTestOptions() FleetOptions {
+	o := DefaultFleetOptions()
+	o.Trials = 10
+	o.Horizon = 2.0
+	o.Seed = 42
+	return o
+}
+
+// runFleetRecorded runs the scenario and returns the recording bytes and
+// the outcome.
+func runFleetRecorded(t *testing.T, o FleetOptions) ([]byte, FleetOutcome) {
+	t.Helper()
+	var buf bytes.Buffer
+	rec, err := trialrec.NewRecorder(&buf, trialrec.Header{
+		Seed: o.Seed, Trials: o.Trials, Attackers: []string{FleetAttackerName},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Recorder = rec
+	out, err := RunFleetTrials(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), out
+}
+
+// TestFleetShardDeterminism is the PR's acceptance check at the
+// experiment layer: with faults enabled, recordings at 1, 2, and 8
+// shards are byte-identical and trialrec.Diff-clean.
+func TestFleetShardDeterminism(t *testing.T) {
+	base := fleetTestOptions()
+	base.Faults = faults.Profile{
+		Seed: 99, LossProb: 0.05, JitterMeanMs: 0.3,
+		StallProb: 0.05, StallMs: 1.5, SlowFactor: 1.3,
+	}
+	base.Detect = &detect.Config{}
+	*base.Detect = detect.DefaultConfig()
+
+	type run struct {
+		shards, workers int
+	}
+	var ref []byte
+	var refOut FleetOutcome
+	for i, r := range []run{{1, 1}, {2, 2}, {8, 4}} {
+		o := base
+		o.Shards, o.Workers = r.shards, r.workers
+		got, out := runFleetRecorded(t, o)
+		if i == 0 {
+			ref, refOut = got, out
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("recording at %d shards differs from serial run (%d vs %d bytes)",
+				r.shards, len(got), len(ref))
+		}
+		ra, err := trialrec.Read(bytes.NewReader(ref))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := trialrec.Read(bytes.NewReader(got))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if divs := trialrec.Diff(ra, rb); len(divs) != 0 {
+			t.Fatalf("trialrec.Diff at %d shards: %v", r.shards, divs)
+		}
+		// Shards/Lookahead legitimately differ; the attack results and
+		// the defender's flags must not.
+		if out.Result != refOut.Result || out.Flagged != refOut.Flagged {
+			t.Fatalf("outcome at %d shards %+v != serial %+v", r.shards, out, refOut)
+		}
+	}
+	if refOut.Result.Trials != base.Trials {
+		t.Fatalf("scored %d trials, want %d", refOut.Result.Trials, base.Trials)
+	}
+}
+
+// TestFleetAttackAccuracy checks the remote-edge inference actually
+// works: without faults the timing channel should recover the target
+// flow's presence on far edges well above chance.
+func TestFleetAttackAccuracy(t *testing.T) {
+	o := fleetTestOptions()
+	o.Trials = 30
+	_, out := runFleetRecorded(t, o)
+	r := out.Result
+	if r.Trials != o.Trials {
+		t.Fatalf("trials = %d, want %d", r.Trials, o.Trials)
+	}
+	if r.TruePos == 0 || r.TrueNeg == 0 {
+		t.Fatalf("degenerate truth split: %+v (tune Rate/Horizon)", r)
+	}
+	if acc := r.Accuracy(); acc < 0.85 {
+		t.Fatalf("fleet attack accuracy %.2f below 0.85: %+v", acc, r)
+	}
+	if out.Switches < 20 {
+		t.Fatalf("fleet has %d switches, want ≥20", out.Switches)
+	}
+}
+
+// TestFleetDetectorObserves confirms the per-shard controller-path
+// detector sees the probe activity (the defender's view of the fleet
+// attack) identically at different shard counts.
+func TestFleetDetectorObserves(t *testing.T) {
+	o := fleetTestOptions()
+	o.Trials = 6
+	cfg := detect.DefaultConfig()
+	// The scenario sends few probes per trial; drop the floor so the
+	// regularity test can engage at all.
+	cfg.MinObs = 4
+	cfg.MinGaps = 2
+	o.Detect = &cfg
+	_, serial := runFleetRecorded(t, o)
+	o.Shards, o.Workers = 4, 2
+	_, sharded := runFleetRecorded(t, o)
+	if serial.Flagged != sharded.Flagged {
+		t.Fatalf("detector flags diverge: serial=%d sharded=%d", serial.Flagged, sharded.Flagged)
+	}
+}
+
+func TestBuildFleetTopology(t *testing.T) {
+	for _, tc := range []struct {
+		kind     string
+		switches int
+		min      int
+	}{
+		{"backbone", 0, 16},
+		{"fattree", 1000, 1000},
+		{"leafspine", 30, 30},
+	} {
+		topo, err := BuildFleetTopology(tc.kind, tc.switches)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if len(topo.Switches) < tc.min {
+			t.Fatalf("%s: %d switches, want ≥%d", tc.kind, len(topo.Switches), tc.min)
+		}
+	}
+	if _, err := BuildFleetTopology("torus", 10); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	if _, err := RunFleetTrials(FleetOptions{}); err == nil {
+		t.Fatal("zero options accepted")
+	}
+	o := DefaultFleetOptions()
+	o.Topo = "backbone"
+	if _, err := RunFleetTrials(o); err == nil {
+		t.Fatal("backbone (no edge tier) accepted by the fleet scenario")
+	}
+}

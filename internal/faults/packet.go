@@ -1,0 +1,106 @@
+package faults
+
+import "math"
+
+// expSample inverts the exponential CDF at u ∈ [0, 1); 1-u is in (0, 1],
+// keeping the log argument positive.
+func expSample(u, rate float64) float64 {
+	return -math.Log(1-u) / rate
+}
+
+// PacketStream is the per-packet face of a fault profile, built for the
+// sharded fleet simulator. The serial fabric draws every fault decision
+// from one sequential Stream, which makes the schedule a function of
+// global event order — exactly what a parallel engine cannot promise.
+// A PacketStream instead derives every decision from (profile seed,
+// packet ID, knob, draw index) with a counter-based generator: the fault
+// fate of packet k is a pure function of k, independent of how many
+// shards exist or which order they executed in. That is the "cross-shard
+// fault determinism" contract: recordings with faults enabled stay
+// byte-identical at any shard count.
+//
+// The stream is a small value (no heap allocation, no mutex — each
+// packet owns its own copy and is processed by one shard at a time) and
+// carries no telemetry; the fleet engine counts injections in per-shard
+// counters and flushes them in batch.
+type PacketStream struct {
+	prof *Profile
+	seed uint64
+	// n counts draws per knob so repeated decisions on one packet (a
+	// drop check per hop, say) see fresh bits, while knobs stay
+	// independent of each other: enabling jitter cannot perturb the loss
+	// schedule, the same draw-stability the serial Stream guarantees via
+	// per-knob sub-RNGs.
+	n [numKnobs]uint16
+}
+
+// Packet derives the fault stream of packet pkt. The zero Profile (and
+// any disabled one) yields a stream that injects nothing and draws no
+// bits.
+func (p *Profile) Packet(pkt int64) PacketStream {
+	if p == nil || !p.Enabled() {
+		return PacketStream{}
+	}
+	return PacketStream{
+		prof: p,
+		seed: splitmix64(uint64(p.Seed) ^ splitmix64(uint64(pkt)+0x6a09e667f3bcc909)),
+	}
+}
+
+// u01 draws the next uniform sample in [0, 1) from knob's substream.
+func (s *PacketStream) u01(knob int) float64 {
+	c := s.n[knob]
+	s.n[knob]++
+	bits := splitmix64(s.seed + uint64(knob+1)*0x9e3779b97f4a7c15 + uint64(c)*0xbf58476d1ce4e5b9)
+	return float64(bits>>11) * 0x1p-53
+}
+
+// Drop reports whether the packet's next delivery is lost.
+func (s *PacketStream) Drop() bool {
+	if s.prof == nil || s.prof.LossProb <= 0 {
+		return false
+	}
+	return s.u01(knobLoss) < s.prof.LossProb
+}
+
+// JitterMs returns the extra latency (exponential, mean JitterMeanMs) of
+// the packet's next delivered event; 0 when jitter is off.
+func (s *PacketStream) JitterMs() float64 {
+	if s.prof == nil || s.prof.JitterMeanMs <= 0 {
+		return 0
+	}
+	return expSample(s.u01(knobJitter), 1/s.prof.JitterMeanMs)
+}
+
+// ReorderMs returns the extra delay of an event selected for reordering,
+// or 0 when the packet keeps its place.
+func (s *PacketStream) ReorderMs() float64 {
+	if s.prof == nil || s.prof.ReorderProb <= 0 {
+		return 0
+	}
+	if s.u01(knobReorder) >= s.prof.ReorderProb {
+		return 0
+	}
+	return s.prof.ReorderExtraMs
+}
+
+// StallMs returns the controller stall to inject before the packet's
+// next decision (0 = none).
+func (s *PacketStream) StallMs() float64 {
+	if s.prof == nil || s.prof.StallProb <= 0 {
+		return 0
+	}
+	if s.u01(knobStall) >= s.prof.StallProb {
+		return 0
+	}
+	return s.prof.StallMs
+}
+
+// SlowMs scales a controller decision latency by SlowFactor (identity
+// when the knob is off).
+func (s *PacketStream) SlowMs(ms float64) float64 {
+	if s.prof != nil && s.prof.SlowFactor > 1 {
+		return ms * s.prof.SlowFactor
+	}
+	return ms
+}

@@ -1,0 +1,87 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPacketStreamDisabled(t *testing.T) {
+	var p *Profile
+	s := p.Packet(3)
+	if s.Drop() || s.JitterMs() != 0 || s.ReorderMs() != 0 || s.StallMs() != 0 {
+		t.Fatal("nil profile injected something")
+	}
+	if got := s.SlowMs(2.5); got != 2.5 {
+		t.Fatalf("SlowMs on nil profile = %v", got)
+	}
+	clean := &Profile{Seed: 1}
+	if s := clean.Packet(3); s.prof != nil {
+		t.Fatal("disabled profile should yield the inert stream")
+	}
+}
+
+func TestPacketStreamDeterministicPerPacket(t *testing.T) {
+	p := &Profile{Seed: 42, LossProb: 0.3, JitterMeanMs: 1.5, ReorderProb: 0.2, ReorderExtraMs: 4}
+	a, b := p.Packet(7), p.Packet(7)
+	for i := 0; i < 50; i++ {
+		if a.Drop() != b.Drop() || a.JitterMs() != b.JitterMs() || a.ReorderMs() != b.ReorderMs() {
+			t.Fatalf("same packet diverged at draw %d", i)
+		}
+	}
+	// Distinct packets get independent fates.
+	c, d := p.Packet(1), p.Packet(2)
+	same := 0
+	for i := 0; i < 200; i++ {
+		if c.JitterMs() == d.JitterMs() {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("packets 1 and 2 share a jitter schedule")
+	}
+}
+
+func TestPacketStreamKnobIndependence(t *testing.T) {
+	// Enabling jitter must not perturb the loss schedule — the serial
+	// Stream guarantees this with per-knob RNGs; the counter-based
+	// packet stream must match.
+	lossOnly := &Profile{Seed: 9, LossProb: 0.4}
+	both := &Profile{Seed: 9, LossProb: 0.4, JitterMeanMs: 2}
+	a, b := lossOnly.Packet(5), both.Packet(5)
+	for i := 0; i < 100; i++ {
+		b.JitterMs() // interleave jitter draws
+		if a.Drop() != b.Drop() {
+			t.Fatalf("loss schedule perturbed by jitter at draw %d", i)
+		}
+	}
+}
+
+func TestPacketStreamRates(t *testing.T) {
+	p := &Profile{Seed: 123, LossProb: 0.25, JitterMeanMs: 3}
+	drops, n := 0, 20000
+	var jitterSum float64
+	for pkt := 0; pkt < n; pkt++ {
+		s := p.Packet(int64(pkt))
+		if s.Drop() {
+			drops++
+		}
+		jitterSum += s.JitterMs()
+	}
+	if frac := float64(drops) / float64(n); math.Abs(frac-0.25) > 0.02 {
+		t.Fatalf("drop frequency %v, want ≈0.25", frac)
+	}
+	if mean := jitterSum / float64(n); math.Abs(mean-3) > 0.15 {
+		t.Fatalf("jitter mean %v ms, want ≈3", mean)
+	}
+}
+
+func TestPacketStreamStallSlow(t *testing.T) {
+	p := &Profile{Seed: 4, StallProb: 1, StallMs: 7, SlowFactor: 3}
+	s := p.Packet(0)
+	if got := s.StallMs(); got != 7 {
+		t.Fatalf("StallMs = %v, want 7", got)
+	}
+	if got := s.SlowMs(2); got != 6 {
+		t.Fatalf("SlowMs(2) = %v, want 6", got)
+	}
+}

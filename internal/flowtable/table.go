@@ -153,6 +153,14 @@ func (t *Table) Len(now float64) int {
 	return t.n
 }
 
+// Occupancy returns the number of cached rules as of the table's last
+// mutation, without processing expiries or touching telemetry. The fleet
+// simulator polls it when batching occupancy per shard: with thousands
+// of tables ticking in one drain, per-table gauge stores are pure atomic
+// contention, so each shard sums Occupancy over its tables and publishes
+// one gauge per shard instead.
+func (t *Table) Occupancy() int { return t.n }
+
 // Contains reports whether ruleID is cached as of now.
 func (t *Table) Contains(ruleID int, now float64) bool {
 	t.expire(now)

@@ -105,7 +105,10 @@ type Network struct {
 
 	switches map[string]*SwitchNode
 	hosts    map[string]*Host
-	adj      map[string]map[string]bool
+	// adj maps a switch to its neighbors with the one-way link delay in
+	// seconds; 0 means the latency model's default SwitchLink, so
+	// topologies without per-link annotations behave exactly as before.
+	adj map[string]map[string]float64
 	// PacketIns counts controller consultations (misses).
 	PacketIns int
 
@@ -195,7 +198,7 @@ func NewNetwork(sim *Sim, universe *flows.Universe, ctrl ControllerModel, lat La
 		lat:      lat,
 		switches: make(map[string]*SwitchNode),
 		hosts:    make(map[string]*Host),
-		adj:      make(map[string]map[string]bool),
+		adj:      make(map[string]map[string]float64),
 	}
 }
 
@@ -215,21 +218,38 @@ func (n *Network) AddSwitch(name string, capacity int, stepSec float64) error {
 		tbl.SetTelemetry(n.reg, name)
 	}
 	n.switches[name] = &SwitchNode{Name: name, Table: tbl}
-	n.adj[name] = make(map[string]bool)
+	n.adj[name] = make(map[string]float64)
 	return nil
 }
 
-// Link connects two switches bidirectionally.
-func (n *Network) Link(a, b string) error {
+// Link connects two switches bidirectionally at the latency model's
+// default switch↔switch delay.
+func (n *Network) Link(a, b string) error { return n.LinkDelay(a, b, 0) }
+
+// LinkDelay connects two switches bidirectionally with an explicit
+// one-way propagation delay in seconds; 0 selects the model default.
+func (n *Network) LinkDelay(a, b string, delaySec float64) error {
 	if _, ok := n.switches[a]; !ok {
 		return fmt.Errorf("netsim: unknown switch %q", a)
 	}
 	if _, ok := n.switches[b]; !ok {
 		return fmt.Errorf("netsim: unknown switch %q", b)
 	}
-	n.adj[a][b] = true
-	n.adj[b][a] = true
+	if delaySec < 0 {
+		return fmt.Errorf("netsim: negative link delay %v between %q and %q", delaySec, a, b)
+	}
+	n.adj[a][b] = delaySec
+	n.adj[b][a] = delaySec
 	return nil
+}
+
+// linkDelay returns the one-way delay of the a↔b link, falling back to
+// the model default for unannotated links.
+func (n *Network) linkDelay(a, b string) float64 {
+	if d := n.adj[a][b]; d > 0 {
+		return d
+	}
+	return n.lat.SwitchLink
 }
 
 // AddHost attaches a host to a switch.
@@ -446,7 +466,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 	n.tm.spans.End(hop, now+delay)
 
 	if idx+1 < len(path) {
-		n.sim.After(delay+n.lat.SwitchLink, func() {
+		n.sim.After(delay+n.linkDelay(path[idx], path[idx+1]), func() {
 			n.forward(res, path, idx+1, fid, known, sentAt, sc)
 		})
 		return
@@ -458,7 +478,7 @@ func (n *Network) forward(res *EchoResult, path []string, idx int, fid flows.ID,
 	for i := 0; i < len(path); i++ {
 		replyDelay += sample(n.rng, n.lat.HopMean, n.lat.HopStd) + n.ctrl.ExtraHitDelay
 		if i > 0 {
-			replyDelay += n.lat.SwitchLink
+			replyDelay += n.linkDelay(path[i-1], path[i])
 		}
 	}
 	replyDelay += n.lat.HostLink // back to the source host

@@ -204,3 +204,15 @@ func (s *Sim) RunUntil(t float64) int {
 
 // Pending returns the number of queued events.
 func (s *Sim) Pending() int { return len(s.heap) }
+
+// NextAt returns the virtual time of the earliest queued event, or
+// (0, false) on an empty queue. The sharded fleet engine peeks the same
+// way to compute its global horizon; the serial scheduler exposes it for
+// symmetry and for window-stepping drivers that want to jump straight to
+// the next event instead of polling in fixed increments.
+func (s *Sim) NextAt() (float64, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.nodes[s.heap[0]].at, true
+}

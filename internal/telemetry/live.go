@@ -45,6 +45,18 @@ type LiveUpdate struct {
 	DetectFlagged      int64 `json:"detectFlagged,omitempty"`
 	DetectFlaggedDelta int64 `json:"detectFlaggedDelta,omitempty"`
 
+	// FleetShards is the netsim_fleet_shards gauge (0 when no sharded
+	// fleet runs); FleetEvents/FleetWindows are the cumulative simulator
+	// event and lookahead-window counts with this window's event rate;
+	// FleetCrossings counts cross-shard packet handoffs; FleetOccupancy
+	// sums the per-shard flow-table occupancy gauges.
+	FleetShards       int64   `json:"fleetShards,omitempty"`
+	FleetEvents       int64   `json:"fleetEvents,omitempty"`
+	FleetEventsPerSec float64 `json:"fleetEventsPerSec,omitempty"`
+	FleetWindows      int64   `json:"fleetWindows,omitempty"`
+	FleetCrossings    int64   `json:"fleetCrossings,omitempty"`
+	FleetOccupancy    int64   `json:"fleetOccupancy,omitempty"`
+
 	// Faults is the cumulative faults_injected_total across layers;
 	// Reconnects the switch's control-channel re-establishments; Lost
 	// the probes that produced no observation.
@@ -169,6 +181,17 @@ func ComputeLiveUpdate(prev, cur Snapshot, elapsed float64) LiveUpdate {
 	u.DetectFlagged = sumCounters(cur.Counters, "detect_flagged_total")
 	u.DetectFlaggedDelta = u.DetectFlagged - sumCounters(prev.Counters, "detect_flagged_total")
 
+	u.FleetShards = cur.Gauges["netsim_fleet_shards"]
+	u.FleetEvents = cur.Counters["netsim_events_total"]
+	u.FleetEventsPerSec = rate(u.FleetEvents-prev.Counters["netsim_events_total"], elapsed)
+	u.FleetWindows = cur.Counters["netsim_fleet_windows_total"]
+	u.FleetCrossings = cur.Counters["netsim_fleet_crossings_total"]
+	for k, v := range cur.Gauges {
+		if strings.HasPrefix(k, "netsim_shard_occupancy") {
+			u.FleetOccupancy += v
+		}
+	}
+
 	u.Faults = sumCounters(cur.Counters, "faults_injected_total")
 	u.FaultsDelta = u.Faults - sumCounters(prev.Counters, "faults_injected_total")
 	u.Reconnects = cur.Counters["switch_reconnects_total"]
@@ -207,6 +230,11 @@ func LiveSeriesNames() []string {
 		"detect_flagged_total",
 		"detect_sources_tracked",
 		"experiment_trials_total",
+		"netsim_events_total",
+		"netsim_fleet_shards",
+		"netsim_fleet_windows_total",
+		"netsim_fleet_crossings_total",
+		"netsim_shard_occupancy",
 		"experiment_probes_total",
 		"experiment_verdicts_total",
 		"faults_injected_total",

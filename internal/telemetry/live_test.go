@@ -108,6 +108,43 @@ func TestComputeLiveUpdateDerivation(t *testing.T) {
 	}
 }
 
+// TestComputeLiveUpdateFleet pins the sharded-fleet row: shard gauge,
+// event rate, window/crossing counters, and the per-shard occupancy sum.
+func TestComputeLiveUpdateFleet(t *testing.T) {
+	prev := Snapshot{Counters: map[string]int64{"netsim_events_total": 1000}}
+	cur := Snapshot{
+		Counters: map[string]int64{
+			"netsim_events_total":          5000,
+			"netsim_fleet_windows_total":   40,
+			"netsim_fleet_crossings_total": 12,
+		},
+		Gauges: map[string]int64{
+			"netsim_fleet_shards":               8,
+			`netsim_shard_occupancy{shard="0"}`: 5,
+			`netsim_shard_occupancy{shard="1"}`: 7,
+			"netsim_pending_events":             3,
+		},
+	}
+	u := ComputeLiveUpdate(prev, cur, 2)
+	if u.FleetShards != 8 {
+		t.Fatalf("shards = %d, want 8", u.FleetShards)
+	}
+	if u.FleetEvents != 5000 || u.FleetEventsPerSec != 2000 {
+		t.Fatalf("events: %d @ %v/s", u.FleetEvents, u.FleetEventsPerSec)
+	}
+	if u.FleetWindows != 40 || u.FleetCrossings != 12 {
+		t.Fatalf("windows/crossings: %+v", u)
+	}
+	if u.FleetOccupancy != 12 {
+		t.Fatalf("occupancy = %d, want 12 (5+7)", u.FleetOccupancy)
+	}
+	// No fleet → the whole row stays zero and is omitted from JSON.
+	empty := ComputeLiveUpdate(Snapshot{}, Snapshot{}, 1)
+	if empty.FleetShards != 0 || empty.FleetEvents != 0 || empty.FleetOccupancy != 0 {
+		t.Fatalf("fleet fields nonzero without a fleet: %+v", empty)
+	}
+}
+
 func TestDecodeLiveUpdateRoundTrip(t *testing.T) {
 	in := LiveUpdate{Seq: 3, Trials: 10, Accuracy: 0.5,
 		AccuracyByAttacker: map[string]float64{"m": 0.75}}
