@@ -23,39 +23,41 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench runs the root benchmark suite and writes BENCH_PR8.json — the
+## bench runs the root benchmark suite and writes BENCH_PR9.json — the
 ## machine-readable ns/op table (via cmd/benchjson). Since PR 5 the suite
 ## covers the simulation substrate (BenchmarkTableChurn,
 ## BenchmarkRuleMatch, BenchmarkSimScheduler); PR 7 adds
 ## BenchmarkDetectorObserve; PR 8 adds BenchmarkShardedSim1k — the
 ## sharded fleet engine driving a 1125-switch fat-tree at 1 and 8 shards
-## against the legacy per-closure serial engine on the same workload.
-## Each benchmark runs -count 3 and benchjson keeps the fastest run per
-## name, which is what makes the bench-compare gate usable on
-## shared/noisy hosts.
+## against the legacy per-closure serial engine on the same workload;
+## PR 9 adds BenchmarkIngestPcap — the full capture-ingestion pipeline
+## (pcap decode, flow extraction, universe mapping) on a ~10k-packet
+## in-memory capture. Each benchmark runs -count 3 and benchjson keeps
+## the fastest run per name, which is what makes the bench-compare gate
+## usable on shared/noisy hosts.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 500ms -count 3 . > bench.out
 	@cat bench.out
-	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR8.json
+	$(GO) run ./cmd/benchjson < bench.out > BENCH_PR9.json
 	@rm -f bench.out
-	@echo "wrote BENCH_PR8.json"
+	@echo "wrote BENCH_PR9.json"
 
 ## bench-compare diffs the committed benchmark history: it fails when any
-## benchmark present in both BENCH_PR7.json and BENCH_PR8.json regressed
+## benchmark present in both BENCH_PR8.json and BENCH_PR9.json regressed
 ## by more than 15% ns/op, so the perf gate covers the substrate
 ## benchmarks as well as the Markov kernels. CI runs this as the perf
 ## gate.
 bench-compare:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -max-regress 15
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json -max-regress 15
 
 ## sched-gate holds the serial event loop to its contract across
-## refactors: neither the defender wiring (PR 7) nor the fleet sharding
-## (PR 8, which left the Sim hot path untouched and gave the single-shard
-## fleet a zero-synchronization drain) may tax the scheduler.
-## BenchmarkSimScheduler (recorded same-host in BENCH_PR5.json before
-## either change and BENCH_PR8.json after) may regress at most 2%.
+## refactors: neither the defender wiring (PR 7), the fleet sharding
+## (PR 8), nor the ingestion layer (PR 9, which never touches netsim) may
+## tax the scheduler. BenchmarkSimScheduler (recorded same-host in
+## BENCH_PR5.json before those changes and BENCH_PR9.json after) may
+## regress at most 2%.
 sched-gate:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR8.json -bench SimScheduler -max-regress 2
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR9.json -bench SimScheduler -max-regress 2
 
 ## alloc-gate runs the allocation assertions without the race detector
 ## (race instrumentation allocates, so `make race` skips them): the
@@ -79,19 +81,25 @@ trace-smoke:
 	@rm -f trace-smoke.json
 
 ## fuzz-smoke runs each fuzz target for 10 s — long enough to shake out
-## parser panics on truncated/oversized frames and indexed-vs-linear
-## matcher disagreements, short enough for CI. The openflow seed corpora
-## live in internal/openflow/testdata/fuzz/.
+## parser panics on truncated/oversized frames, indexed-vs-linear matcher
+## disagreements, and pcap/frame decoder crashes on hostile captures,
+## short enough for CI. The openflow seed corpora live in
+## internal/openflow/testdata/fuzz/; the ingest targets seed themselves
+## (FuzzParsePacket checks the fast frame parser against a slow
+## per-byte reference decoder, FuzzReadPcap sanity-bounds whole files).
 fuzz-smoke:
 	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzReadMessage -fuzztime 10s
 	$(GO) test ./internal/openflow/ -run '^$$' -fuzz FuzzParsePacket -fuzztime 10s
 	$(GO) test ./internal/rules/ -run '^$$' -fuzz FuzzMatchInDifferential -fuzztime 10s
+	$(GO) test ./internal/ingest/ -run '^$$' -fuzz FuzzParsePacket -fuzztime 10s
+	$(GO) test ./internal/ingest/ -run '^$$' -fuzz FuzzReadPcap -fuzztime 10s
 
 ## cover-gate enforces statement-coverage floors on the packages whose
-## failure modes are wire-facing: the OpenFlow codec and the
-## fault-injection layer must each stay at or above 70%.
+## failure modes are wire-facing: the OpenFlow codec, the fault-injection
+## layer, and the capture-ingestion pipeline must each stay at or above
+## 70%.
 cover-gate:
-	@for pkg in internal/openflow internal/faults; do \
+	@for pkg in internal/openflow internal/faults internal/ingest; do \
 		pct="$$($(GO) test -cover ./$$pkg/ | awk '{for (i=1;i<=NF;i++) if ($$i ~ /^[0-9.]+%$$/) {sub(/%/,"",$$i); print $$i}}')"; \
 		if [ -z "$$pct" ]; then echo "cover-gate: no coverage figure for $$pkg"; exit 1; fi; \
 		ok="$$(echo "$$pct 70" | awk '{print ($$1 >= $$2) ? 1 : 0}')"; \

@@ -9,6 +9,7 @@
 package flowrecon_test
 
 import (
+	"bytes"
 	"io"
 	"strconv"
 	"testing"
@@ -20,6 +21,7 @@ import (
 	"flowrecon/internal/experiment"
 	"flowrecon/internal/flows"
 	"flowrecon/internal/flowtable"
+	"flowrecon/internal/ingest"
 	"flowrecon/internal/netsim"
 	"flowrecon/internal/rules"
 	"flowrecon/internal/stats"
@@ -920,4 +922,50 @@ func BenchmarkShardedSim1k(b *testing.B) {
 		}
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	})
+}
+
+// BenchmarkIngestPcap measures the full ingestion pipeline on an
+// in-memory ~10k-packet capture: pcap decode (header + Ethernet/IPv4/
+// transport parse per record), flow extraction with the lazy expiry
+// heap, and the per-source universe mapping. ns/op is the per-capture
+// cost; MB/s puts it in packets-on-disk terms. It allocates ~8 MB per
+// iteration, so it runs LAST in the suite: the heap churn it leaves
+// behind (background GC on a single-core host) measurably taxes
+// whatever zero-alloc benchmark follows it.
+func BenchmarkIngestPcap(b *testing.B) {
+	rng := stats.NewRNG(17)
+	const npkts = 10000
+	pkts := make([]ingest.Packet, npkts)
+	now := 0.0
+	for i := range pkts {
+		now += rng.Exp(500) // 500 pkt/s
+		src := flows.MakeIPv4(10, 0, 0, byte(1+rng.Intn(32)))
+		dst := flows.MakeIPv4(10, 1, 0, byte(1+rng.Intn(32)))
+		pkts[i] = ingest.Packet{
+			Time:  now,
+			Key:   ingest.MakeKey(src, dst, flows.ProtoTCP, uint16(1024+rng.Intn(4096)), 443),
+			Bytes: 64 + rng.Intn(1400),
+		}
+	}
+	var buf bytes.Buffer
+	if err := ingest.WritePcap(&buf, pkts, ingest.WriteOptions{LittleEndian: true}); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var classes int
+	for i := 0; i < b.N; i++ {
+		capt, err := ingest.ReadPcap(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := ingest.IngestPackets(capt.Packets, ingest.IngestOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		classes = res.Universe.Size()
+	}
+	b.ReportMetric(float64(classes), "classes")
 }

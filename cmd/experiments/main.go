@@ -11,6 +11,9 @@
 //	experiments -detect
 //	experiments -fig7 -csv out/
 //	experiments -fleet -topo fattree -switches 1000 -shards 8
+//	experiments -workloads
+//	experiments -workload pareto -alpha 1.3
+//	experiments -trace capture.pcap
 package main
 
 import (
@@ -57,13 +60,19 @@ func run(args []string) error {
 		switches = fs.Int("switches", 20, "fleet fabric size floor (generated topologies round up)")
 		shards   = fs.Int("shards", 1, "fleet simulation shards; results are byte-identical at every count")
 		topo     = fs.String("topo", "fattree", "fleet topology: backbone, fattree, or leafspine")
+
+		workloads = fs.Bool("workloads", false, "run the workload-robustness experiment (EXPERIMENTS.md §17): the full attack + detector FPR on every non-Poisson traffic shape")
+		workloadF = fs.String("workload", "", "run §17 with just this shape vs the Poisson reference: bursty, pareto, lognormal, diurnal, flash")
+		traceF    = fs.String("trace", "", "run the attack on traffic replayed from this capture (pcap) or flow log (csv/jsonl), rates fitted from the file")
+		alphaF    = fs.Float64("alpha", 0, "Pareto tail index for -workload pareto (default 1.5)")
+		sigmaF    = fs.Float64("sigma", 0, "log-normal shape for -workload lognormal (default 1.5)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && !*fig6 && !*fig7 && !*latency && !*detectF && !*fleet {
+	if !*all && !*fig6 && !*fig7 && !*latency && !*detectF && !*fleet && !*workloads && *workloadF == "" && *traceF == "" {
 		fs.Usage()
-		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency, -detect, -fleet)")
+		return fmt.Errorf("select an experiment (-all, -fig6, -fig7, -latency, -detect, -fleet, -workloads, -workload, -trace)")
 	}
 	var reg *telemetry.Registry
 	if *telOut != "" {
@@ -120,6 +129,48 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("(fleet experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *all || *workloads || *workloadF != "" {
+		start := time.Now()
+		rows := experiment.StandardWorkloads()
+		if *workloadF != "" {
+			spec, err := experiment.TraceSpecForCLI("", *workloadF, *alphaF, *sigmaF)
+			if err != nil {
+				return err
+			}
+			rows = []experiment.WorkloadRow{
+				{Name: "poisson", Spec: experiment.TraceSourceSpec{Kind: "poisson"}},
+				{Name: *workloadF, Spec: *spec},
+			}
+		}
+		cmp, err := experiment.RunWorkloadComparisonRows(params, *seed, *trials, 2, 200, rows)
+		if err != nil {
+			return fmt.Errorf("workloads: %w", err)
+		}
+		if err := experiment.WriteWorkloads(os.Stdout, cmp); err != nil {
+			return err
+		}
+		fmt.Printf("(workload experiment took %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	if *traceF != "" {
+		start := time.Now()
+		spec, err := experiment.TraceSpecForCLI(*traceF, "", 0, 0)
+		if err != nil {
+			return err
+		}
+		results, nc, err := experiment.RunWorkloadsOnTrace(params, spec, *seed, *trials, 2)
+		if err != nil {
+			return fmt.Errorf("trace replay: %w", err)
+		}
+		fmt.Printf("Ingested-capture attack (%s, sha256 %s…)\n", *traceF, spec.SHA256[:12])
+		fmt.Printf("  target flow %d (fitted λ=%.3f/s), %d trials\n", nc.Target, nc.Rates[nc.Target], *trials)
+		for _, r := range results {
+			fmt.Printf("  %-16s accuracy %5.1f%%  (TP %d TN %d FP %d FN %d)\n",
+				r.Name, 100*r.Accuracy(), r.TruePos, r.TrueNeg, r.FalsePos, r.FalseNeg)
+		}
+		fmt.Printf("(trace replay took %v)\n\n", time.Since(start).Round(time.Millisecond))
 	}
 
 	if *all || *fig6 {

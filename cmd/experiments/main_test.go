@@ -39,6 +39,19 @@ func TestRunFig6SmallScale(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the workload comparison")
+	}
+	if err := run([]string{"-workload", "pareto", "-alpha", "1.3", "-scale", "small", "-trials", "30", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("..", "..", "internal", "ingest", "testdata", "golden.pcap")
+	if err := run([]string{"-trace", golden, "-scale", "small", "-trials", "30", "-seed", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestWriteCSVNoDir(t *testing.T) {
 	if err := writeCSV("", "x.csv", []experiment.ConfigOutcome{}); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,8 @@
 //
 //	flowrecon -seed 7 -trials 200 -probes 2
 //	flowrecon -seed 7 -trials 200 -record run.jsonl -telemetry-out tel.json
+//	flowrecon -seed 7 -workload pareto -alpha 1.3
+//	flowrecon -seed 7 -trace capture.pcap -record run.jsonl
 package main
 
 import (
@@ -53,6 +55,11 @@ func run(args []string) error {
 		profInterval = fs.Duration("profile-interval", 0, "profile snapshot period (default 30s when -profile-dir is set)")
 		profKeep     = fs.Int("profile-keep", 4, "newest profile snapshots retained per kind")
 
+		traceF    = fs.String("trace", "", "replay traffic from this capture (pcap) or flow log (csv/jsonl); rates are fitted from the file and the recording pins it by SHA-256")
+		workloadF = fs.String("workload", "", "synthetic traffic shape: poisson (default), periodic, bursty, pareto, lognormal, diurnal, flash")
+		alphaF    = fs.Float64("alpha", 0, "Pareto tail index for -workload pareto (default 1.5)")
+		sigmaF    = fs.Float64("sigma", 0, "log-normal shape for -workload lognormal (default 1.5)")
+
 		faultSeed   = fs.Int64("fault-seed", 0, "seed for injected probe faults (chaos runs)")
 		faultLoss   = fs.Float64("fault-loss", 0, "probability each probe is lost (no observation)")
 		faultJitter = fs.Float64("fault-jitter", 0, "mean added probe delay, ms (exponential)")
@@ -92,6 +99,21 @@ func run(args []string) error {
 		Trials:      *trials,
 		Probes:      *probes,
 		Measurement: experiment.DefaultMeasurement(),
+	}
+	traceSpec, err := experiment.TraceSpecForCLI(*traceF, *workloadF, *alphaF, *sigmaF)
+	if err != nil {
+		return err
+	}
+	spec.Trace = traceSpec
+	source, err := traceSpec.Source()
+	if err != nil {
+		return err
+	}
+	switch {
+	case *traceF != "":
+		fmt.Printf("traffic: windowed replay of %s (sha256 %s…, rates fitted from the capture)\n", *traceF, traceSpec.SHA256[:12])
+	case *workloadF != "":
+		fmt.Printf("traffic: %s workload at the configured mean rates\n", *workloadF)
 	}
 	if *faultLoss > 0 || *faultJitter > 0 {
 		spec.Faults = &faults.Profile{Seed: *faultSeed, LossProb: *faultLoss, JitterMeanMs: *faultJitter}
@@ -231,7 +253,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	opts := experiment.TrialOptions{Registry: reg, PerTrial: *telOut != "", Recorder: rec, Events: events, Parallelism: *par}
+	opts := experiment.TrialOptions{Registry: reg, PerTrial: *telOut != "", Recorder: rec, Events: events, Parallelism: *par, Source: source}
 	if detCfg != nil {
 		opts.Detect = detCfg
 		opts.DetectAggregate = detAgg

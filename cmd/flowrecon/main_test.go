@@ -61,6 +61,39 @@ func TestRunRecordComposesWithTelemetry(t *testing.T) {
 	}
 }
 
+func TestRunWorkloadAndTraceFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end CLI run")
+	}
+	// -trace and -workload are mutually exclusive.
+	if err := run([]string{"-small", "-trace", "x.pcap", "-workload", "pareto"}); err == nil {
+		t.Fatal("-trace with -workload accepted")
+	}
+	if err := run([]string{"-small", "-seed", "3", "-trials", "15", "-workload", "pareto", "-alpha", "1.3"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replaying the golden capture produces a recording that replays
+	// byte-for-byte: the spec carries the capture's SHA-256 pin.
+	recPath := filepath.Join(t.TempDir(), "run.jsonl")
+	golden := filepath.Join("..", "..", "internal", "ingest", "testdata", "golden.pcap")
+	if err := run([]string{"-small", "-seed", "3", "-trials", "15",
+		"-trace", golden, "-record", recPath}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trialrec.ReadFile(recPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _, err := experiment.Replay(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divs := trialrec.Diff(rec, fresh); len(divs) != 0 {
+		t.Fatalf("trace-replay recording does not replay: first divergence %s", divs[0])
+	}
+}
+
 func TestRunMultiProbe(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end CLI run")

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flowrecon/internal/ingest"
+)
+
+const goldenPcap = "../../internal/ingest/testdata/golden.pcap"
+
+// capture runs traceinfo's run() with stdout redirected to a temp file
+// and returns what it printed.
+func capture(t *testing.T, args []string) string {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run(args, f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestRunTextSummary(t *testing.T) {
+	out := capture(t, []string{goldenPcap})
+	for _, want := range []string{"sha256", "classes  8", "class  0", "λ="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.jsonl")
+	out := capture(t, []string{"-o", tracePath, "-json", goldenPcap})
+	if !strings.Contains(out, `"classes": 8`) {
+		t.Fatalf("json summary missing class count:\n%s", out)
+	}
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, rates, err := ingest.ReadTraceJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 8 || len(tr.Arrivals()) == 0 {
+		t.Fatalf("written trace does not round-trip: %d classes, %d arrivals", len(rates), len(tr.Arrivals()))
+	}
+}
+
+func TestRunClassCap(t *testing.T) {
+	out := capture(t, []string{"-classes", "3", goldenPcap})
+	if !strings.Contains(out, "classes  3") || !strings.Contains(out, "dropped by the class cap") {
+		t.Fatalf("class cap not reflected:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadInvocation(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if err := run(nil, devnull); err == nil {
+		t.Fatal("no-file invocation accepted")
+	}
+	if err := run([]string{"does-not-exist.pcap"}, devnull); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package conftest
+
+import (
+	"testing"
+
+	"flowrecon/internal/experiment"
+)
+
+// The break-the-independence-assumption suite: the attacker's model is
+// Poisson (§IV-A1), so heavy-tailed and time-varying traffic at the SAME
+// long-run mean rate is pure model misspecification. These tests pin the
+// degradation envelope the way the PR 4 loss sweep pinned probe loss: the
+// accuracy may erode as traffic departs from Poisson, but it must erode
+// smoothly — no cliff between adjacent severities — and stay usefully
+// above the coin-flip floor. A violation means either the generators'
+// mean-rate preservation broke (the attack would see the wrong first
+// moment, not just the wrong burstiness) or the attack became brittle to
+// traffic shape in a way the paper's robustness story rules out.
+
+func workloadShiftParams() experiment.Params {
+	p := experiment.DefaultParams()
+	p.NumFlows, p.NumRules, p.MaskBits, p.CacheSize = 8, 6, 3, 3
+	p.WindowSeconds = 5
+	return p
+}
+
+// TestAccuracyDegradesSmoothlyAcrossWorkloads: Poisson vs Pareto vs
+// flash-crowd (plus the other §17 workloads) at equal mean rate, with a
+// per-workload degradation budget. Heavy tails and slow rate modulation
+// barely move the attack — interarrival shape washes out over a window,
+// so those rows must stay within 0.15 of the Poisson reference. ON/OFF
+// burstiness is the documented exception: gating ALL flows on and off
+// together makes the target's presence correlate with cross-traffic
+// occupancy (ON windows both contain the target and evict it; OFF
+// windows do neither), which attacks the independence assumption
+// directly rather than just the interarrival law. Its budget is 0.40 —
+// measured ≈0.57 vs ≈0.95 Poisson — and the floor below keeps every row
+// meaningfully above a coin flip. The identical-seed design means the
+// differences are attributable to traffic shape alone.
+func TestAccuracyDegradesSmoothlyAcrossWorkloads(t *testing.T) {
+	cmp, err := experiment.RunWorkloadComparison(workloadShiftParams(), 11, 300, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := cmp.Rows[0] // poisson
+	if ref.Name != "poisson" {
+		t.Fatalf("row 0 is %s, want poisson", ref.Name)
+	}
+	if ref.ModelAccuracy() < 0.60 {
+		t.Fatalf("Poisson reference accuracy %.3f below 0.60; scenario degenerate", ref.ModelAccuracy())
+	}
+	budgets := map[string]float64{"bursty(4x,2s/6s)": 0.40}
+	for _, row := range cmp.Rows[1:] {
+		acc := row.ModelAccuracy()
+		budget, ok := budgets[row.Name]
+		if !ok {
+			budget = 0.15
+		}
+		t.Logf("%-20s model accuracy %.3f (poisson %.3f, budget %.2f)", row.Name, acc, ref.ModelAccuracy(), budget)
+		if acc < ref.ModelAccuracy()-budget {
+			t.Errorf("%s: accuracy %.3f fell more than %.2f below the Poisson reference %.3f",
+				row.Name, acc, budget, ref.ModelAccuracy())
+		}
+		if acc < 0.55 {
+			t.Errorf("%s: accuracy %.3f barely beats a coin flip", row.Name, acc)
+		}
+	}
+}
+
+// TestAccuracyDegradesSmoothlyWithTailIndex mirrors the loss sweep's
+// no-cliff shape along the tail axis: α falling 3.0 → 1.2 makes the
+// Pareto tail progressively heavier (variance is already infinite below
+// 2.0), and the model attacker's accuracy must not cliff more than 0.10
+// between adjacent severities nor end more than 0.15 below where it
+// started.
+func TestAccuracyDegradesSmoothlyWithTailIndex(t *testing.T) {
+	alphas := []float64{3.0, 2.5, 2.0, 1.7, 1.5, 1.2}
+	acc, err := experiment.ParetoTailSweep(workloadShiftParams(), 11, 300, 2, alphas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range acc {
+		t.Logf("α=%.1f: model accuracy %.3f", alphas[i], a)
+	}
+	for i := 1; i < len(acc); i++ {
+		if drop := acc[i-1] - acc[i]; drop > 0.10 {
+			t.Fatalf("accuracy cliff between α=%.1f and α=%.1f: %.3f → %.3f",
+				alphas[i-1], alphas[i], acc[i-1], acc[i])
+		}
+	}
+	if acc[len(acc)-1] < acc[0]-0.15 {
+		t.Fatalf("deep tail collapsed accuracy: %.3f → %.3f", acc[0], acc[len(acc)-1])
+	}
+	if acc[len(acc)-1] < 0.55 {
+		t.Fatalf("accuracy at α=1.2 %.3f barely beats a coin flip", acc[len(acc)-1])
+	}
+}
+
+// TestIngestedTraceAttackRuns: the real-traffic row — the attack runs
+// end to end on the golden capture (windowed replay, rates fitted from
+// the extracted flows) and decides every trial. Two regimes, both
+// pinned:
+//
+//   - seed 17 draws a target at 0.320/s, well inside the detectable
+//     stratum; the model attacker must clearly beat a coin flip there
+//     (measured ≈0.97).
+//   - seed 11 draws a 0.118/s target, where replayed windows carry
+//     CORRELATED cross-traffic — every source is active in the same
+//     real-time slice, so the target is usually evicted before the
+//     probe and even direct probing lands below chance (measured
+//     ≈0.44). That degradation is the point of replaying real captures;
+//     the assertion is only that every trial still gets decided.
+func TestIngestedTraceAttackRuns(t *testing.T) {
+	spec := &experiment.TraceSourceSpec{Kind: "pcap", Path: "../ingest/testdata/golden.pcap", FitRates: true}
+	if err := spec.Pin(); err != nil {
+		t.Fatal(err)
+	}
+
+	results, nc, err := experiment.RunWorkloadsOnTrace(workloadShiftParams(), spec, 17, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := results[1]
+	t.Logf("ingested capture (seed 17): model accuracy %.3f (target flow %d, rate %.3f/s)",
+		model.Accuracy(), nc.Target, nc.Rates[nc.Target])
+	if model.Trials != 200 {
+		t.Fatalf("model attacker decided %d trials, want 200", model.Trials)
+	}
+	if model.Accuracy() < 0.70 {
+		t.Fatalf("model attacker accuracy %.3f on a detectable-stratum target; want ≥ 0.70", model.Accuracy())
+	}
+
+	results, nc, err = experiment.RunWorkloadsOnTrace(workloadShiftParams(), spec, 11, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("ingested capture (seed 11): model accuracy %.3f (target flow %d, rate %.3f/s)",
+		results[1].Accuracy(), nc.Target, nc.Rates[nc.Target])
+	for _, r := range results {
+		if r.Trials != 200 {
+			t.Fatalf("%s decided %d trials, want 200", r.Name, r.Trials)
+		}
+	}
+}

@@ -125,6 +125,20 @@ func (nc *NetworkConfig) DetectorViable() bool { return nc.Optimal.DetectorViabl
 // configured range, then fits the attacker's compact model. It returns an
 // error if no flow qualifies as a target (callers resample).
 func GenerateConfig(p Params, rng *stats.RNG) (*NetworkConfig, error) {
+	return GenerateConfigWithRates(p, nil, rng)
+}
+
+// minFittedRate floors empirical rates so a class that happened to be
+// silent in the fitted capture still has a live Poisson model.
+const minFittedRate = 1e-4
+
+// GenerateConfigWithRates is GenerateConfig with the rate vector fitted
+// from data instead of sampled: flow f takes fitted[f] for f <
+// len(fitted), and flows beyond the fitted classes take the smallest
+// fitted rate. The rule set, target choice and model fit still come from
+// rng with the exact draw sequence of GenerateConfig — nil fitted IS
+// GenerateConfig.
+func GenerateConfigWithRates(p Params, fitted []float64, rng *stats.RNG) (*NetworkConfig, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,6 +153,24 @@ func GenerateConfig(p Params, rng *stats.RNG) (*NetworkConfig, error) {
 		return nil, err
 	}
 	rates := workload.UniformRates(p.NumFlows, rng)
+	if len(fitted) > 0 {
+		floor := fitted[0]
+		for _, r := range fitted {
+			if r < floor {
+				floor = r
+			}
+		}
+		if floor < minFittedRate {
+			floor = minFittedRate
+		}
+		for f := range rates {
+			if f < len(fitted) && fitted[f] > minFittedRate {
+				rates[f] = fitted[f]
+			} else {
+				rates[f] = floor
+			}
+		}
+	}
 	cfg := core.Config{Rules: rs, Rates: rates, Delta: p.Delta, CacheSize: p.CacheSize}
 
 	target, ok := pickTarget(p, rs, rates, rng)

@@ -384,6 +384,9 @@ type DetectionReport struct {
 	SimLatency      DetectionOutcome // virtual-time network substrate
 	FPRPoisson      FPRResult
 	FPRBursty       FPRResult
+	FPRPareto       FPRResult // heavy-tailed renewal (α=1.5)
+	FPRLogNormal    FPRResult // log-normal renewal (σ=1.5)
+	FPRFlash        FPRResult // flash-crowd spike (8× over the middle third)
 	Stealth         []StealthRow
 	MaxProbes       int
 	BaselineWindows int
@@ -462,6 +465,24 @@ func RunDetectionEval(opts DetectionEvalOptions) (*DetectionReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The break-the-independence-assumption workloads: the baseline was
+	// trained on Poisson traffic, so these rows measure how much the
+	// defender's false-positive budget erodes when reality is heavy-tailed
+	// or spiky — the deployment-honesty number.
+	rep.FPRPareto, err = BenignFPR(nc, cfg, opts.FPRTrials, rng.Fork(), ParetoSource(1.5))
+	if err != nil {
+		return nil, err
+	}
+	rep.FPRLogNormal, err = BenignFPR(nc, cfg, opts.FPRTrials, rng.Fork(), LogNormalSource(1.5))
+	if err != nil {
+		return nil, err
+	}
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
+	rep.FPRFlash, err = BenignFPR(nc, cfg, opts.FPRTrials, rng.Fork(),
+		ModulatedSource(workload.RateProfile{FlashAt: horizon / 3, FlashDur: horizon / 3, FlashFactor: 8}))
+	if err != nil {
+		return nil, err
+	}
 	// Uniform jitter is weaker stealth than it looks: gap = I·(1+U[0,J])
 	// has CV = J/(√12·(1+J/2)), which crosses the 0.3 regularity
 	// threshold only near J ≈ 3. The sweep therefore pairs slowing (rate
@@ -497,6 +518,12 @@ func WriteDetection(w io.Writer, rep *DetectionReport) error {
 		rep.FPRPoisson.Flagged, rep.FPRPoisson.Sources, 100*rep.FPRPoisson.Rate(), rep.FPRPoisson.Trials)
 	p("    bursty:  %d/%d sources (%.2f%%) over %d trials\n",
 		rep.FPRBursty.Flagged, rep.FPRBursty.Sources, 100*rep.FPRBursty.Rate(), rep.FPRBursty.Trials)
+	p("    pareto(α=1.5):    %d/%d sources (%.2f%%) over %d trials\n",
+		rep.FPRPareto.Flagged, rep.FPRPareto.Sources, 100*rep.FPRPareto.Rate(), rep.FPRPareto.Trials)
+	p("    lognormal(σ=1.5): %d/%d sources (%.2f%%) over %d trials\n",
+		rep.FPRLogNormal.Flagged, rep.FPRLogNormal.Sources, 100*rep.FPRLogNormal.Rate(), rep.FPRLogNormal.Trials)
+	p("    flash-crowd(8×):  %d/%d sources (%.2f%%) over %d trials\n",
+		rep.FPRFlash.Flagged, rep.FPRFlash.Sources, 100*rep.FPRFlash.Rate(), rep.FPRFlash.Trials)
 	p("  stealth pacing tradeoff (attacker accuracy vs exposure):\n")
 	for _, row := range rep.Stealth {
 		if err := p("    %-24s accuracy %.3f  %s\n", row.Label, row.Accuracy, outcomeString(row.Session)); err != nil {

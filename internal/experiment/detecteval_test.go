@@ -10,6 +10,7 @@ import (
 	"flowrecon/internal/faults"
 	"flowrecon/internal/stats"
 	"flowrecon/internal/telemetry"
+	"flowrecon/internal/workload"
 )
 
 // detectRun executes one trial run with detection and the wide-event log
@@ -152,7 +153,13 @@ func TestTrainDetectBaseline(t *testing.T) {
 
 // TestBenignFPRGate is the satellite acceptance gate: with a trained
 // baseline and default thresholds, the benign false-positive rate must
-// stay at or under 1% on both the Poisson and the bursty workload.
+// stay within an explicit per-workload budget — 1% on the Poisson and
+// bursty workloads the baseline provisioning anticipates, 2% on the
+// independence-breaking ones (heavy-tailed renewals, a flash crowd, a
+// diurnal swing) it never saw during training. Measured rates on all
+// five are currently 0%; the budgets leave room only for sampling
+// noise, so a regression that makes benign heavy-tailed traffic look
+// like probing shows up here.
 func TestBenignFPRGate(t *testing.T) {
 	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
 	if err != nil {
@@ -163,12 +170,18 @@ func TestBenignFPRGate(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfg := DetectConfigFor(nc, baseline)
+	horizon := float64(nc.Params.Steps()) * nc.Params.Delta
 	for _, tc := range []struct {
 		name   string
 		source TraceSource
+		budget float64
 	}{
-		{"poisson", PoissonSource},
-		{"bursty", BurstySource(4, 2, 6)},
+		{"poisson", PoissonSource, 0.01},
+		{"bursty", BurstySource(4, 2, 6), 0.01},
+		{"pareto", ParetoSource(1.5), 0.02},
+		{"lognormal", LogNormalSource(1.5), 0.02},
+		{"flash-crowd", ModulatedSource(workload.RateProfile{FlashAt: horizon / 3, FlashDur: horizon / 3, FlashFactor: 8}), 0.02},
+		{"diurnal", ModulatedSource(workload.RateProfile{DiurnalPeriod: horizon, DiurnalAmp: 0.6}), 0.02},
 	} {
 		res, err := BenignFPR(nc, cfg, 150, stats.NewRNG(29), tc.source)
 		if err != nil {
@@ -177,9 +190,9 @@ func TestBenignFPRGate(t *testing.T) {
 		if res.Sources == 0 {
 			t.Fatalf("%s: benign runs tracked no sources", tc.name)
 		}
-		if rate := res.Rate(); rate > 0.01 {
-			t.Fatalf("%s: benign FPR %.2f%% (%d/%d sources) exceeds the 1%% gate",
-				tc.name, 100*rate, res.Flagged, res.Sources)
+		if rate := res.Rate(); rate > tc.budget {
+			t.Fatalf("%s: benign FPR %.2f%% (%d/%d sources) exceeds the %.0f%% budget",
+				tc.name, 100*rate, res.Flagged, res.Sources, 100*tc.budget)
 		}
 	}
 }

@@ -42,6 +42,12 @@ type RecordingSpec struct {
 	// JSON) keeps fault-free specs, hashes and recordings byte-identical
 	// to recordings made before fault injection existed.
 	Faults *faults.Profile `json:"faults,omitempty"`
+	// Trace, when non-nil, names the traffic source: a heavy-tailed or
+	// modulated generator, or an ingested capture pinned by SHA-256. It
+	// follows the Faults convention — nil is omitted from the JSON, so
+	// Poisson specs, hashes and recordings stay byte-identical to those
+	// made before trace sources existed.
+	Trace *TraceSourceSpec `json:"traceSource,omitempty"`
 }
 
 // Validate checks the spec.
@@ -56,6 +62,9 @@ func (s RecordingSpec) Validate() error {
 		if err := s.Faults.Validate(); err != nil {
 			return err
 		}
+	}
+	if err := s.Trace.Validate(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -72,10 +81,21 @@ func (s RecordingSpec) BuildConfig() (*NetworkConfig, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
+	// A rate-fitting trace source replaces the sampled uniform rates with
+	// the capture's empirical per-class rates; the file is pinned by
+	// SHA-256, so the configuration stays a pure function of the spec.
+	var fitted []float64
+	if s.Trace != nil && s.Trace.FitRates {
+		res, err := s.Trace.Load()
+		if err != nil {
+			return nil, err
+		}
+		fitted = res.Rates
+	}
 	rng := stats.NewRNG(s.ConfigSeed)
 	var lastErr error
 	for attempt := 0; attempt < maxConfigAttempts; attempt++ {
-		nc, err := GenerateConfig(s.Params, rng)
+		nc, err := GenerateConfigWithRates(s.Params, fitted, rng)
 		if err == nil {
 			return nc, nil
 		}
@@ -110,7 +130,18 @@ func StandardAttackers(nc *NetworkConfig, probes int) ([]core.Attacker, error) {
 // not closed). reg optionally receives the run's telemetry. It returns
 // the per-attacker results alongside the regenerated configuration.
 func RecordTo(w io.Writer, spec RecordingSpec, reg *telemetry.Registry) ([]AttackerResult, *NetworkConfig, error) {
+	return RecordToParallel(w, spec, reg, 1)
+}
+
+// RecordToParallel is RecordTo on a worker pool. Recordings are assembled
+// in strict trial order whatever the parallelism, so the output bytes are
+// identical at every level — which the golden tests pin.
+func RecordToParallel(w io.Writer, spec RecordingSpec, reg *telemetry.Registry, parallelism int) ([]AttackerResult, *NetworkConfig, error) {
 	nc, err := spec.BuildConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	source, err := spec.Trace.Source()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -136,8 +167,10 @@ func RecordTo(w io.Writer, spec RecordingSpec, reg *telemetry.Registry) ([]Attac
 		return nil, nil, err
 	}
 	opts := TrialOptions{
-		Registry: reg,
-		Recorder: rec,
+		Source:      source,
+		Registry:    reg,
+		Recorder:    rec,
+		Parallelism: parallelism,
 	}
 	if spec.Faults != nil {
 		opts.Faults = *spec.Faults

@@ -1,0 +1,311 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flowrecon/internal/ingest"
+	"flowrecon/internal/stats"
+	"flowrecon/internal/workload"
+)
+
+// TraceSourceSpec names a traffic source declaratively, so it can travel
+// inside a RecordingSpec: a recorded run on heavy-tailed or ingested
+// traffic replays byte-for-byte from the spec alone. Generator kinds are
+// pure functions of (rates, duration, seed); file kinds pin the capture
+// by SHA-256 so a replay detects a swapped file instead of silently
+// diverging.
+//
+// Kinds and their parameters:
+//
+//	poisson              — the paper's §IV-A1 model (the default)
+//	bursty               — ON/OFF Markov modulation (BurstFactor, MeanOn, MeanOff)
+//	periodic             — deterministic fixed-interval arrivals
+//	pareto               — Pareto-renewal interarrivals (Alpha)
+//	lognormal            — log-normal-renewal interarrivals (Sigma)
+//	diurnal              — inhomogeneous Poisson, sinusoidal profile
+//	                       (DiurnalPeriod, DiurnalAmp)
+//	flash                — inhomogeneous Poisson, flash-crowd spike
+//	                       (FlashAt, FlashDur, FlashFactor); composes with
+//	                       the diurnal fields when both are set
+//	pcap, flowlog        — windowed replay of an ingested capture (Path,
+//	                       SHA256, ActiveTimeout, IdleTimeout, FitRates)
+type TraceSourceSpec struct {
+	// Kind selects the source; "" means poisson.
+	Kind string `json:"kind"`
+
+	// Bursty parameters (zero values take BurstySource's 4/2/6 shape).
+	BurstFactor float64 `json:"burstFactor,omitempty"`
+	MeanOn      float64 `json:"meanOn,omitempty"`
+	MeanOff     float64 `json:"meanOff,omitempty"`
+
+	// Alpha is the Pareto tail index (default 1.5).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Sigma is the log-normal shape (default 1.5).
+	Sigma float64 `json:"sigma,omitempty"`
+
+	// Diurnal/flash profile (see workload.RateProfile). DiurnalPeriod
+	// defaults to the trial window; FlashAt/FlashDur default to a spike
+	// over the middle third of the window with factor 8.
+	DiurnalPeriod float64 `json:"diurnalPeriod,omitempty"`
+	DiurnalAmp    float64 `json:"diurnalAmp,omitempty"`
+	FlashAt       float64 `json:"flashAt,omitempty"`
+	FlashDur      float64 `json:"flashDur,omitempty"`
+	FlashFactor   float64 `json:"flashFactor,omitempty"`
+
+	// Path is the capture or flow-log file for the pcap/flowlog kinds.
+	Path string `json:"path,omitempty"`
+	// SHA256, when set, pins the file content; Load refuses a mismatch.
+	// Pin fills it from the file.
+	SHA256 string `json:"sha256,omitempty"`
+	// ActiveTimeout/IdleTimeout are the flow-extraction cuts in seconds
+	// (ingest defaults when zero).
+	ActiveTimeout float64 `json:"activeTimeout,omitempty"`
+	IdleTimeout   float64 `json:"idleTimeout,omitempty"`
+	// FitRates makes BuildConfig use the ingested per-class empirical
+	// rates (instead of sampled uniform rates) for the first
+	// min(classes, NumFlows) flows.
+	FitRates bool `json:"fitRates,omitempty"`
+}
+
+// TraceSpecForCLI builds the spec the -trace/-workload command-line
+// flags describe: a capture path (replayed with rates fitted from it and
+// pinned by SHA-256) or a named synthetic workload. Exactly one of the
+// two may be set; neither means the Poisson default (nil spec).
+func TraceSpecForCLI(tracePath, workloadKind string, alpha, sigma float64) (*TraceSourceSpec, error) {
+	if tracePath != "" && workloadKind != "" {
+		return nil, fmt.Errorf("experiment: -trace and -workload are mutually exclusive")
+	}
+	if tracePath != "" {
+		kind := "flowlog"
+		switch ext := strings.ToLower(filepath.Ext(tracePath)); ext {
+		case ".pcap", ".cap":
+			kind = "pcap"
+		}
+		s := &TraceSourceSpec{Kind: kind, Path: tracePath, FitRates: true}
+		if err := s.Pin(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	if workloadKind == "" {
+		return nil, nil
+	}
+	s := &TraceSourceSpec{Kind: workloadKind, Alpha: alpha, Sigma: sigma}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// IsFile reports whether the spec replays an ingested file.
+func (s *TraceSourceSpec) IsFile() bool {
+	return s != nil && (s.Kind == "pcap" || s.Kind == "flowlog")
+}
+
+// Validate checks the spec.
+func (s *TraceSourceSpec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	switch s.Kind {
+	case "", "poisson", "periodic", "bursty":
+	case "pareto":
+		if s.Alpha != 0 && s.Alpha <= 1 {
+			return fmt.Errorf("experiment: pareto source alpha %v ≤ 1 has no mean", s.Alpha)
+		}
+	case "lognormal":
+		if s.Sigma < 0 {
+			return fmt.Errorf("experiment: lognormal source sigma %v < 0", s.Sigma)
+		}
+	case "diurnal", "flash":
+		if s.DiurnalAmp < 0 || s.DiurnalAmp > 1 {
+			return fmt.Errorf("experiment: diurnal amplitude %v outside [0,1]", s.DiurnalAmp)
+		}
+	case "pcap", "flowlog":
+		if s.Path == "" {
+			return fmt.Errorf("experiment: %s source needs a path", s.Kind)
+		}
+		if s.FitRates && s.SHA256 == "" {
+			return fmt.Errorf("experiment: fitRates needs the file pinned (sha256)")
+		}
+	default:
+		return fmt.Errorf("experiment: unknown trace source kind %q", s.Kind)
+	}
+	return nil
+}
+
+// profile assembles the workload.RateProfile for the modulated kinds,
+// applying the window-relative defaults.
+func (s *TraceSourceSpec) profile(duration float64) workload.RateProfile {
+	p := workload.RateProfile{
+		DiurnalPeriod: s.DiurnalPeriod,
+		DiurnalAmp:    s.DiurnalAmp,
+		FlashAt:       s.FlashAt,
+		FlashDur:      s.FlashDur,
+		FlashFactor:   s.FlashFactor,
+	}
+	if s.Kind == "diurnal" && p.DiurnalAmp == 0 {
+		p.DiurnalAmp = 0.6
+	}
+	if p.DiurnalAmp > 0 && p.DiurnalPeriod == 0 {
+		p.DiurnalPeriod = duration
+	}
+	if s.Kind == "flash" && p.FlashDur == 0 {
+		p.FlashAt, p.FlashDur = duration/3, duration/3
+	}
+	if p.FlashDur > 0 && p.FlashFactor == 0 {
+		p.FlashFactor = 8
+	}
+	return p
+}
+
+// Source resolves the spec to a runnable TraceSource. File kinds load and
+// ingest the capture here, once, and every trial replays a window of it.
+func (s *TraceSourceSpec) Source() (TraceSource, error) {
+	if s == nil {
+		return PoissonSource, nil
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case "", "poisson":
+		return PoissonSource, nil
+	case "periodic":
+		return PeriodicSource, nil
+	case "bursty":
+		bf, on, off := s.BurstFactor, s.MeanOn, s.MeanOff
+		if bf == 0 {
+			bf, on, off = 4, 2, 6
+		}
+		return BurstySource(bf, on, off), nil
+	case "pareto":
+		alpha := s.Alpha
+		if alpha == 0 {
+			alpha = 1.5
+		}
+		return ParetoSource(alpha), nil
+	case "lognormal":
+		sigma := s.Sigma
+		if sigma == 0 {
+			sigma = 1.5
+		}
+		return LogNormalSource(sigma), nil
+	case "diurnal", "flash":
+		spec := *s
+		return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+			return workload.GenerateModulated(
+				workload.PoissonConfig{Rates: rates, Duration: duration},
+				spec.profile(duration), rng)
+		}, nil
+	case "pcap", "flowlog":
+		res, err := s.Load()
+		if err != nil {
+			return nil, err
+		}
+		return ReplaySource(res.Trace, res.Duration), nil
+	}
+	return nil, fmt.Errorf("experiment: unknown trace source kind %q", s.Kind)
+}
+
+// Load ingests the spec's file, verifying the SHA-256 pin when present.
+func (s *TraceSourceSpec) Load() (*ingest.Result, error) {
+	if !s.IsFile() {
+		return nil, fmt.Errorf("experiment: %q is not a file source", s.Kind)
+	}
+	if s.SHA256 != "" {
+		sum, err := HashFile(s.Path)
+		if err != nil {
+			return nil, err
+		}
+		if sum != s.SHA256 {
+			return nil, fmt.Errorf("experiment: %s content hash %s does not match pinned %s", s.Path, sum, s.SHA256)
+		}
+	}
+	return ingest.IngestFile(s.Path, ingest.IngestOptions{
+		ActiveTimeout: s.ActiveTimeout,
+		IdleTimeout:   s.IdleTimeout,
+	})
+}
+
+// Pin fills SHA256 from the file's current content.
+func (s *TraceSourceSpec) Pin() error {
+	sum, err := HashFile(s.Path)
+	if err != nil {
+		return err
+	}
+	s.SHA256 = sum
+	return nil
+}
+
+// HashFile returns the lowercase hex SHA-256 of the file at path.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("experiment: %w", err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("experiment: hash %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// ParetoSource returns a heavy-tailed renewal source with tail index
+// alpha, mean-rate-matched to the configured λ vector.
+func ParetoSource(alpha float64) TraceSource {
+	return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+		return workload.GeneratePareto(workload.ParetoConfig{Rates: rates, Duration: duration, Alpha: alpha}, rng)
+	}
+}
+
+// LogNormalSource returns a log-normal renewal source with shape sigma,
+// mean-rate-matched to the configured λ vector.
+func LogNormalSource(sigma float64) TraceSource {
+	return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+		return workload.GenerateLogNormal(workload.LogNormalConfig{Rates: rates, Duration: duration, Sigma: sigma}, rng)
+	}
+}
+
+// ModulatedSource returns an inhomogeneous-Poisson source with the given
+// deterministic rate profile.
+func ModulatedSource(profile workload.RateProfile) TraceSource {
+	return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+		return workload.GenerateModulated(workload.PoissonConfig{Rates: rates, Duration: duration}, profile, rng)
+	}
+}
+
+// ReplaySource replays an ingested trace: each trial takes a window of
+// the requested duration at an rng-chosen offset inside the trace's span
+// (the whole trace, offset 0, when the span is shorter), time-shifted to
+// start at 0. Arrivals of classes beyond the configuration's flow
+// universe are dropped — the ingested universe can be wider than the
+// experiment's. The windowing draw comes from the trial RNG, so replayed
+// runs are as deterministic as generated ones.
+func ReplaySource(tr *workload.Trace, span float64) TraceSource {
+	arrivals := tr.Arrivals()
+	return func(rates []float64, duration float64, rng *stats.RNG) (*workload.Trace, error) {
+		offset := 0.0
+		if span > duration {
+			offset = rng.Float64() * (span - duration)
+		}
+		var out []workload.Arrival
+		for _, a := range arrivals {
+			if a.Time < offset || a.Time >= offset+duration {
+				continue
+			}
+			if int(a.Flow) >= len(rates) {
+				continue
+			}
+			out = append(out, workload.Arrival{Time: a.Time - offset, Flow: a.Flow})
+		}
+		return workload.NewTrace(out), nil
+	}
+}

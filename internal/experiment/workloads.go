@@ -1,0 +1,201 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"flowrecon/internal/stats"
+)
+
+// The workload-robustness experiment (EXPERIMENTS.md §17): the attacker
+// fits a Poisson model (§IV-A1), so every departure from Poisson —
+// heavy-tailed interarrivals, diurnal swings, flash crowds, real
+// captures — is model misspecification. This runner plays the identical
+// attack (same configuration, same trial seeds, same probe draws)
+// against each traffic source at the same long-run mean rate, so the
+// accuracy column isolates exactly the independence assumption.
+
+// WorkloadRow is one traffic source's outcome.
+type WorkloadRow struct {
+	// Name labels the workload; Spec is the TraceSourceSpec that
+	// reproduces it.
+	Name string
+	Spec TraceSourceSpec
+	// Results are the per-attacker outcomes on this workload.
+	Results []AttackerResult
+	// FPR is the defender's benign false-positive measurement on the same
+	// workload, with the baseline trained on Poisson traffic.
+	FPR FPRResult
+}
+
+// ModelAccuracy returns the model attacker's accuracy (the roster's
+// second entry).
+func (r WorkloadRow) ModelAccuracy() float64 {
+	if len(r.Results) < 2 {
+		return 0
+	}
+	return r.Results[1].Accuracy()
+}
+
+// WorkloadComparison is the full §17 result set.
+type WorkloadComparison struct {
+	Rows    []WorkloadRow
+	Trials  int
+	Probes  int
+	Seed    int64
+	FPRRuns int
+}
+
+// StandardWorkloads returns the §17 roster: the paper's Poisson model,
+// then five independence-breaking sources at the same mean rate.
+func StandardWorkloads() []WorkloadRow {
+	return []WorkloadRow{
+		{Name: "poisson", Spec: TraceSourceSpec{Kind: "poisson"}},
+		{Name: "bursty(4x,2s/6s)", Spec: TraceSourceSpec{Kind: "bursty"}},
+		{Name: "pareto(α=1.5)", Spec: TraceSourceSpec{Kind: "pareto", Alpha: 1.5}},
+		{Name: "lognormal(σ=1.5)", Spec: TraceSourceSpec{Kind: "lognormal", Sigma: 1.5}},
+		{Name: "diurnal(amp 0.6)", Spec: TraceSourceSpec{Kind: "diurnal", DiurnalAmp: 0.6}},
+		{Name: "flash-crowd(8x)", Spec: TraceSourceSpec{Kind: "flash", FlashFactor: 8}},
+	}
+}
+
+// RunWorkloadComparison runs the identical attack against every
+// workload. Each row re-seeds the trial loop with the same seed, so the
+// rows differ only in the traffic the windows contain; the per-row FPR
+// reuses a Poisson-trained detector baseline, matching how a deployed
+// defender would actually be provisioned.
+func RunWorkloadComparison(p Params, seed int64, trials, probes, fprTrials int) (*WorkloadComparison, error) {
+	return RunWorkloadComparisonRows(p, seed, trials, probes, fprTrials, StandardWorkloads())
+}
+
+// RunWorkloadComparisonRows is RunWorkloadComparison over an explicit
+// row set (the -workload CLI flag compares Poisson against one chosen
+// shape instead of the whole roster).
+func RunWorkloadComparisonRows(p Params, seed int64, trials, probes, fprTrials int, rows []WorkloadRow) (*WorkloadComparison, error) {
+	rng := stats.NewRNG(seed)
+	var nc *NetworkConfig
+	var err error
+	for attempt := 0; attempt < maxConfigAttempts; attempt++ {
+		nc, err = GenerateConfig(p, rng)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("workload comparison config: %w", err)
+	}
+	baseline, err := TrainDetectBaseline(nc, 40, rng.Fork(), nil)
+	if err != nil {
+		return nil, err
+	}
+	dcfg := DetectConfigFor(nc, baseline)
+
+	cmp := &WorkloadComparison{Rows: rows, Trials: trials, Probes: probes, Seed: seed, FPRRuns: fprTrials}
+	for i := range cmp.Rows {
+		row := &cmp.Rows[i]
+		source, err := row.Spec.Source()
+		if err != nil {
+			return nil, err
+		}
+		attackers, err := StandardAttackers(nc, probes)
+		if err != nil {
+			return nil, err
+		}
+		row.Results, _, err = RunTrialsOpts(nc, attackers, trials, DefaultMeasurement(), stats.NewRNG(seed+1), TrialOptions{Source: source})
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: %w", row.Name, err)
+		}
+		if fprTrials > 0 {
+			row.FPR, err = BenignFPR(nc, dcfg, fprTrials, stats.NewRNG(seed+2), source)
+			if err != nil {
+				return nil, fmt.Errorf("workload %s fpr: %w", row.Name, err)
+			}
+		}
+	}
+	return cmp, nil
+}
+
+// ParetoTailSweep reruns the model attacker over a deepening Pareto tail
+// (α falling toward 1) on one fixed configuration — the §17 degradation
+// envelope. Returned accuracies are index-aligned with alphas.
+func ParetoTailSweep(p Params, seed int64, trials, probes int, alphas []float64) ([]float64, error) {
+	rng := stats.NewRNG(seed)
+	var nc *NetworkConfig
+	var err error
+	for attempt := 0; attempt < maxConfigAttempts; attempt++ {
+		nc, err = GenerateConfig(p, rng)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tail sweep config: %w", err)
+	}
+	acc := make([]float64, len(alphas))
+	for i, alpha := range alphas {
+		attackers, err := StandardAttackers(nc, probes)
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := RunTrialsOpts(nc, attackers, trials, DefaultMeasurement(), stats.NewRNG(seed+1), TrialOptions{Source: ParetoSource(alpha)})
+		if err != nil {
+			return nil, err
+		}
+		acc[i] = res[1].Accuracy()
+	}
+	return acc, nil
+}
+
+// RunWorkloadsOnTrace runs the attack roster on an ingested capture
+// (windowed replay, rates fitted from the capture) — the real-traffic
+// row of §17. It returns the per-attacker results and the configuration
+// actually used.
+func RunWorkloadsOnTrace(p Params, spec *TraceSourceSpec, seed int64, trials, probes int) ([]AttackerResult, *NetworkConfig, error) {
+	rspec := RecordingSpec{
+		Params: p, ConfigSeed: seed, TrialSeed: seed + 1,
+		Trials: trials, Probes: probes,
+		Measurement: DefaultMeasurement(),
+		Trace:       spec,
+	}
+	nc, err := rspec.BuildConfig()
+	if err != nil {
+		return nil, nil, err
+	}
+	source, err := spec.Source()
+	if err != nil {
+		return nil, nil, err
+	}
+	attackers, err := StandardAttackers(nc, probes)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, _, err := RunTrialsOpts(nc, attackers, trials, DefaultMeasurement(), stats.NewRNG(rspec.TrialSeed), TrialOptions{Source: source})
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, nc, nil
+}
+
+// WriteWorkloads renders the comparison as a text table.
+func WriteWorkloads(w io.Writer, cmp *WorkloadComparison) error {
+	if _, err := fmt.Fprintf(w, "Workload robustness (%d trials, %d probes, seed %d)\n", cmp.Trials, cmp.Probes, cmp.Seed); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  %-20s", "workload")
+	if len(cmp.Rows) > 0 {
+		for _, r := range cmp.Rows[0].Results {
+			fmt.Fprintf(w, "  %-16s", r.Name)
+		}
+	}
+	fmt.Fprintf(w, "  %s\n", "benign FPR")
+	for _, row := range cmp.Rows {
+		fmt.Fprintf(w, "  %-20s", row.Name)
+		for _, r := range row.Results {
+			fmt.Fprintf(w, "  %-16.3f", r.Accuracy())
+		}
+		if _, err := fmt.Fprintf(w, "  %d/%d (%.2f%%)\n", row.FPR.Flagged, row.FPR.Sources, 100*row.FPR.Rate()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,212 @@
+package ingest
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Flow extraction in the go-flows style: packets sharing a 5-tuple key
+// belong to one flow until either the idle timeout (no packet for
+// IdleTimeout seconds) or the active timeout (the flow has been open for
+// ActiveTimeout seconds) cuts it, at which point the flow is emitted and
+// a later packet with the same key starts a fresh flow.
+//
+// Expiry uses the PR 5 lazy-heap pattern: every deadline change pushes a
+// new (expiry, seq) node and bumps the flow's stamp; stale nodes are
+// recognized by their stamp and discarded on pop, so updates are O(log n)
+// with no mid-heap deletion.
+
+// Default timeouts (seconds), scaled down from go-flows' 1800/300 to the
+// seconds-scale traces this repository's experiments replay.
+const (
+	DefaultActiveTimeout = 120.0
+	DefaultIdleTimeout   = 15.0
+)
+
+// EndReason says why a flow was cut.
+type EndReason uint8
+
+const (
+	// EndIdle: the idle timeout elapsed with no packet.
+	EndIdle EndReason = iota
+	// EndActive: the active timeout elapsed since the first packet.
+	EndActive
+	// EndOfTrace: the capture ended with the flow still open.
+	EndOfTrace
+)
+
+// String implements fmt.Stringer.
+func (r EndReason) String() string {
+	switch r {
+	case EndIdle:
+		return "idle"
+	case EndActive:
+		return "active"
+	default:
+		return "eof"
+	}
+}
+
+// FlowRecord is one extracted flow.
+type FlowRecord struct {
+	Key     Key
+	Start   float64 // first packet time
+	End     float64 // last packet time
+	Packets int
+	Bytes   int
+	Reason  EndReason
+}
+
+// Extractor runs active/idle-timeout flow extraction over a packet
+// stream. Packets must arrive in non-decreasing time order (captures
+// are; ReadFlowLog sorts). Emitted flows appear in deterministic
+// (cut time, flow sequence) order.
+type Extractor struct {
+	active, idle float64
+	flows        map[Key]*flowState
+	heap         expiryHeap
+	out          []FlowRecord
+	nextSeq      uint64
+	lastTime     float64
+	seen         bool
+}
+
+type flowState struct {
+	rec   FlowRecord
+	seq   uint64 // creation order, tiebreak for deterministic emission
+	stamp uint64 // matches the newest heap node; older nodes are stale
+}
+
+// expiryNode schedules one (possibly stale) deadline check for a flow.
+type expiryNode struct {
+	at    float64
+	seq   uint64
+	key   Key
+	stamp uint64
+}
+
+// expiryHeap is a min-heap on (at, seq).
+type expiryHeap []expiryNode
+
+func (h expiryHeap) Len() int { return len(h) }
+func (h expiryHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h expiryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *expiryHeap) Push(x any)   { *h = append(*h, x.(expiryNode)) }
+func (h *expiryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// NewExtractor returns an extractor with the given timeouts (seconds);
+// non-positive values take the defaults.
+func NewExtractor(activeTimeout, idleTimeout float64) *Extractor {
+	if activeTimeout <= 0 {
+		activeTimeout = DefaultActiveTimeout
+	}
+	if idleTimeout <= 0 {
+		idleTimeout = DefaultIdleTimeout
+	}
+	return &Extractor{
+		active: activeTimeout,
+		idle:   idleTimeout,
+		flows:  make(map[Key]*flowState),
+	}
+}
+
+// deadline returns the flow's current cut time: whichever of the idle
+// and active timeouts strikes first.
+func (e *Extractor) deadline(s *flowState) (float64, EndReason) {
+	idleAt := s.rec.End + e.idle
+	activeAt := s.rec.Start + e.active
+	if activeAt <= idleAt {
+		return activeAt, EndActive
+	}
+	return idleAt, EndIdle
+}
+
+// schedule pushes a fresh heap node for the flow's current deadline and
+// stamps it as the only live one.
+func (e *Extractor) schedule(s *flowState) {
+	at, _ := e.deadline(s)
+	s.stamp++
+	heap.Push(&e.heap, expiryNode{at: at, seq: s.seq, key: s.rec.Key, stamp: s.stamp})
+}
+
+// expireUntil pops every live deadline ≤ now, emitting the flows it cuts.
+func (e *Extractor) expireUntil(now float64) {
+	for len(e.heap) > 0 && e.heap[0].at <= now {
+		n := heap.Pop(&e.heap).(expiryNode)
+		s, ok := e.flows[n.key]
+		if !ok || s.stamp != n.stamp {
+			continue // stale node: the flow refreshed or already ended
+		}
+		_, reason := e.deadline(s)
+		s.rec.Reason = reason
+		e.out = append(e.out, s.rec)
+		delete(e.flows, n.key)
+	}
+}
+
+// Observe feeds one packet. An error is returned only for time going
+// backwards, which would silently corrupt flow boundaries.
+func (e *Extractor) Observe(p Packet) error {
+	if e.seen && p.Time < e.lastTime {
+		return fmt.Errorf("ingest: packet at %.9f before stream tail %.9f", p.Time, e.lastTime)
+	}
+	e.lastTime, e.seen = p.Time, true
+	e.expireUntil(p.Time)
+	s, ok := e.flows[p.Key]
+	if !ok {
+		s = &flowState{
+			rec: FlowRecord{Key: p.Key, Start: p.Time, End: p.Time},
+			seq: e.nextSeq,
+		}
+		e.nextSeq++
+		e.flows[p.Key] = s
+	} else {
+		s.rec.End = p.Time
+	}
+	s.rec.Packets++
+	s.rec.Bytes += p.Bytes
+	e.schedule(s)
+	return nil
+}
+
+// Flush ends the stream: every still-open flow is emitted with
+// EndOfTrace (in deterministic creation order) and the extractor resets.
+// It returns all flows extracted since construction or the last Flush.
+func (e *Extractor) Flush() []FlowRecord {
+	rest := make([]*flowState, 0, len(e.flows))
+	for _, s := range e.flows {
+		rest = append(rest, s)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].seq < rest[j].seq })
+	for _, s := range rest {
+		s.rec.Reason = EndOfTrace
+		e.out = append(e.out, s.rec)
+	}
+	out := e.out
+	e.out = nil
+	e.flows = make(map[Key]*flowState)
+	e.heap = e.heap[:0]
+	e.nextSeq = 0
+	e.seen = false
+	return out
+}
+
+// Open returns the number of currently open flows.
+func (e *Extractor) Open() int { return len(e.flows) }
+
+// ExtractFlows runs the whole pipeline over a packet slice.
+func ExtractFlows(packets []Packet, activeTimeout, idleTimeout float64) ([]FlowRecord, error) {
+	e := NewExtractor(activeTimeout, idleTimeout)
+	for _, p := range packets {
+		if err := e.Observe(p); err != nil {
+			return nil, err
+		}
+	}
+	return e.Flush(), nil
+}

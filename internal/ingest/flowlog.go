@@ -1,0 +1,197 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flowrecon/internal/flows"
+)
+
+// Flow-log ingestion: the text-format cousins of pcap for deployments
+// that export NetFlow-style records instead of raw captures. Two
+// encodings are accepted:
+//
+//   - CSV with the header "time,src,dst,proto,sport,dport[,packets][,bytes]"
+//     (column order fixed, the last two optional; lines starting with #
+//     are comments);
+//   - JSONL with one LogRecord object per line.
+//
+// Each log line is one flow observation; ReadFlowLog converts it to a
+// Packet at the record's start time (carrying the record's byte count)
+// so the same Extractor/BuildTrace pipeline serves both worlds. Records
+// are sorted by time — flow logs are commonly written in completion
+// order, not start order.
+
+// LogRecord is one flow-log line in the JSONL encoding.
+type LogRecord struct {
+	// Time is the flow start in seconds (absolute).
+	Time float64 `json:"time"`
+	// Src and Dst are dotted-quad IPv4 addresses.
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+	// Proto is "tcp", "udp", "icmp" or a numeric protocol.
+	Proto string `json:"proto"`
+	// SrcPort and DstPort are the transport ports (0 for ICMP).
+	SrcPort uint16 `json:"sport"`
+	DstPort uint16 `json:"dport"`
+	// Packets and Bytes are optional volume counters.
+	Packets int `json:"packets,omitempty"`
+	Bytes   int `json:"bytes,omitempty"`
+}
+
+// Packet converts the record to the pipeline's packet form.
+func (r LogRecord) Packet() (Packet, error) {
+	src, err := flows.ParseIPv4(r.Src)
+	if err != nil {
+		return Packet{}, err
+	}
+	dst, err := flows.ParseIPv4(r.Dst)
+	if err != nil {
+		return Packet{}, err
+	}
+	proto, err := parseProto(r.Proto)
+	if err != nil {
+		return Packet{}, err
+	}
+	return Packet{
+		Time:  r.Time,
+		Key:   MakeKey(src, dst, proto, r.SrcPort, r.DstPort),
+		Bytes: r.Bytes,
+	}, nil
+}
+
+// parseProto accepts protocol names and numbers.
+func parseProto(s string) (flows.Proto, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "tcp":
+		return flows.ProtoTCP, nil
+	case "udp":
+		return flows.ProtoUDP, nil
+	case "icmp":
+		return flows.ProtoICMP, nil
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 0 || n > 255 {
+		return 0, fmt.Errorf("ingest: bad protocol %q", s)
+	}
+	return flows.Proto(n), nil
+}
+
+// ReadFlowLog parses a CSV or JSONL flow log. The format is sniffed per
+// line: lines starting with '{' are JSONL records, anything else is CSV.
+// The result is sorted by (time, key) so it feeds the Extractor directly.
+func ReadFlowLog(r io.Reader) ([]Packet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<14), 1<<22)
+	var out []Packet
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var rec LogRecord
+		if strings.HasPrefix(text, "{") {
+			if err := json.Unmarshal([]byte(text), &rec); err != nil {
+				return nil, fmt.Errorf("ingest: flow log line %d: %w", line, err)
+			}
+		} else {
+			var err error
+			rec, err = parseCSVRecord(text)
+			if err != nil {
+				if line == 1 && looksLikeHeader(text) {
+					continue
+				}
+				return nil, fmt.Errorf("ingest: flow log line %d: %w", line, err)
+			}
+		}
+		p, err := rec.Packet()
+		if err != nil {
+			return nil, fmt.Errorf("ingest: flow log line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ingest: flow log: %w", err)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return lessKey(out[i].Key, out[j].Key)
+	})
+	return out, nil
+}
+
+// ReadFlowLogFile parses the flow log at path.
+func ReadFlowLogFile(path string) ([]Packet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	return ReadFlowLog(f)
+}
+
+// parseCSVRecord parses "time,src,dst,proto,sport,dport[,packets][,bytes]".
+func parseCSVRecord(line string) (LogRecord, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) < 6 || len(parts) > 8 {
+		return LogRecord{}, fmt.Errorf("want 6-8 CSV fields, got %d", len(parts))
+	}
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	t, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return LogRecord{}, fmt.Errorf("bad time %q", parts[0])
+	}
+	sport, err := parsePort(parts[4])
+	if err != nil {
+		return LogRecord{}, err
+	}
+	dport, err := parsePort(parts[5])
+	if err != nil {
+		return LogRecord{}, err
+	}
+	rec := LogRecord{Time: t, Src: parts[1], Dst: parts[2], Proto: parts[3], SrcPort: sport, DstPort: dport}
+	if len(parts) >= 7 {
+		if rec.Packets, err = strconv.Atoi(parts[6]); err != nil {
+			return LogRecord{}, fmt.Errorf("bad packet count %q", parts[6])
+		}
+	}
+	if len(parts) == 8 {
+		if rec.Bytes, err = strconv.Atoi(parts[7]); err != nil {
+			return LogRecord{}, fmt.Errorf("bad byte count %q", parts[7])
+		}
+	}
+	return rec, nil
+}
+
+func parsePort(s string) (uint16, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, fmt.Errorf("bad port %q", s)
+	}
+	return uint16(n), nil
+}
+
+// looksLikeHeader recognizes the conventional CSV header line.
+func looksLikeHeader(line string) bool {
+	return strings.HasPrefix(strings.ToLower(line), "time,")
+}
+
+// lessKey orders keys lexicographically.
+func lessKey(a, b Key) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

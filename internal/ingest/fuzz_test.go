@@ -1,0 +1,182 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"flowrecon/internal/flows"
+)
+
+// refParseFrame is a deliberately slow, index-by-index reference decoder
+// for the differential fuzz check: it re-derives the flow key with
+// per-byte reads and explicit arithmetic instead of slices and
+// binary.BigEndian, so a shared bug would have to be made twice. It
+// returns (key, true) when the frame is parseable IPv4, (zero, false)
+// otherwise.
+func refParseFrame(frame []byte) (Key, bool) {
+	at := func(i int) (byte, bool) {
+		if i < 0 || i >= len(frame) {
+			return 0, false
+		}
+		return frame[i], true
+	}
+	u16 := func(i int) (uint16, bool) {
+		hi, ok1 := at(i)
+		lo, ok2 := at(i + 1)
+		if !ok1 || !ok2 {
+			return 0, false
+		}
+		return uint16(hi)<<8 | uint16(lo), true
+	}
+	if len(frame) < 14 {
+		return Key{}, false
+	}
+	et, _ := u16(12)
+	off := 14
+	tags := 0
+	for et == 0x8100 || et == 0x88a8 {
+		if tags >= 4 {
+			return Key{}, false
+		}
+		next, ok := u16(off + 2)
+		if !ok {
+			return Key{}, false
+		}
+		et = next
+		off += 4
+		tags++
+	}
+	if et != 0x0800 {
+		return Key{}, false
+	}
+	vihl, ok := at(off)
+	if !ok || vihl>>4 != 4 {
+		return Key{}, false
+	}
+	ihl := int(vihl&0x0f) * 4
+	if ihl < 20 || off+ihl > len(frame) {
+		return Key{}, false
+	}
+	var k Key
+	for i := 0; i < 4; i++ {
+		s, _ := at(off + 12 + i)
+		d, _ := at(off + 16 + i)
+		k[i], k[4+i] = s, d
+	}
+	proto, _ := at(off + 9)
+	k[8] = proto
+	fragWord, _ := u16(off + 6)
+	if fragWord&0x1fff != 0 {
+		return k, true
+	}
+	tr := off + ihl
+	switch proto {
+	case 6, 17:
+		if tr+4 <= len(frame) {
+			k[9], _ = at(tr)
+			k[10], _ = at(tr + 1)
+			k[11], _ = at(tr + 2)
+			k[12], _ = at(tr + 3)
+		}
+	case 1:
+		if tr+2 <= len(frame) {
+			k[11], _ = at(tr)
+			k[12], _ = at(tr + 1)
+		}
+	}
+	return k, true
+}
+
+// FuzzParsePacket checks ParseFrame never panics and always agrees
+// byte-for-byte with the independent reference decoder.
+func FuzzParsePacket(f *testing.F) {
+	a, _ := flows.ParseIPv4("10.0.0.1")
+	b, _ := flows.ParseIPv4("10.0.0.2")
+	f.Add(BuildFrame(MakeKey(a, b, flows.ProtoTCP, 443, 51000), 0))
+	f.Add(BuildFrame(MakeKey(a, b, flows.ProtoUDP, 53, 40000), 42))
+	f.Add(BuildFrame(MakeKey(b, a, flows.ProtoICMP, 0, 8<<8), 0))
+	f.Add([]byte{})
+	f.Add(make([]byte, 13))                        // one short of an Ethernet header
+	f.Add(append(make([]byte, 12), 0x08, 0x06))    // ARP ethertype
+	f.Add(append(make([]byte, 12), 0x81, 0x00, 0)) // VLAN tag, then truncation
+	// IPv4 claiming options (IHL 15) longer than the frame.
+	long := BuildFrame(MakeKey(a, b, flows.ProtoTCP, 1, 2), 0)
+	long[ethHeaderLen] = 0x4f
+	f.Add(long)
+	// Deep QinQ stack.
+	deep := make([]byte, 14+6*4)
+	for i := 0; i < 6; i++ {
+		deep[12+4*i], deep[13+4*i] = 0x88, 0xa8
+	}
+	f.Add(deep)
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		got, err := ParseFrame(frame)
+		want, ok := refParseFrame(frame)
+		if (err == nil) != ok {
+			t.Fatalf("parse disagreement: err=%v ref-ok=%v on %x", err, ok, frame)
+		}
+		if err == nil && got != want {
+			t.Fatalf("key disagreement: got %x want %x on %x", got, want, frame)
+		}
+	})
+}
+
+// FuzzReadPcap checks the capture reader never panics, never allocates
+// unboundedly on hostile length fields, and parses its own writer's
+// output cleanly.
+func FuzzReadPcap(f *testing.F) {
+	a, _ := flows.ParseIPv4("10.0.0.1")
+	b, _ := flows.ParseIPv4("192.168.9.9")
+	pkts := []Packet{
+		{Time: 1.25, Key: MakeKey(a, b, flows.ProtoTCP, 443, 51000), Bytes: 900},
+		{Time: 2.5, Key: MakeKey(b, a, flows.ProtoUDP, 53, 4000), Bytes: 80},
+	}
+	for _, opts := range []WriteOptions{
+		{},
+		{LittleEndian: true},
+		{Nano: true},
+		{LittleEndian: true, Nano: true},
+		{LittleEndian: true, VLAN: 7},
+	} {
+		var buf bytes.Buffer
+		if err := WritePcap(&buf, pkts, opts); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	// A record whose inclLen overruns the file.
+	var trunc bytes.Buffer
+	if err := WritePcap(&trunc, pkts[:1], WriteOptions{}); err != nil {
+		f.Fatal(err)
+	}
+	tb := trunc.Bytes()
+	binary.BigEndian.PutUint32(tb[pcapFileHeader+8:], 60000)
+	f.Add(tb)
+	// A header claiming a bogus snaplen.
+	var bogus bytes.Buffer
+	if err := WritePcap(&bogus, pkts[:1], WriteOptions{SnapLen: MaxSnapLen + 1}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bogus.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xa1, 0xb2, 0xc3, 0xd4})
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		capt, err := ReadPcap(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(capt.Packets)+capt.Skipped > (len(data)-pcapFileHeader)/pcapRecHeader+1 {
+			t.Fatalf("more records (%d+%d) than the file can frame (%d bytes)",
+				len(capt.Packets), capt.Skipped, len(data))
+		}
+		for i, p := range capt.Packets {
+			if p.Time < 0 {
+				t.Fatalf("packet %d negative time %v", i, p.Time)
+			}
+		}
+	})
+}

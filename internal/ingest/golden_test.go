@@ -1,0 +1,130 @@
+package ingest
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"flowrecon/internal/flows"
+)
+
+// The golden capture pins the whole ingestion pipeline byte-for-byte:
+// testdata/golden.pcap is a deterministic synthetic capture (committed),
+// and testdata/golden_trace.jsonl is what ingesting it must produce. A
+// diff in the trace without a diff in the pcap means the parser, the
+// flow extractor, or the universe mapping changed semantics — which
+// silently re-labels every experiment run on ingested traffic. If the
+// change is intentional, regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/ingest/ -run TestGolden
+//
+// and say so in the commit message.
+
+// GoldenPcapPackets builds the fixture's packet list: eight sources
+// (10.0.0.1 … 10.0.0.8) with per-source flow rates rising from 0.08/s to
+// 0.36/s over a 60-second span, each flow a distinct 5-tuple, protocols
+// cycling tcp/udp/icmp. Flow times carry a deterministic sinusoidal
+// jitter of ±45% of the spacing — perfectly periodic flows would make
+// every replay window's content a step function of the offset, which is
+// not what a capture looks like. Everything is closed-form — no RNG — so
+// the fixture regenerates identically anywhere.
+func GoldenPcapPackets() []Packet {
+	var pkts []Packet
+	for s := 0; s < 8; s++ {
+		src := flows.IPv4(10<<24 | uint32(s+1))
+		dst := flows.IPv4(10<<24 | 1<<8 | uint32(8-s))
+		rate := 0.08 + 0.04*float64(s)
+		n := int(rate*60 + 0.5)
+		for k := 0; k < n; k++ {
+			jitter := 0.45 * math.Sin(2.399*float64(k)+float64(s))
+			t := (float64(k)+0.5+jitter)*60/float64(n) + 0.01*float64(s)
+			var proto flows.Proto
+			var sport, dport uint16
+			switch s % 3 {
+			case 0:
+				proto, sport, dport = flows.ProtoTCP, uint16(40000+s), uint16(1000+k)
+			case 1:
+				proto, sport, dport = flows.ProtoUDP, uint16(50000+s), uint16(2000+k)
+			default:
+				// ICMP: type 8, code k — distinct echo "flows".
+				proto, sport, dport = flows.ProtoICMP, 0, uint16(8<<8|k&0xff)
+			}
+			pkts = append(pkts, Packet{
+				Time:  1700000000 + t, // absolute capture epoch
+				Key:   MakeKey(src, dst, proto, sport, dport),
+				Bytes: 64 + 100*(s%5),
+			})
+		}
+	}
+	sort.SliceStable(pkts, func(i, j int) bool { return pkts[i].Time < pkts[j].Time })
+	return pkts
+}
+
+func TestGoldenPcap(t *testing.T) {
+	pcapPath := filepath.Join("testdata", "golden.pcap")
+	tracePath := filepath.Join("testdata", "golden_trace.jsonl")
+
+	var pcapBuf bytes.Buffer
+	if err := WritePcap(&pcapBuf, GoldenPcapPackets(), WriteOptions{LittleEndian: true}); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pcapPath, pcapBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", pcapPath, pcapBuf.Len())
+	}
+	want, err := os.ReadFile(pcapPath)
+	if err != nil {
+		t.Fatalf("golden pcap missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(pcapBuf.Bytes(), want) {
+		t.Fatal("golden.pcap no longer regenerates byte-for-byte; if intentional, UPDATE_GOLDEN=1 and document why")
+	}
+
+	// Ingest the committed file (not the in-memory copy: the fixture is
+	// what experiment replays reference by SHA-256).
+	res, err := IngestFile(pcapPath, IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sources != 8 {
+		t.Fatalf("golden capture has %d sources, want 8", res.Sources)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("golden capture dropped %d arrivals", res.Dropped)
+	}
+	var traceBuf bytes.Buffer
+	if err := WriteTraceJSONL(&traceBuf, res); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(tracePath, traceBuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", tracePath, traceBuf.Len())
+		return
+	}
+	wantTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("golden trace missing (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(traceBuf.Bytes(), wantTrace) {
+		t.Fatal("golden_trace.jsonl no longer regenerates from golden.pcap; the ingestion pipeline changed semantics")
+	}
+
+	// The written trace must parse back to the same arrivals.
+	tr, rates, err := ReadTraceJSONL(bytes.NewReader(traceBuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Arrivals()) != len(res.Trace.Arrivals()) || len(rates) != len(res.Rates) {
+		t.Fatal("golden trace does not round-trip")
+	}
+}

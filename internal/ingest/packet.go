@@ -1,0 +1,103 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Frame-parsing errors. Readers count a frame that fails to parse as
+// skipped rather than aborting the capture: real captures carry ARP,
+// IPv6, LLDP and truncated frames that simply are not part of the IPv4
+// flow universe.
+var (
+	// ErrShortFrame means the frame ends before the headers do.
+	ErrShortFrame = errors.New("ingest: frame too short")
+	// ErrNotIPv4 means the frame is valid but not an IPv4 packet.
+	ErrNotIPv4 = errors.New("ingest: not an IPv4 frame")
+	// ErrBadIPv4 means the IPv4 header is structurally invalid.
+	ErrBadIPv4 = errors.New("ingest: malformed IPv4 header")
+)
+
+// EtherTypes and the 802.1Q/802.1ad tag protocol identifiers.
+const (
+	etherTypeIPv4  = 0x0800
+	etherTypeVLAN  = 0x8100 // 802.1Q
+	etherTypeQinQ  = 0x88a8 // 802.1ad (stacked VLANs)
+	maxVLANTags    = 4      // bounds tag-walking on hostile input
+	ethHeaderLen   = 14
+	ipv4MinHeader  = 20
+	fragOffsetMask = 0x1fff
+)
+
+// ParseFrame parses one Ethernet frame into a flow Key. It understands
+// 802.1Q/802.1ad VLAN stacking (up to maxVLANTags tags), IPv4 with
+// options, and the TCP/UDP/ICMP transport headers.
+//
+// Parsing is deliberately forgiving at the transport layer: a frame
+// whose IPv4 header is intact but whose transport header was cut off by
+// the snap length — or that is a non-first fragment, which carries no
+// transport header at all — yields a key with zero ports rather than an
+// error, because the network-layer 5-tuple fields are still meaningful
+// for per-source flow accounting. For ICMP, the type/code pair lands in
+// the dst-port slot (the go-flows convention).
+func ParseFrame(frame []byte) (Key, error) {
+	if len(frame) < ethHeaderLen {
+		return Key{}, ErrShortFrame
+	}
+	etherType := binary.BigEndian.Uint16(frame[12:14])
+	off := ethHeaderLen
+	for tags := 0; etherType == etherTypeVLAN || etherType == etherTypeQinQ; tags++ {
+		if tags >= maxVLANTags {
+			return Key{}, ErrNotIPv4
+		}
+		if len(frame) < off+4 {
+			return Key{}, ErrShortFrame
+		}
+		etherType = binary.BigEndian.Uint16(frame[off+2 : off+4])
+		off += 4
+	}
+	if etherType != etherTypeIPv4 {
+		return Key{}, ErrNotIPv4
+	}
+	return parseIPv4(frame[off:])
+}
+
+// parseIPv4 parses an IPv4 packet (starting at the IP header) into a Key.
+func parseIPv4(b []byte) (Key, error) {
+	if len(b) < ipv4MinHeader {
+		return Key{}, ErrShortFrame
+	}
+	if b[0]>>4 != 4 {
+		return Key{}, ErrNotIPv4
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < ipv4MinHeader {
+		return Key{}, ErrBadIPv4
+	}
+	if len(b) < ihl {
+		return Key{}, ErrShortFrame
+	}
+	var k Key
+	copy(k[0:4], b[12:16]) // src
+	copy(k[4:8], b[16:20]) // dst
+	proto := b[9]
+	k[8] = proto
+
+	// A non-first fragment carries payload, not a transport header.
+	if binary.BigEndian.Uint16(b[6:8])&fragOffsetMask != 0 {
+		return k, nil
+	}
+	tr := b[ihl:]
+	switch proto {
+	case 6, 17: // TCP, UDP: ports are the first four bytes
+		if len(tr) >= 4 {
+			copy(k[9:11], tr[0:2])
+			copy(k[11:13], tr[2:4])
+		}
+	case 1: // ICMP: type/code keys the "port" slot (go-flows convention)
+		if len(tr) >= 2 {
+			copy(k[11:13], tr[0:2])
+		}
+	}
+	return k, nil
+}

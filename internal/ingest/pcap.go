@@ -1,0 +1,135 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Classic libpcap file framing (the pre-pcapng format every tool can
+// write): a 24-byte global header whose magic number encodes both the
+// byte order and the timestamp resolution, followed by 16-byte
+// per-record headers. Both endiannesses and both resolutions are
+// handled; only Ethernet link-layer captures are accepted, because that
+// is the only framing ParseFrame understands.
+const (
+	magicMicro     = 0xa1b2c3d4 // seconds + microseconds
+	magicNano      = 0xa1b23c4d // seconds + nanoseconds
+	pcapFileHeader = 24
+	pcapRecHeader  = 16
+	// LinkTypeEthernet is the only accepted network field value.
+	LinkTypeEthernet = 1
+	// MaxSnapLen is the sanity cap on per-record capture lengths — the
+	// historical libpcap MAXIMUM_SNAPLEN. A record claiming more is
+	// corrupt (or adversarial), not merely jumbo.
+	MaxSnapLen = 262144
+)
+
+// ErrPcapMagic means the stream does not start with a known pcap magic.
+var ErrPcapMagic = errors.New("ingest: not a classic pcap file (bad magic)")
+
+// Capture is a fully parsed pcap stream.
+type Capture struct {
+	// Packets are the parsed IPv4 packets in file order.
+	Packets []Packet
+	// Skipped counts records that were framed correctly but did not
+	// parse as IPv4 (ARP, IPv6, truncated headers, …).
+	Skipped int
+	// SnapLen and Nano echo the capture parameters.
+	SnapLen uint32
+	Nano    bool
+}
+
+// ReadPcap parses a classic libpcap stream. It is strict about framing —
+// a record header that lies about its length, overruns MaxSnapLen or
+// overruns the file is an error — and lenient about payloads: frames
+// that are not parseable IPv4 are counted in Skipped, not fatal.
+func ReadPcap(r io.Reader) (*Capture, error) {
+	var hdr [pcapFileHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ingest: pcap header: %w", err)
+	}
+	var order binary.ByteOrder
+	var nano bool
+	switch magic := binary.BigEndian.Uint32(hdr[0:4]); magic {
+	case magicMicro:
+		order = binary.BigEndian
+	case magicNano:
+		order, nano = binary.BigEndian, true
+	default:
+		switch binary.LittleEndian.Uint32(hdr[0:4]) {
+		case magicMicro:
+			order = binary.LittleEndian
+		case magicNano:
+			order, nano = binary.LittleEndian, true
+		default:
+			return nil, ErrPcapMagic
+		}
+	}
+	snaplen := order.Uint32(hdr[16:20])
+	link := order.Uint32(hdr[20:24])
+	if link != LinkTypeEthernet {
+		return nil, fmt.Errorf("ingest: unsupported link type %d (only Ethernet)", link)
+	}
+	out := &Capture{SnapLen: snaplen, Nano: nano}
+	div := 1e6
+	if nano {
+		div = 1e9
+	}
+	// The payload buffer is reused across records: parsed packets keep
+	// only the 13-byte key, so one capture-sized scratch slice serves the
+	// whole file with no per-record allocation.
+	var rec [pcapRecHeader]byte
+	var payload []byte
+	for n := 0; ; n++ {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("ingest: record %d header: %w", n, err)
+		}
+		sec := order.Uint32(rec[0:4])
+		frac := order.Uint32(rec[4:8])
+		inclLen := order.Uint32(rec[8:12])
+		origLen := order.Uint32(rec[12:16])
+		if inclLen > MaxSnapLen {
+			return nil, fmt.Errorf("ingest: record %d claims %d captured bytes (cap %d)", n, inclLen, MaxSnapLen)
+		}
+		if snaplen > 0 && inclLen > snaplen {
+			return nil, fmt.Errorf("ingest: record %d captured %d bytes > snaplen %d", n, inclLen, snaplen)
+		}
+		if int(inclLen) > cap(payload) {
+			payload = make([]byte, inclLen)
+		}
+		payload = payload[:inclLen]
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil, fmt.Errorf("ingest: record %d truncated: %w", n, err)
+		}
+		key, err := ParseFrame(payload)
+		if err != nil {
+			out.Skipped++
+			continue
+		}
+		bytes := int(origLen)
+		if bytes == 0 {
+			bytes = int(inclLen)
+		}
+		out.Packets = append(out.Packets, Packet{
+			Time:  float64(sec) + float64(frac)/div,
+			Key:   key,
+			Bytes: bytes,
+		})
+	}
+}
+
+// ReadPcapFile parses the capture at path.
+func ReadPcapFile(path string) (*Capture, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	defer f.Close()
+	return ReadPcap(f)
+}

@@ -1,0 +1,222 @@
+package ingest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"flowrecon/internal/flows"
+	"flowrecon/internal/workload"
+)
+
+// The last pipeline stage: collapse extracted flows onto the
+// experiment's flow-class universe. The paper's evaluation (§VI-A)
+// identifies a flow class per source address — all traffic from one host
+// is one class — so each extracted FlowRecord becomes one
+// workload.Arrival of its source's class at the flow start time, and the
+// classes' empirical rates become the λ vector a model can be fitted on.
+
+// TraceOptions configures BuildTrace.
+type TraceOptions struct {
+	// MaxClasses caps the universe at the N busiest sources (by flow
+	// count, ties broken by address); flows from other sources are
+	// dropped and counted. 0 keeps every source.
+	MaxClasses int
+}
+
+// Result is an ingested capture mapped onto the experiment's world.
+type Result struct {
+	// Trace is the arrival sequence, time-shifted so the first flow
+	// starts at 0.
+	Trace *workload.Trace
+	// Universe registers one flow class per kept source address, in
+	// rate-rank order (class 0 is the busiest source).
+	Universe *flows.Universe
+	// Rates is each class's empirical flow-arrival rate over the span
+	// (arrivals/second), index-aligned with the universe.
+	Rates []float64
+	// Duration is the trace span in seconds (last flow start − first).
+	Duration float64
+	// Sources is the number of distinct sources before capping; Flows is
+	// the number of extracted flows; Dropped counts arrivals lost to the
+	// class cap.
+	Sources, Flows, Dropped int
+}
+
+// BuildTrace maps extracted flows onto a per-source flow-class universe
+// and emits the workload trace. It is deterministic: class identity
+// depends only on per-source flow counts and addresses, never on map
+// iteration order.
+func BuildTrace(recs []FlowRecord, opts TraceOptions) (*Result, error) {
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("ingest: no flows to map")
+	}
+	counts := make(map[flows.IPv4]int)
+	t0 := recs[0].Start
+	tEnd := recs[0].Start
+	for _, r := range recs {
+		counts[r.Key.Src()]++
+		if r.Start < t0 {
+			t0 = r.Start
+		}
+		if r.Start > tEnd {
+			tEnd = r.Start
+		}
+	}
+	type srcCount struct {
+		src flows.IPv4
+		n   int
+	}
+	ranked := make([]srcCount, 0, len(counts))
+	for src, n := range counts {
+		ranked = append(ranked, srcCount{src, n})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].n != ranked[j].n {
+			return ranked[i].n > ranked[j].n
+		}
+		return ranked[i].src < ranked[j].src
+	})
+	res := &Result{Sources: len(ranked), Flows: len(recs)}
+	keep := len(ranked)
+	if opts.MaxClasses > 0 && opts.MaxClasses < keep {
+		keep = opts.MaxClasses
+	}
+	res.Universe = flows.NewUniverse()
+	class := make(map[flows.IPv4]flows.ID, keep)
+	for _, sc := range ranked[:keep] {
+		// The collapsed class tuple keeps only the source address — the
+		// §VI-A "flow = everything this host sends" view.
+		id := res.Universe.Add(fmt.Sprintf("src(%s)", sc.src), flows.FiveTuple{Src: sc.src})
+		class[sc.src] = id
+	}
+	res.Duration = tEnd - t0
+	if res.Duration <= 0 {
+		res.Duration = 1 // a single-instant capture still needs a finite rate basis
+	}
+	arrivals := make([]workload.Arrival, 0, len(recs))
+	res.Rates = make([]float64, keep)
+	for _, r := range recs {
+		id, ok := class[r.Key.Src()]
+		if !ok {
+			res.Dropped++
+			continue
+		}
+		arrivals = append(arrivals, workload.Arrival{Time: r.Start - t0, Flow: id})
+		res.Rates[id]++
+	}
+	for i := range res.Rates {
+		res.Rates[i] /= res.Duration
+	}
+	res.Trace = workload.NewTrace(arrivals)
+	return res, nil
+}
+
+// IngestOptions bundles the full pipeline's knobs.
+type IngestOptions struct {
+	// ActiveTimeout and IdleTimeout are the flow-extraction cuts in
+	// seconds (defaults when ≤ 0).
+	ActiveTimeout, IdleTimeout float64
+	// Trace configures the universe mapping.
+	Trace TraceOptions
+}
+
+// IngestPackets runs extraction and trace building over parsed packets.
+func IngestPackets(packets []Packet, opts IngestOptions) (*Result, error) {
+	recs, err := ExtractFlows(packets, opts.ActiveTimeout, opts.IdleTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return BuildTrace(recs, opts.Trace)
+}
+
+// IngestFile ingests a capture or flow log, sniffing the format from the
+// pcap magic: a recognized magic routes to the pcap reader (whose deeper
+// errors surface as such, rather than falling through to a confusing CSV
+// parse), anything else to the flow-log reader.
+func IngestFile(path string, opts IngestOptions) (*Result, error) {
+	capt, err := ReadPcapFile(path)
+	switch {
+	case err == nil:
+		return IngestPackets(capt.Packets, opts)
+	case err != ErrPcapMagic && !errorsIsMagic(err):
+		return nil, err
+	}
+	packets, err := ReadFlowLogFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return IngestPackets(packets, opts)
+}
+
+// errorsIsMagic reports whether err wraps the bad-magic sentinel (a
+// too-short file also counts: it cannot be a pcap).
+func errorsIsMagic(err error) bool {
+	return errors.Is(err, ErrPcapMagic) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF)
+}
+
+// traceHeader is the first JSONL line of a written trace.
+type traceHeader struct {
+	Classes  int       `json:"classes"`
+	Duration float64   `json:"duration"`
+	Rates    []float64 `json:"rates"`
+	Names    []string  `json:"names"`
+}
+
+// WriteTraceJSONL renders a Result as JSONL: one header line (classes,
+// duration, per-class rates and names) followed by one workload.Arrival
+// per line. The encoding is canonical — the same Result always writes
+// identical bytes — which is what lets the golden fixtures byte-pin the
+// whole ingestion pipeline.
+func WriteTraceJSONL(w io.Writer, res *Result) error {
+	bw := bufio.NewWriter(w)
+	h := traceHeader{Classes: res.Universe.Size(), Duration: res.Duration, Rates: res.Rates}
+	for i := 0; i < res.Universe.Size(); i++ {
+		h.Names = append(h.Names, res.Universe.Name(flows.ID(i)))
+	}
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("ingest: trace header: %w", err)
+	}
+	for _, a := range res.Trace.Arrivals() {
+		if err := enc.Encode(a); err != nil {
+			return fmt.Errorf("ingest: trace arrival: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTraceJSONL parses a trace written by WriteTraceJSONL back into the
+// arrival sequence and per-class rates.
+func ReadTraceJSONL(r io.Reader) (*workload.Trace, []float64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<14), 1<<22)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("ingest: trace: %w", err)
+		}
+		return nil, nil, fmt.Errorf("ingest: empty trace")
+	}
+	var h traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return nil, nil, fmt.Errorf("ingest: trace header: %w", err)
+	}
+	var arrivals []workload.Arrival
+	for line := 2; sc.Scan(); line++ {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var a workload.Arrival
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return nil, nil, fmt.Errorf("ingest: trace line %d: %w", line, err)
+		}
+		arrivals = append(arrivals, a)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("ingest: trace: %w", err)
+	}
+	return workload.NewTrace(arrivals), h.Rates, nil
+}

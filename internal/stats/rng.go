@@ -70,6 +70,20 @@ func (g *RNG) Bernoulli(p float64) bool {
 	return g.r.Float64() < p
 }
 
+// Pareto returns a Pareto(α, xm) sample via inversion: xm·U^(−1/α). The
+// tail index α controls heavy-tailedness (finite mean requires α > 1,
+// finite variance α > 2); xm is the scale (minimum value).
+func (g *RNG) Pareto(alpha, xm float64) float64 {
+	// 1−Float64() lies in (0, 1], keeping the power finite.
+	return xm * math.Pow(1-g.r.Float64(), -1/alpha)
+}
+
+// LogNormal returns exp(N(mu, sigma)) — a log-normal sample with median
+// e^mu and mean e^{mu+sigma²/2}.
+func (g *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(g.Normal(mu, sigma))
+}
+
 // Poisson returns a Poisson-distributed sample with the given mean, using
 // Knuth's method for small means and a normal approximation for large ones.
 func (g *RNG) Poisson(mean float64) int {

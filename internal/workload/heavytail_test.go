@@ -1,0 +1,336 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"flowrecon/internal/conftest"
+	"flowrecon/internal/stats"
+)
+
+// Conformance tests for the heavy-tailed generators: the sampled
+// distributions must match their configured parameters (chi-square
+// against the closed-form CDFs, at the repository's conftest budgets),
+// every generator must preserve the configured mean rate, and every
+// generator must be byte-deterministic per seed.
+
+// interarrivals extracts flow-0 interarrival times from a single-flow
+// trace; the first arrival counts as an interarrival from t=0, which is
+// exactly how the renewal generators sample it.
+func interarrivals(t *testing.T, tr *Trace) []float64 {
+	t.Helper()
+	arr := tr.Arrivals()
+	if len(arr) == 0 {
+		t.Fatal("empty trace")
+	}
+	out := make([]float64, len(arr))
+	prev := 0.0
+	for i, a := range arr {
+		out[i] = a.Time - prev
+		prev = a.Time
+	}
+	return out
+}
+
+// binByQuantiles counts samples into nBins equiprobable bins whose edges
+// come from the inverse CDF `quantile`.
+func binByQuantiles(samples []float64, nBins int, quantile func(q float64) float64) ([]int, []float64) {
+	edges := make([]float64, nBins-1)
+	for i := 1; i < nBins; i++ {
+		edges[i-1] = quantile(float64(i) / float64(nBins))
+	}
+	observed := make([]int, nBins)
+	for _, x := range samples {
+		b := 0
+		for b < len(edges) && x >= edges[b] {
+			b++
+		}
+		observed[b]++
+	}
+	expected := make([]float64, nBins)
+	for i := range expected {
+		expected[i] = 1 / float64(nBins)
+	}
+	return observed, expected
+}
+
+func TestParetoConformance(t *testing.T) {
+	const (
+		alpha = 1.5
+		rate  = 400.0
+		dur   = 40.0
+	)
+	tr, err := GeneratePareto(ParetoConfig{Rates: []float64{rate}, Duration: dur, Alpha: alpha}, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := interarrivals(t, tr)
+	if len(gaps) < 5000 {
+		t.Fatalf("only %d interarrivals; generator starved", len(gaps))
+	}
+
+	xm := ParetoScale(alpha, rate)
+	// Chi-square against the configured Pareto CDF on equiprobable bins:
+	// quantile q is xm·(1−q)^(−1/α).
+	observed, expected := binByQuantiles(gaps, 20, func(q float64) float64 {
+		return xm * math.Pow(1-q, -1/alpha)
+	})
+	gof, err := conftest.ChiSquareGoF(observed, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.P < conftest.PFloor {
+		t.Fatalf("Pareto interarrivals reject the configured distribution: χ²=%.1f dof=%d p=%.2e", gof.Stat, gof.DoF, gof.P)
+	}
+
+	// The tail-index MLE over samples from Pareto(α, xm) is
+	// n / Σ ln(x/xm); it must recover the configured α.
+	var sumLog float64
+	for _, g := range gaps {
+		sumLog += math.Log(g / xm)
+	}
+	alphaHat := float64(len(gaps)) / sumLog
+	if math.Abs(alphaHat-alpha)/alpha > 0.05 {
+		t.Fatalf("tail index estimate %.3f, configured %.3f", alphaHat, alpha)
+	}
+
+	// Mean preservation: the arrival count must track rate·duration. The
+	// infinite-variance tail makes the count noisy, so the tolerance is
+	// loose — this is a sanity bound, not the distribution test above.
+	n := float64(len(gaps))
+	if math.Abs(n-rate*dur)/(rate*dur) > 0.15 {
+		t.Fatalf("arrival count %v vs configured mean %v", n, rate*dur)
+	}
+}
+
+func TestLogNormalConformance(t *testing.T) {
+	const (
+		sigma = 1.5
+		rate  = 400.0
+		dur   = 40.0
+	)
+	tr, err := GenerateLogNormal(LogNormalConfig{Rates: []float64{rate}, Duration: dur, Sigma: sigma}, stats.NewRNG(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := interarrivals(t, tr)
+	if len(gaps) < 5000 {
+		t.Fatalf("only %d interarrivals; generator starved", len(gaps))
+	}
+
+	// Standardize to z = (ln x − μ)/σ and chi-square against the standard
+	// normal on fixed bins, with expected masses from erf.
+	mu := LogNormalMu(sigma, rate)
+	zEdges := []float64{-2, -1.5, -1, -0.5, 0, 0.5, 1, 1.5, 2}
+	phi := func(z float64) float64 { return 0.5 * (1 + math.Erf(z/math.Sqrt2)) }
+	observed := make([]int, len(zEdges)+1)
+	for _, g := range gaps {
+		z := (math.Log(g) - mu) / sigma
+		b := 0
+		for b < len(zEdges) && z >= zEdges[b] {
+			b++
+		}
+		observed[b]++
+	}
+	expected := make([]float64, len(zEdges)+1)
+	prev := 0.0
+	for i, e := range zEdges {
+		expected[i] = phi(e) - prev
+		prev = phi(e)
+	}
+	expected[len(zEdges)] = 1 - prev
+	gof, err := conftest.ChiSquareGoF(observed, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.P < conftest.PFloor {
+		t.Fatalf("log-normal interarrivals reject the configured distribution: χ²=%.1f dof=%d p=%.2e", gof.Stat, gof.DoF, gof.P)
+	}
+
+	// Parameter recovery: the sample mean and stddev of ln(gaps) are the
+	// MLEs of (μ, σ).
+	var m, s2 float64
+	for _, g := range gaps {
+		m += math.Log(g)
+	}
+	m /= float64(len(gaps))
+	for _, g := range gaps {
+		d := math.Log(g) - m
+		s2 += d * d
+	}
+	s := math.Sqrt(s2 / float64(len(gaps)))
+	if math.Abs(m-mu) > 0.1 || math.Abs(s-sigma)/sigma > 0.05 {
+		t.Fatalf("recovered (μ=%.3f, σ=%.3f), configured (%.3f, %.3f)", m, s, mu, sigma)
+	}
+}
+
+func TestDiurnalProfileConformance(t *testing.T) {
+	const (
+		period = 10.0
+		amp    = 0.8
+		rate   = 300.0
+		dur    = 60.0 // whole number of periods: phase histogram is clean
+	)
+	profile := RateProfile{DiurnalPeriod: period, DiurnalAmp: amp}
+	tr, err := GenerateModulated(PoissonConfig{Rates: []float64{rate}, Duration: dur}, profile, stats.NewRNG(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := tr.Arrivals()
+	if len(arr) < 5000 {
+		t.Fatalf("only %d arrivals", len(arr))
+	}
+
+	// Phase histogram against the profile's integral per phase bin:
+	// ∫(1 + A·sin(2πt/P)) dt over [a,b) = (b−a) − A·P/(2π)·(cos(2πb/P) − cos(2πa/P)).
+	const nBins = 12
+	observed := make([]int, nBins)
+	for _, a := range arr {
+		phase := math.Mod(a.Time, period)
+		b := int(phase / period * nBins)
+		if b >= nBins {
+			b = nBins - 1
+		}
+		observed[b]++
+	}
+	expected := make([]float64, nBins)
+	w := 2 * math.Pi / period
+	for i := range expected {
+		a := float64(i) * period / nBins
+		b := float64(i+1) * period / nBins
+		expected[i] = (b - a) - amp/w*(math.Cos(w*b)-math.Cos(w*a))
+	}
+	gof, err := conftest.ChiSquareGoF(observed, expected, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.P < conftest.PFloor {
+		t.Fatalf("diurnal phase histogram rejects the configured profile: χ²=%.1f dof=%d p=%.2e", gof.Stat, gof.DoF, gof.P)
+	}
+
+	// Mean preservation: over whole periods the normalized profile
+	// integrates to 1, so the count must track rate·duration.
+	n := float64(len(arr))
+	if math.Abs(n-rate*dur)/(rate*dur) > 0.05 {
+		t.Fatalf("arrival count %v vs configured mean %v", n, rate*dur)
+	}
+}
+
+func TestFlashCrowdConformance(t *testing.T) {
+	const (
+		rate   = 100.0
+		dur    = 60.0
+		at     = 20.0
+		flashD = 5.0
+		factor = 8.0
+	)
+	profile := RateProfile{FlashAt: at, FlashDur: flashD, FlashFactor: factor}
+	tr, err := GenerateModulated(PoissonConfig{Rates: []float64{rate}, Duration: dur}, profile, stats.NewRNG(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr := tr.Arrivals()
+	inWindow := 0
+	for _, a := range arr {
+		if a.Time >= at && a.Time < at+flashD {
+			inWindow++
+		}
+	}
+	mean := profile.Mean(dur)
+	wantTotal := rate * dur
+	wantWindow := rate * factor * flashD / mean
+	if math.Abs(float64(len(arr))-wantTotal)/wantTotal > 0.05 {
+		t.Fatalf("total arrivals %d, want ≈%v (mean preservation)", len(arr), wantTotal)
+	}
+	if math.Abs(float64(inWindow)-wantWindow)/wantWindow > 0.10 {
+		t.Fatalf("flash-window arrivals %d, want ≈%v", inWindow, wantWindow)
+	}
+	// The spike must actually concentrate traffic: the in-window rate has
+	// to exceed the off-window rate by nearly the configured factor.
+	offRate := float64(len(arr)-inWindow) / (dur - flashD)
+	onRate := float64(inWindow) / flashD
+	if onRate/offRate < factor*0.8 {
+		t.Fatalf("flash concentration %.2f×, configured %v×", onRate/offRate, factor)
+	}
+}
+
+func TestHeavyTailDeterminismPerSeed(t *testing.T) {
+	rates := []float64{5, 3, 2}
+	gens := map[string]func(seed int64) *Trace{
+		"pareto": func(seed int64) *Trace {
+			tr, err := GeneratePareto(ParetoConfig{Rates: rates, Duration: 30, Alpha: 1.6}, stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+		"lognormal": func(seed int64) *Trace {
+			tr, err := GenerateLogNormal(LogNormalConfig{Rates: rates, Duration: 30, Sigma: 1.2}, stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+		"modulated": func(seed int64) *Trace {
+			tr, err := GenerateModulated(
+				PoissonConfig{Rates: rates, Duration: 30},
+				RateProfile{DiurnalPeriod: 10, DiurnalAmp: 0.5, FlashAt: 5, FlashDur: 2, FlashFactor: 4},
+				stats.NewRNG(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tr
+		},
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			a, b := gen(99), gen(99)
+			if !reflect.DeepEqual(a.Arrivals(), b.Arrivals()) {
+				t.Fatal("same seed produced different traces")
+			}
+			c := gen(100)
+			if reflect.DeepEqual(a.Arrivals(), c.Arrivals()) {
+				t.Fatal("different seeds produced identical traces")
+			}
+			for i, arr := range a.Arrivals() {
+				if i > 0 && arr.Time < a.Arrivals()[i-1].Time {
+					t.Fatalf("arrivals out of order at %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestModulatedFallsBackToPoisson(t *testing.T) {
+	cfg := PoissonConfig{Rates: []float64{10, 5}, Duration: 20}
+	plain, err := GeneratePoisson(cfg, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := GenerateModulated(cfg, RateProfile{}, stats.NewRNG(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Arrivals(), mod.Arrivals()) {
+		t.Fatal("disabled profile must degenerate to GeneratePoisson exactly")
+	}
+}
+
+func TestHeavyTailConfigValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	if _, err := GeneratePareto(ParetoConfig{Rates: []float64{1}, Duration: 10, Alpha: 1.0}, rng); err == nil {
+		t.Error("α=1 (no mean) accepted")
+	}
+	if _, err := GenerateLogNormal(LogNormalConfig{Rates: []float64{1}, Duration: 10, Sigma: 0}, rng); err == nil {
+		t.Error("σ=0 accepted")
+	}
+	if _, err := GenerateModulated(PoissonConfig{Rates: []float64{1}, Duration: 10},
+		RateProfile{DiurnalPeriod: 5, DiurnalAmp: 1.5}, rng); err == nil {
+		t.Error("diurnal amplitude > 1 accepted")
+	}
+	if _, err := GenerateModulated(PoissonConfig{Rates: []float64{1}, Duration: 10},
+		RateProfile{FlashDur: 5, FlashFactor: 0.5}, rng); err == nil {
+		t.Error("flash factor < 1 accepted")
+	}
+}
