@@ -928,10 +928,11 @@ func BenchmarkShardedSim1k(b *testing.B) {
 // in-memory ~10k-packet capture: pcap decode (header + Ethernet/IPv4/
 // transport parse per record), flow extraction with the lazy expiry
 // heap, and the per-source universe mapping. ns/op is the per-capture
-// cost; MB/s puts it in packets-on-disk terms. It allocates ~8 MB per
-// iteration, so it runs LAST in the suite: the heap churn it leaves
-// behind (background GC on a single-core host) measurably taxes
-// whatever zero-alloc benchmark follows it.
+// cost; MB/s puts it in packets-on-disk terms. The Capture and
+// Extractor are reused across iterations (ReadPcapInto + Observe/Flush),
+// the steady-state shape of a daemon replaying many captures — per-op
+// heap traffic is the trace build plus map/slab growth to the flow peak,
+// not a fresh multi-megabyte packet slice per file.
 func BenchmarkIngestPcap(b *testing.B) {
 	rng := stats.NewRNG(17)
 	const npkts = 10000
@@ -956,12 +957,18 @@ func BenchmarkIngestPcap(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	var classes int
+	var capt ingest.Capture
+	ex := ingest.NewExtractor(0, 0)
 	for i := 0; i < b.N; i++ {
-		capt, err := ingest.ReadPcap(bytes.NewReader(raw))
-		if err != nil {
+		if err := ingest.ReadPcapInto(bytes.NewReader(raw), &capt); err != nil {
 			b.Fatal(err)
 		}
-		res, err := ingest.IngestPackets(capt.Packets, ingest.IngestOptions{})
+		for _, p := range capt.Packets {
+			if err := ex.Observe(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := ingest.BuildTrace(ex.Flush(), ingest.TraceOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -133,6 +133,11 @@ func render(out io.Writer, addr string, u telemetry.LiveUpdate) {
 		fmt.Fprintf(out, "detect   %8d sources   flagged %d (+%d)\n",
 			u.DetectSources, u.DetectFlagged, u.DetectFlaggedDelta)
 	}
+	if u.Sessions > 0 || u.SessionsActive > 0 || u.SessionsQueued > 0 {
+		fmt.Fprintf(out, "sessions %8d   (+%d)   active %d   queued %d   store %d models %.1f MiB (%.0f%% hit)\n",
+			u.Sessions, u.SessionsDelta, u.SessionsActive, u.SessionsQueued,
+			u.ModelStoreModels, float64(u.ModelStoreBytes)/(1<<20), u.ModelStoreHitPct)
+	}
 	if u.FleetShards > 0 {
 		fmt.Fprintf(out, "fleet    %8d shards   %d events (%.0f/s)   %d windows   %d crossings   occ %d\n",
 			u.FleetShards, u.FleetEvents, u.FleetEventsPerSec, u.FleetWindows, u.FleetCrossings, u.FleetOccupancy)

@@ -32,3 +32,29 @@ func TestRenderDetectRow(t *testing.T) {
 		t.Fatalf("detect row rendered with no detector running:\n%s", sb.String())
 	}
 }
+
+func TestRenderSessionsRow(t *testing.T) {
+	u := telemetry.LiveUpdate{
+		Seq:              2,
+		ElapsedSec:       1,
+		Sessions:         64,
+		SessionsDelta:    8,
+		SessionsActive:   5,
+		SessionsQueued:   2,
+		ModelStoreModels: 1,
+		ModelStoreBytes:  4 << 20,
+		ModelStoreHitPct: 98,
+	}
+	var sb strings.Builder
+	render(&sb, "127.0.0.1:8070", u)
+	got := sb.String()
+	if !strings.Contains(got, "sessions       64   (+8)   active 5   queued 2   store 1 models 4.0 MiB (98% hit)") {
+		t.Fatalf("sessions row missing or malformed:\n%s", got)
+	}
+
+	sb.Reset()
+	render(&sb, "127.0.0.1:8070", telemetry.LiveUpdate{Seq: 1, ElapsedSec: 1})
+	if strings.Contains(sb.String(), "sessions ") {
+		t.Fatalf("sessions row rendered outside the daemon:\n%s", sb.String())
+	}
+}

@@ -50,31 +50,137 @@ func KeyOf(cfg Config, params USumParams) ConfigKey {
 
 // ModelCache memoizes compact-model builds by canonical configuration
 // key so that GainVsWindow sweeps, ProbeSelector constructors, the
-// defense leakage profiler, and repeated experiment trials stop paying
-// the §IV-B build for identical chains. Lookups are singleflight: when
-// several goroutines request the same key, one builds and the rest wait.
-// Capacity is bounded with FIFO eviction (evicted in-flight builds still
-// complete for their waiters).
+// defense leakage profiler, repeated experiment trials, and the
+// flowrecond shared model store stop paying the §IV-B build for
+// identical chains. Lookups are singleflight: when several goroutines
+// request the same key, one builds and the rest wait. Residency is
+// bounded two ways — an entry count and an optional byte budget — with
+// LRU eviction (evicted in-flight builds still complete for their
+// waiters).
 type ModelCache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[ConfigKey]*modelEntry
-	order   []ConfigKey
+	mu       sync.Mutex
+	max      int
+	maxBytes int64 // 0 = unbounded
+	workers  int   // build worker count; 0 = GOMAXPROCS
+	entries  map[ConfigKey]*modelEntry
+	// Intrusive LRU list: head is most recently used, tail next to evict.
+	head, tail *modelEntry
+	bytes      int64
+	hits       uint64
+	misses     uint64
+	evictions  uint64
 }
 
 type modelEntry struct {
-	once sync.Once
-	m    *CompactModel
-	err  error
+	key        ConfigKey
+	prev, next *modelEntry
+	resident   bool // still in the map (false once evicted)
+	bytes      int64
+	once       sync.Once
+	m          *CompactModel
+	err        error
 }
 
 // NewModelCache returns a cache holding at most max models (≤ 0 means
-// the DefaultModelCacheSize).
+// the DefaultModelCacheSize) with no byte budget.
 func NewModelCache(max int) *ModelCache {
 	if max <= 0 {
 		max = DefaultModelCacheSize
 	}
 	return &ModelCache{max: max, entries: make(map[ConfigKey]*modelEntry)}
+}
+
+// SetMaxBytes bounds the summed MemBytes of resident models (0 removes
+// the bound). Lowering the budget evicts immediately. The budget is
+// best-effort: an entry whose build is still in flight occupies zero
+// bytes until it completes, and the most recently used entry is never
+// evicted, so one oversized model can exceed the budget alone.
+func (c *ModelCache) SetMaxBytes(n int64) {
+	c.mu.Lock()
+	c.maxBytes = n
+	c.evictOverLocked()
+	c.mu.Unlock()
+}
+
+// SetBuildWorkers fixes the worker count used for cache-miss builds
+// (≤ 0 restores the GOMAXPROCS default). Models are bit-identical at any
+// worker count; this only controls how much CPU one build may grab —
+// a service running many sessions wants 1, a lone CLI wants them all.
+func (c *ModelCache) SetBuildWorkers(n int) {
+	c.mu.Lock()
+	if n < 0 {
+		n = 0
+	}
+	c.workers = n
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64 // summed MemBytes of resident, completed builds
+	MaxBytes  int64 // 0 = unbounded
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats snapshots the cache counters.
+func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// moveToFrontLocked makes e the most recently used entry.
+func (c *ModelCache) moveToFrontLocked(e *modelEntry) {
+	if c.head == e {
+		return
+	}
+	// Unlink (no-op for a new entry with nil links not yet in the list).
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// evictOverLocked drops LRU-tail entries until both bounds hold. The
+// head entry is always spared so a Get can never evict what it returns.
+func (c *ModelCache) evictOverLocked() {
+	for c.tail != nil && c.tail != c.head &&
+		(len(c.entries) > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
+		e := c.tail
+		c.tail = e.prev
+		if c.tail != nil {
+			c.tail.next = nil
+		}
+		e.prev, e.next = nil, nil
+		e.resident = false
+		c.bytes -= e.bytes
+		delete(c.entries, e.key)
+		c.evictions++
+	}
 }
 
 // DefaultModelCacheSize bounds the process-wide DefaultModelCache. A
@@ -94,20 +200,34 @@ func (c *ModelCache) Get(cfg Config, params USumParams) (*CompactModel, error) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
-		e = &modelEntry{}
+		e = &modelEntry{key: key, resident: true}
 		c.entries[key] = e
-		c.order = append(c.order, key)
-		for len(c.order) > c.max {
-			old := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, old)
-		}
+		c.misses++
+	} else {
+		c.hits++
 	}
+	c.moveToFrontLocked(e)
+	c.evictOverLocked()
+	workers := c.workers
 	c.mu.Unlock()
 	obsModelCache(ok)
+	built := false
 	e.once.Do(func() {
-		e.m, e.err = NewCompactModel(cfg, params)
+		e.m, e.err = NewCompactModelWorkers(cfg, params, workers)
+		built = true
 	})
+	if built && e.m != nil {
+		// Charge the finished build against the byte budget. The entry may
+		// have been evicted while building; its waiters still get the model,
+		// but a ghost must not count toward resident bytes.
+		c.mu.Lock()
+		if e.resident {
+			e.bytes = e.m.MemBytes()
+			c.bytes += e.bytes
+			c.evictOverLocked()
+		}
+		c.mu.Unlock()
+	}
 	return e.m, e.err
 }
 
@@ -118,11 +238,19 @@ func (c *ModelCache) Len() int {
 	return len(c.entries)
 }
 
-// Reset drops every entry. Benchmarks use it to measure cold builds.
+// Reset drops every entry and zeroes the counters. Benchmarks use it to
+// measure cold builds; the service benchmarks' naive baseline uses it to
+// model independent single-session processes.
 func (c *ModelCache) Reset() {
 	c.mu.Lock()
+	for _, e := range c.entries {
+		e.resident = false
+		e.prev, e.next = nil, nil
+	}
 	c.entries = make(map[ConfigKey]*modelEntry)
-	c.order = nil
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 	c.mu.Unlock()
 }
 

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// cacheConfigs returns n distinct tiny configs (rate-perturbed so each
+// hashes to a different ConfigKey).
+func cacheConfigs(t *testing.T, n int) []Config {
+	t.Helper()
+	out := make([]Config, n)
+	for i := range out {
+		cfg := tinyConfig(t)
+		rates := append([]float64(nil), cfg.Rates...)
+		rates[0] += float64(i) * 0.001
+		cfg.Rates = rates
+		out[i] = cfg
+	}
+	return out
+}
+
+func TestModelCacheSingleflight(t *testing.T) {
+	c := NewModelCache(4)
+	cfg := tinyConfig(t)
+	params := DefaultUSumParams()
+	const goroutines = 16
+	models := make([]*CompactModel, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m, err := c.Get(cfg, params)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			models[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if models[i] != models[0] {
+			t.Fatalf("goroutine %d got a distinct model: singleflight failed", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != goroutines-1 {
+		t.Fatalf("hits/misses = %d/%d, want %d/1", st.Hits, st.Misses, goroutines-1)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("entries=%d bytes=%d, want 1 resident entry with accounted bytes", st.Entries, st.Bytes)
+	}
+}
+
+func TestModelCacheLRUEviction(t *testing.T) {
+	c := NewModelCache(2)
+	params := DefaultUSumParams()
+	cfgs := cacheConfigs(t, 3)
+	for _, cfg := range cfgs[:2] {
+		if _, err := c.Get(cfg, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch cfg0 so cfg1 becomes the LRU tail, then insert cfg2.
+	if _, err := c.Get(cfgs[0], params); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(cfgs[2], params); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d, want 2/1", st.Entries, st.Evictions)
+	}
+	// cfg0 must still be resident (a hit); cfg1 was evicted (a miss).
+	before := c.Stats()
+	if _, err := c.Get(cfgs[0], params); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != before.Hits+1 {
+		t.Fatal("recently-used entry was evicted instead of the LRU tail")
+	}
+	if _, err := c.Get(cfgs[1], params); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != before.Misses+1 {
+		t.Fatal("LRU-tail entry survived past capacity")
+	}
+}
+
+func TestModelCacheByteBudget(t *testing.T) {
+	c := NewModelCache(100)
+	params := DefaultUSumParams()
+	cfgs := cacheConfigs(t, 3)
+	m, err := c.Get(cfgs[0], params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := m.MemBytes()
+	if per <= 0 {
+		t.Fatalf("MemBytes = %d, want > 0", per)
+	}
+	// Budget for two models: inserting a third must evict the oldest.
+	c.SetMaxBytes(2 * per)
+	for _, cfg := range cfgs[1:] {
+		if _, err := c.Get(cfg, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("entries=%d evictions=%d under byte budget, want 2/1", st.Entries, st.Evictions)
+	}
+	if st.Bytes > st.MaxBytes {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, st.MaxBytes)
+	}
+	// Shrinking the budget below one model must still keep the MRU entry.
+	c.SetMaxBytes(per / 2)
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries=%d after shrink, want the single MRU survivor", st.Entries)
+	}
+}
+
+func TestModelCacheResetClearsStats(t *testing.T) {
+	c := NewModelCache(4)
+	if _, err := c.Get(tinyConfig(t), DefaultUSumParams()); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Reset left state behind: %+v", st)
+	}
+}
+
+func TestModelCacheExplicitWorkers(t *testing.T) {
+	c := NewModelCache(4)
+	c.SetBuildWorkers(1)
+	serial, err := c.Get(tinyConfig(t), DefaultUSumParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := NewCompactModelWorkers(tinyConfig(t), DefaultUSumParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.NumStates() != reference.NumStates() {
+		t.Fatal("worker-count override changed the model")
+	}
+}

@@ -97,6 +97,26 @@ func NewCompactModelWorkers(cfg Config, params USumParams, workers int) (*Compac
 	return m, nil
 }
 
+// MemBytes estimates the model's resident heap footprint: state masks,
+// the mask index, per-state estimates, and both matrix forms. Map
+// overhead is approximated, so treat the figure as a cache byte-budget
+// accounting unit, not exact process RSS.
+func (m *CompactModel) MemBytes() int64 {
+	const mapEntry = 48 // rough per-entry bucket + key + value cost
+	b := int64(len(m.states))*8 + int64(len(m.sr))*8
+	b += int64(len(m.index)) * mapEntry
+	for i := range m.est {
+		b += int64(len(m.est[i].Evict)+len(m.est[i].Timeout))*mapEntry + 64
+	}
+	if m.frozen != nil {
+		b += m.frozen.MemBytes()
+	}
+	if m.matrix != nil {
+		b += int64(m.matrix.NNZ()) * 16 // builder edges {to, p}
+	}
+	return b
+}
+
 // CompactStateCount evaluates the §IV-B state count
 // Σ_{n'=0..n} C(|Rules|, n'), including the empty state.
 func CompactStateCount(numRules, capacity int) int {

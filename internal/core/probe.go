@@ -52,6 +52,21 @@ func NewProbeSelector(model, model0 Model, target flows.ID, steps int) (*ProbeSe
 	return s, nil
 }
 
+// MemBytes estimates the selector's resident footprint: both evolved
+// distributions plus both chains' models (when compact). The models may
+// be shared through the process model cache, so summing MemBytes across
+// selectors can double-count shared chains.
+func (s *ProbeSelector) MemBytes() int64 {
+	b := int64(len(s.dist)+len(s.dist0)) * 8
+	if m, ok := s.model.(*CompactModel); ok {
+		b += m.MemBytes()
+	}
+	if m, ok := s.model0.(*CompactModel); ok {
+		b += m.MemBytes()
+	}
+	return b
+}
+
 // inPlaceEvolver is implemented by models with allocation-free evolve
 // kernels (CompactModel, BasicModel).
 type inPlaceEvolver interface {

@@ -346,3 +346,42 @@ func TestWriteDetection(t *testing.T) {
 		}
 	}
 }
+
+// TestMatchedBaselineTamesParetoFPR pins the heavy-tail-aware training
+// mode: the re-measured Pareto(α=1.5) FPR under a baseline trained on
+// Pareto interarrivals themselves must hold the 2% budget and never
+// exceed the mismatched (Poisson-trained) rate. The paper-scale effect —
+// the mismatched row flagging ~4% of benign sources — only appears at
+// full horizon/rates and is recorded in results_detect.txt; this gate
+// keeps the matched mode itself regression-free.
+func TestMatchedBaselineTamesParetoFPR(t *testing.T) {
+	nc, err := RecordingSpec{Params: tinyParams(), ConfigSeed: 3, Trials: 1, Probes: 1, Measurement: DefaultMeasurement()}.BuildConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisson, err := TrainDetectBaseline(nc, 40, stats.NewRNG(17), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched, err := TrainDetectBaseline(nc, 40, stats.NewRNG(17), ParetoSource(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mismatchedFPR, err := BenignFPR(nc, DetectConfigFor(nc, poisson), 150, stats.NewRNG(29), ParetoSource(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchedFPR, err := BenignFPR(nc, DetectConfigFor(nc, matched), 150, stats.NewRNG(29), ParetoSource(1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matchedFPR.Sources == 0 {
+		t.Fatal("matched-baseline runs tracked no sources")
+	}
+	if matchedFPR.Flagged > mismatchedFPR.Flagged {
+		t.Fatalf("matched baseline flags more benign sources (%d) than the mismatched one (%d)", matchedFPR.Flagged, mismatchedFPR.Flagged)
+	}
+	if rate := matchedFPR.Rate(); rate > 0.02 {
+		t.Fatalf("matched-baseline Pareto FPR %.2f%% exceeds the 2%% budget", 100*rate)
+	}
+}

@@ -91,6 +91,7 @@ type trialEnv struct {
 	horizon   float64
 	observing bool // collect spans (and belief/probe forensics)
 	recording bool // also keep arrivals + attacker trials for the recorder
+	probing   bool // keep per-attacker probes/outcomes without span/belief cost
 	eventing  bool // buffer wide events per trial for in-order assembly
 	noWall    bool // zero wall-clock in trial spans (deterministic output)
 	detect    *detect.Config
@@ -188,7 +189,7 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 		if p, ok := a.(core.Paced); ok {
 			pace = p.ProbePacing()
 		}
-		if env.observing || env.eventing {
+		if env.observing || env.eventing || env.probing {
 			obs = &probeObserver{spans: spans, ctx: attCtx, trial: trial, name: env.names[i]}
 			if env.eventing {
 				obs.events = &out.events
@@ -255,6 +256,17 @@ func (env *trialEnv) runTrial(trial int, rng *stats.RNG) trialOut {
 					Belief:   obs.belief,
 				})
 			}
+		} else if env.probing {
+			// The forensics-light path keeps probe/outcome streams (what a
+			// service session streams to its client) without span trees or
+			// belief tracking.
+			out.atts = append(out.atts, trialrec.AttackerTrial{
+				Name:     env.names[i],
+				Probes:   obs.probes,
+				Outcomes: outcomes,
+				Lost:     lost,
+				Verdict:  verdict,
+			})
 		}
 	}
 	env.tm.trials.Inc()

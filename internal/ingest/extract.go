@@ -1,7 +1,6 @@
 package ingest
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -64,12 +63,21 @@ type FlowRecord struct {
 // (cut time, flow sequence) order.
 type Extractor struct {
 	active, idle float64
-	flows        map[Key]*flowState
-	heap         expiryHeap
-	out          []FlowRecord
-	nextSeq      uint64
-	lastTime     float64
-	seen         bool
+	// flows maps a live key to its slot in states; slots are recycled
+	// through free when a flow is cut, so the slab stays sized to the
+	// peak number of concurrently open flows rather than the total.
+	flows   map[Key]int32
+	states  []flowState
+	free    []int32
+	heap    expiryHeap
+	out     []FlowRecord
+	nextSeq uint64
+	// stampSeq issues heap-node stamps extractor-wide, so a stale node
+	// from an earlier flow on the same key can never collide with the
+	// stamps of a later flow that reuses the key (or the slot).
+	stampSeq uint64
+	lastTime float64
+	seen     bool
 }
 
 type flowState struct {
@@ -86,19 +94,56 @@ type expiryNode struct {
 	stamp uint64
 }
 
-// expiryHeap is a min-heap on (at, seq).
+// expiryHeap is a hand-rolled binary min-heap on (at, seq). container/heap
+// would box every node into an interface on Push and Pop — ~2 allocations
+// per packet, the single largest source of ingestion heap churn — so the
+// sift loops are written out against the concrete slice instead.
 type expiryHeap []expiryNode
 
-func (h expiryHeap) Len() int { return len(h) }
-func (h expiryHeap) Less(i, j int) bool {
+func (h expiryHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h expiryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *expiryHeap) Push(x any)   { *h = append(*h, x.(expiryNode)) }
-func (h *expiryHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *expiryHeap) push(n expiryNode) {
+	*h = append(*h, n)
+	s := *h
+	for i := len(s) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *expiryHeap) pop() expiryNode {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	for i := 0; ; {
+		left, right := 2*i+1, 2*i+2
+		least := i
+		if left < n && s.less(left, least) {
+			least = left
+		}
+		if right < n && s.less(right, least) {
+			least = right
+		}
+		if least == i {
+			break
+		}
+		s[i], s[least] = s[least], s[i]
+		i = least
+	}
+	return top
+}
 
 // NewExtractor returns an extractor with the given timeouts (seconds);
 // non-positive values take the defaults.
@@ -112,7 +157,7 @@ func NewExtractor(activeTimeout, idleTimeout float64) *Extractor {
 	return &Extractor{
 		active: activeTimeout,
 		idle:   idleTimeout,
-		flows:  make(map[Key]*flowState),
+		flows:  make(map[Key]int32),
 	}
 }
 
@@ -131,22 +176,28 @@ func (e *Extractor) deadline(s *flowState) (float64, EndReason) {
 // stamps it as the only live one.
 func (e *Extractor) schedule(s *flowState) {
 	at, _ := e.deadline(s)
-	s.stamp++
-	heap.Push(&e.heap, expiryNode{at: at, seq: s.seq, key: s.rec.Key, stamp: s.stamp})
+	e.stampSeq++
+	s.stamp = e.stampSeq
+	e.heap.push(expiryNode{at: at, seq: s.seq, key: s.rec.Key, stamp: s.stamp})
 }
 
 // expireUntil pops every live deadline ≤ now, emitting the flows it cuts.
 func (e *Extractor) expireUntil(now float64) {
 	for len(e.heap) > 0 && e.heap[0].at <= now {
-		n := heap.Pop(&e.heap).(expiryNode)
-		s, ok := e.flows[n.key]
-		if !ok || s.stamp != n.stamp {
-			continue // stale node: the flow refreshed or already ended
+		n := e.heap.pop()
+		idx, ok := e.flows[n.key]
+		if !ok {
+			continue // stale node: the flow already ended
+		}
+		s := &e.states[idx]
+		if s.stamp != n.stamp {
+			continue // stale node: the flow refreshed its deadline
 		}
 		_, reason := e.deadline(s)
 		s.rec.Reason = reason
 		e.out = append(e.out, s.rec)
 		delete(e.flows, n.key)
+		e.free = append(e.free, idx)
 	}
 }
 
@@ -158,17 +209,25 @@ func (e *Extractor) Observe(p Packet) error {
 	}
 	e.lastTime, e.seen = p.Time, true
 	e.expireUntil(p.Time)
-	s, ok := e.flows[p.Key]
+	idx, ok := e.flows[p.Key]
 	if !ok {
-		s = &flowState{
+		if n := len(e.free); n > 0 {
+			idx = e.free[n-1]
+			e.free = e.free[:n-1]
+		} else {
+			idx = int32(len(e.states))
+			e.states = append(e.states, flowState{})
+		}
+		e.states[idx] = flowState{
 			rec: FlowRecord{Key: p.Key, Start: p.Time, End: p.Time},
 			seq: e.nextSeq,
 		}
 		e.nextSeq++
-		e.flows[p.Key] = s
+		e.flows[p.Key] = idx
 	} else {
-		s.rec.End = p.Time
+		e.states[idx].rec.End = p.Time
 	}
+	s := &e.states[idx]
 	s.rec.Packets++
 	s.rec.Bytes += p.Bytes
 	e.schedule(s)
@@ -179,20 +238,24 @@ func (e *Extractor) Observe(p Packet) error {
 // EndOfTrace (in deterministic creation order) and the extractor resets.
 // It returns all flows extracted since construction or the last Flush.
 func (e *Extractor) Flush() []FlowRecord {
-	rest := make([]*flowState, 0, len(e.flows))
-	for _, s := range e.flows {
-		rest = append(rest, s)
+	rest := make([]int32, 0, len(e.flows))
+	for _, idx := range e.flows {
+		rest = append(rest, idx)
 	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i].seq < rest[j].seq })
-	for _, s := range rest {
+	sort.Slice(rest, func(i, j int) bool { return e.states[rest[i]].seq < e.states[rest[j]].seq })
+	for _, idx := range rest {
+		s := &e.states[idx]
 		s.rec.Reason = EndOfTrace
 		e.out = append(e.out, s.rec)
 	}
 	out := e.out
 	e.out = nil
-	e.flows = make(map[Key]*flowState)
+	clear(e.flows)
+	e.states = e.states[:0]
+	e.free = e.free[:0]
 	e.heap = e.heap[:0]
 	e.nextSeq = 0
+	e.stampSeq = 0
 	e.seen = false
 	return out
 }

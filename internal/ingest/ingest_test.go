@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"os"
 	"reflect"
@@ -138,6 +139,28 @@ func TestReadPcapRejectsBadInput(t *testing.T) {
 			t.Fatal("non-Ethernet link accepted")
 		}
 	})
+	t.Run("pcapng magic", func(t *testing.T) {
+		// A pcapng Section Header Block: block type 0x0A0D0D0A, then
+		// enough bytes to fill the 24-byte classic header read.
+		ng := make([]byte, pcapFileHeader)
+		ng[0], ng[1], ng[2], ng[3] = 0x0a, 0x0d, 0x0d, 0x0a
+		_, err := ReadPcap(bytes.NewReader(ng))
+		if !errors.Is(err, ErrPcapNG) {
+			t.Fatalf("got %v, want ErrPcapNG", err)
+		}
+		if !strings.Contains(err.Error(), "tcpdump -r") {
+			t.Fatalf("pcapng error should name the conversion command, got %q", err)
+		}
+		// Through the format-sniffing file entry point the same error must
+		// surface instead of falling through to a flow-log CSV parse.
+		path := t.TempDir() + "/capture.pcapng"
+		if err := os.WriteFile(path, ng, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := IngestFile(path, IngestOptions{}); !errors.Is(err, ErrPcapNG) {
+			t.Fatalf("IngestFile: got %v, want ErrPcapNG", err)
+		}
+	})
 	t.Run("non-ipv4 frames skipped", func(t *testing.T) {
 		var buf bytes.Buffer
 		if err := WritePcap(&buf, pkts[:1], WriteOptions{}); err != nil {
@@ -155,6 +178,39 @@ func TestReadPcapRejectsBadInput(t *testing.T) {
 			t.Fatalf("skipped=%d packets=%d, want 1/0", capt.Skipped, len(capt.Packets))
 		}
 	})
+}
+
+func TestReadPcapIntoReusesBuffers(t *testing.T) {
+	pkts := testPackets(t)
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, pkts, WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	want, err := ReadPcap(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c Capture
+	for i := 0; i < 3; i++ {
+		if err := ReadPcapInto(bytes.NewReader(raw), &c); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(c.Packets, want.Packets) || c.Skipped != want.Skipped ||
+			c.SnapLen != want.SnapLen || c.Nano != want.Nano {
+			t.Fatalf("pass %d: reused capture diverges from fresh parse", i)
+		}
+	}
+	// A failed parse must still leave the capture reset, not holding the
+	// previous file's packets.
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if err := ReadPcapInto(bytes.NewReader(bad), &c); !errors.Is(err, ErrPcapMagic) {
+		t.Fatalf("got %v, want ErrPcapMagic", err)
+	}
+	if len(c.Packets) != 0 {
+		t.Fatalf("capture kept %d packets after failed parse", len(c.Packets))
+	}
 }
 
 func TestParseFrameFragmentsAndTruncation(t *testing.T) {

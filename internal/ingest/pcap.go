@@ -30,6 +30,14 @@ const (
 // ErrPcapMagic means the stream does not start with a known pcap magic.
 var ErrPcapMagic = errors.New("ingest: not a classic pcap file (bad magic)")
 
+// ErrPcapNG means the stream is a pcapng capture, which this reader does
+// not parse. The Section Header Block type 0x0A0D0D0A is byte-order
+// independent (it reads the same either way), so one big-endian compare
+// suffices.
+var ErrPcapNG = errors.New("ingest: pcapng captures are not supported; convert with `tcpdump -r in.pcapng -w out.pcap` (or editcap -F pcap)")
+
+const pcapngMagic = 0x0a0d0d0a
+
 // Capture is a fully parsed pcap stream.
 type Capture struct {
 	// Packets are the parsed IPv4 packets in file order.
@@ -40,6 +48,9 @@ type Capture struct {
 	// SnapLen and Nano echo the capture parameters.
 	SnapLen uint32
 	Nano    bool
+	// scratch is the per-record payload buffer, kept so ReadPcapInto
+	// reuses it across captures.
+	scratch []byte
 }
 
 // ReadPcap parses a classic libpcap stream. It is strict about framing —
@@ -47,9 +58,27 @@ type Capture struct {
 // overruns the file is an error — and lenient about payloads: frames
 // that are not parseable IPv4 are counted in Skipped, not fatal.
 func ReadPcap(r io.Reader) (*Capture, error) {
+	out := &Capture{}
+	if err := ReadPcapInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadPcapInto parses a classic libpcap stream into c, reusing c's
+// Packets backing array (and the reader's internal scratch) across
+// calls. Callers replaying many captures — or the same capture many
+// times, as the ingestion benchmark does — avoid re-growing a
+// multi-megabyte packet slice on every file. All fields of c are reset
+// before parsing.
+func ReadPcapInto(r io.Reader, c *Capture) error {
+	c.Packets = c.Packets[:0]
+	c.Skipped = 0
+	c.SnapLen = 0
+	c.Nano = false
 	var hdr [pcapFileHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("ingest: pcap header: %w", err)
+		return fmt.Errorf("ingest: pcap header: %w", err)
 	}
 	var order binary.ByteOrder
 	var nano bool
@@ -58,6 +87,8 @@ func ReadPcap(r io.Reader) (*Capture, error) {
 		order = binary.BigEndian
 	case magicNano:
 		order, nano = binary.BigEndian, true
+	case pcapngMagic:
+		return ErrPcapNG
 	default:
 		switch binary.LittleEndian.Uint32(hdr[0:4]) {
 		case magicMicro:
@@ -65,15 +96,15 @@ func ReadPcap(r io.Reader) (*Capture, error) {
 		case magicNano:
 			order, nano = binary.LittleEndian, true
 		default:
-			return nil, ErrPcapMagic
+			return ErrPcapMagic
 		}
 	}
 	snaplen := order.Uint32(hdr[16:20])
 	link := order.Uint32(hdr[20:24])
 	if link != LinkTypeEthernet {
-		return nil, fmt.Errorf("ingest: unsupported link type %d (only Ethernet)", link)
+		return fmt.Errorf("ingest: unsupported link type %d (only Ethernet)", link)
 	}
-	out := &Capture{SnapLen: snaplen, Nano: nano}
+	c.SnapLen, c.Nano = snaplen, nano
 	div := 1e6
 	if nano {
 		div = 1e9
@@ -82,41 +113,42 @@ func ReadPcap(r io.Reader) (*Capture, error) {
 	// only the 13-byte key, so one capture-sized scratch slice serves the
 	// whole file with no per-record allocation.
 	var rec [pcapRecHeader]byte
-	var payload []byte
+	payload := c.scratch
+	defer func() { c.scratch = payload }()
 	for n := 0; ; n++ {
 		if _, err := io.ReadFull(r, rec[:]); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil
 			}
-			return nil, fmt.Errorf("ingest: record %d header: %w", n, err)
+			return fmt.Errorf("ingest: record %d header: %w", n, err)
 		}
 		sec := order.Uint32(rec[0:4])
 		frac := order.Uint32(rec[4:8])
 		inclLen := order.Uint32(rec[8:12])
 		origLen := order.Uint32(rec[12:16])
 		if inclLen > MaxSnapLen {
-			return nil, fmt.Errorf("ingest: record %d claims %d captured bytes (cap %d)", n, inclLen, MaxSnapLen)
+			return fmt.Errorf("ingest: record %d claims %d captured bytes (cap %d)", n, inclLen, MaxSnapLen)
 		}
 		if snaplen > 0 && inclLen > snaplen {
-			return nil, fmt.Errorf("ingest: record %d captured %d bytes > snaplen %d", n, inclLen, snaplen)
+			return fmt.Errorf("ingest: record %d captured %d bytes > snaplen %d", n, inclLen, snaplen)
 		}
 		if int(inclLen) > cap(payload) {
 			payload = make([]byte, inclLen)
 		}
 		payload = payload[:inclLen]
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return nil, fmt.Errorf("ingest: record %d truncated: %w", n, err)
+			return fmt.Errorf("ingest: record %d truncated: %w", n, err)
 		}
 		key, err := ParseFrame(payload)
 		if err != nil {
-			out.Skipped++
+			c.Skipped++
 			continue
 		}
 		bytes := int(origLen)
 		if bytes == 0 {
 			bytes = int(inclLen)
 		}
-		out.Packets = append(out.Packets, Packet{
+		c.Packets = append(c.Packets, Packet{
 			Time:  float64(sec) + float64(frac)/div,
 			Key:   key,
 			Bytes: bytes,

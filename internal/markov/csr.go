@@ -65,6 +65,13 @@ type CSR struct {
 	workers int
 }
 
+// MemBytes estimates the heap footprint of the frozen matrix: both the
+// scatter and gather arrays. Struct and slice-header overhead is ignored.
+func (c *CSR) MemBytes() int64 {
+	return int64(len(c.rowPtr)+len(c.colIdx)+len(c.gatPtr)+len(c.gatSrc))*4 +
+		int64(len(c.val)+len(c.gatVal))*8
+}
+
 // Freeze converts the builder matrix into its immutable CSR form.
 // Duplicate (from, to) entries — which Sparse.Add already coalesces, so
 // none arise in practice — are summed during the sort+compact pass.

@@ -1,0 +1,74 @@
+package service
+
+import (
+	"sync"
+
+	"flowrecon/internal/core"
+	"flowrecon/internal/experiment"
+)
+
+// RunSessionsNaive executes specs with the pre-daemon deployment model:
+// one goroutine per session, each regenerating its own configuration and
+// attacker roster from scratch — the way N independent flowrecon
+// processes would. It is the benchmark baseline the batched scheduler is
+// measured against; the service must beat it because the naive path
+// pays one full model build and selector evolve per session even when
+// every session attacks the same target.
+//
+// Each session resets the process-wide model cache and u-sum memo on
+// entry to model per-process isolation. Concurrent sessions can still
+// accidentally share a just-built entry between resets, which only makes
+// the baseline FASTER — the comparison stays conservative.
+func RunSessionsNaive(specs []SessionSpec) error {
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec SessionSpec) {
+			defer wg.Done()
+			errs[i] = runNaiveSession(spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runNaiveSession(spec SessionSpec) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	core.DefaultModelCache.Reset()
+	core.ResetUSumMemo()
+	nc, err := spec.Target.BuildConfig()
+	if err != nil {
+		return err
+	}
+	roster, err := experiment.StandardAttackers(nc, spec.Target.Probes)
+	if err != nil {
+		return err
+	}
+	source, err := spec.Target.Trace.Source()
+	if err != nil {
+		return err
+	}
+	meas := spec.Target.Measurement
+	if meas == (experiment.Measurement{}) {
+		meas = experiment.DefaultMeasurement()
+	}
+	ropts := experiment.RunnerOptions{Source: source}
+	if spec.Target.Faults != nil {
+		ropts.Faults = *spec.Target.Faults
+	}
+	runner := experiment.NewTrialRunner(nc, roster, meas, ropts)
+	for t, seed := range experiment.TrialSeeds(spec.Target.TrialSeed, spec.Target.Trials) {
+		if _, err := runner.Run(t, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"sync"
+
+	"flowrecon/internal/telemetry"
+)
+
+// unit is one schedulable quantum: one trial of one session.
+type unit struct {
+	sess  *Session
+	trial int
+	seed  int64
+}
+
+// tgroup queues the pending units of every session attacking one target.
+// Units drain FIFO through head so the backing array is reused instead
+// of resliced away; when the group empties, both indices reset and the
+// array's capacity survives for the next burst — the scheduler's
+// steady-state enqueue path allocates nothing once groups and the ready
+// ring are warm (gated by TestSchedulerSteadyStateAllocs).
+type tgroup struct {
+	key    TargetKey
+	units  []unit
+	head   int
+	queued bool // present in the ready ring
+}
+
+func (g *tgroup) pending() int { return len(g.units) - g.head }
+
+// Scheduler is the batched probe scheduler: instead of one goroutine per
+// session, a fixed worker pool drains per-target rounds — each worker
+// takes up to batch consecutive units from one target's queue, so
+// back-to-back trials on a worker share the same hot model, selector and
+// roster, then the target rotates to the ready ring's tail for fairness
+// across targets.
+type Scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	groups map[TargetKey]*tgroup
+	// ready is a FIFO ring of groups with pending units.
+	ready     []*tgroup
+	readyHead int
+	batch     int
+	closed    bool
+	inflight  int // units taken by workers, not yet finished
+	idle      *sync.Cond
+	wg        sync.WaitGroup
+
+	unitsCtr *telemetry.Counter
+	depthG   *telemetry.Gauge
+}
+
+// DefaultBatch is the per-round unit batch when NewScheduler gets ≤ 0.
+const DefaultBatch = 8
+
+// NewScheduler starts a scheduler with the given worker pool. workers
+// ≤ 0 means 1. Close must be called to stop the pool.
+func NewScheduler(workers, batch int) *Scheduler {
+	if workers <= 0 {
+		workers = 1
+	}
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	s := &Scheduler{groups: make(map[TargetKey]*tgroup), batch: batch}
+	s.cond = sync.NewCond(&s.mu)
+	s.idle = sync.NewCond(&s.mu)
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SetTelemetry registers the scheduler's instruments on reg.
+func (s *Scheduler) SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	s.unitsCtr = reg.Counter("service_sched_units_total")
+	s.depthG = reg.Gauge("service_sched_depth")
+	s.mu.Unlock()
+}
+
+// Enqueue adds one trial of sess to its target's round queue. This is
+// the steady-state hot path: once the session's group and the ready ring
+// have grown to their working capacity it performs no allocation.
+func (s *Scheduler) Enqueue(sess *Session, trial int, seed int64) {
+	s.mu.Lock()
+	g := s.groups[sess.key]
+	if g == nil {
+		g = &tgroup{key: sess.key}
+		s.groups[sess.key] = g
+	}
+	g.units = append(g.units, unit{sess: sess, trial: trial, seed: seed})
+	if !g.queued {
+		g.queued = true
+		s.pushReadyLocked(g)
+	}
+	if s.depthG != nil {
+		s.depthG.Add(1)
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+}
+
+func (s *Scheduler) pushReadyLocked(g *tgroup) {
+	s.ready = append(s.ready, g)
+}
+
+func (s *Scheduler) popReadyLocked() *tgroup {
+	g := s.ready[s.readyHead]
+	s.ready[s.readyHead] = nil
+	s.readyHead++
+	if s.readyHead == len(s.ready) {
+		s.ready = s.ready[:0]
+		s.readyHead = 0
+	}
+	return g
+}
+
+func (s *Scheduler) readyLenLocked() int { return len(s.ready) - s.readyHead }
+
+// takeLocked moves up to batch units from g into buf (reusing buf's
+// backing array) and re-queues g if it still has work.
+func (s *Scheduler) takeLocked(g *tgroup, buf []unit) []unit {
+	n := g.pending()
+	if n > s.batch {
+		n = s.batch
+	}
+	buf = append(buf[:0], g.units[g.head:g.head+n]...)
+	g.head += n
+	if g.head == len(g.units) {
+		g.units = g.units[:0]
+		g.head = 0
+		g.queued = false
+	} else {
+		s.pushReadyLocked(g)
+	}
+	return buf
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	var buf []unit
+	for {
+		s.mu.Lock()
+		for !s.closed && s.readyLenLocked() == 0 {
+			s.cond.Wait()
+		}
+		if s.closed && s.readyLenLocked() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		g := s.popReadyLocked()
+		buf = s.takeLocked(g, buf)
+		s.inflight += len(buf)
+		if s.depthG != nil {
+			s.depthG.Add(int64(-len(buf)))
+		}
+		s.mu.Unlock()
+
+		for _, u := range buf {
+			u.sess.runUnit(u.trial, u.seed)
+		}
+
+		s.mu.Lock()
+		s.inflight -= len(buf)
+		if s.unitsCtr != nil {
+			s.unitsCtr.Add(int64(len(buf)))
+		}
+		if s.inflight == 0 && s.readyLenLocked() == 0 {
+			s.idle.Broadcast()
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Wait blocks until every enqueued unit has finished executing.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	for s.inflight > 0 || s.readyLenLocked() > 0 {
+		s.idle.Wait()
+	}
+	s.mu.Unlock()
+}
+
+// Close drains remaining units and stops the worker pool.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

@@ -57,6 +57,19 @@ type LiveUpdate struct {
 	FleetCrossings    int64   `json:"fleetCrossings,omitempty"`
 	FleetOccupancy    int64   `json:"fleetOccupancy,omitempty"`
 
+	// SessionsActive / SessionsQueued are flowrecond's admission gauges;
+	// Sessions is the cumulative opened-session count with this window's
+	// increment. ModelStoreModels / ModelStoreBytes track the shared model
+	// store's residency and ModelStoreHitPct its cumulative lookup hit
+	// ratio (0–100). All zero outside the daemon.
+	SessionsActive   int64   `json:"sessionsActive,omitempty"`
+	SessionsQueued   int64   `json:"sessionsQueued,omitempty"`
+	Sessions         int64   `json:"sessions,omitempty"`
+	SessionsDelta    int64   `json:"sessionsDelta,omitempty"`
+	ModelStoreModels int64   `json:"modelStoreModels,omitempty"`
+	ModelStoreBytes  int64   `json:"modelStoreBytes,omitempty"`
+	ModelStoreHitPct float64 `json:"modelStoreHitPct,omitempty"`
+
 	// Faults is the cumulative faults_injected_total across layers;
 	// Reconnects the switch's control-channel re-establishments; Lost
 	// the probes that produced no observation.
@@ -192,6 +205,18 @@ func ComputeLiveUpdate(prev, cur Snapshot, elapsed float64) LiveUpdate {
 		}
 	}
 
+	u.SessionsActive = cur.Gauges["service_sessions_active"]
+	u.SessionsQueued = cur.Gauges["service_sessions_queued"]
+	u.Sessions = cur.Counters["service_sessions_total"]
+	u.SessionsDelta = u.Sessions - prev.Counters["service_sessions_total"]
+	u.ModelStoreModels = cur.Gauges["service_store_models"]
+	u.ModelStoreBytes = cur.Gauges["service_store_bytes"]
+	storeHits := sumCounters(cur.Counters, "service_store_lookups", `result="hit"`)
+	storeMisses := sumCounters(cur.Counters, "service_store_lookups", `result="miss"`)
+	if lookups := storeHits + storeMisses; lookups > 0 {
+		u.ModelStoreHitPct = sanitizeFloat(100 * float64(storeHits) / float64(lookups))
+	}
+
 	u.Faults = sumCounters(cur.Counters, "faults_injected_total")
 	u.FaultsDelta = u.Faults - sumCounters(prev.Counters, "faults_injected_total")
 	u.Reconnects = cur.Counters["switch_reconnects_total"]
@@ -238,6 +263,12 @@ func LiveSeriesNames() []string {
 		"experiment_probes_total",
 		"experiment_verdicts_total",
 		"faults_injected_total",
+		"service_sessions_active",
+		"service_sessions_queued",
+		"service_sessions_total",
+		"service_store_bytes",
+		"service_store_lookups",
+		"service_store_models",
 		"switch_injects_total",
 		"switch_reconnects_total",
 		"switch_probe_timeouts_total",

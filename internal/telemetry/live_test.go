@@ -286,3 +286,41 @@ func TestDebugEventsEndpoint(t *testing.T) {
 		t.Fatalf("n filter: %d lines", len(got))
 	}
 }
+
+// TestComputeLiveUpdateService pins the flowrecond row: admission
+// gauges, cumulative session count with delta, and the model store's
+// residency and hit ratio.
+func TestComputeLiveUpdateService(t *testing.T) {
+	prev := Snapshot{Counters: map[string]int64{"service_sessions_total": 10}}
+	cur := Snapshot{
+		Counters: map[string]int64{
+			"service_sessions_total":               74,
+			`service_store_lookups{result="hit"}`:  63,
+			`service_store_lookups{result="miss"}`: 1,
+		},
+		Gauges: map[string]int64{
+			"service_sessions_active": 5,
+			"service_sessions_queued": 2,
+			"service_store_models":    1,
+			"service_store_bytes":     4 << 20,
+		},
+	}
+	u := ComputeLiveUpdate(prev, cur, 2)
+	if u.Sessions != 74 || u.SessionsDelta != 64 {
+		t.Fatalf("sessions: %d (+%d)", u.Sessions, u.SessionsDelta)
+	}
+	if u.SessionsActive != 5 || u.SessionsQueued != 2 {
+		t.Fatalf("admission gauges: active %d queued %d", u.SessionsActive, u.SessionsQueued)
+	}
+	if u.ModelStoreModels != 1 || u.ModelStoreBytes != 4<<20 {
+		t.Fatalf("store residency: %d models %d bytes", u.ModelStoreModels, u.ModelStoreBytes)
+	}
+	if u.ModelStoreHitPct < 98.4 || u.ModelStoreHitPct > 98.5 {
+		t.Fatalf("hit pct = %v, want 63/64 ≈ 98.4", u.ModelStoreHitPct)
+	}
+	// Outside the daemon every service field stays zero (and omitted).
+	empty := ComputeLiveUpdate(Snapshot{}, Snapshot{}, 1)
+	if empty.Sessions != 0 || empty.SessionsActive != 0 || empty.ModelStoreHitPct != 0 {
+		t.Fatalf("service fields nonzero without the daemon: %+v", empty)
+	}
+}
